@@ -1,0 +1,132 @@
+// Command decaf-chat is an interactive multi-user chat over real TCP —
+// the paper's "multi-user chat program" (§5.2.1) as a networked
+// application. The first instance hosts the room; others join it by
+// address. Every message is an atomic append to a replicated List, and a
+// pessimistic view renders only committed messages, in the same order at
+// every participant.
+//
+// Host a room:
+//
+//	decaf-chat -site 1 -listen :7701 -name alice
+//
+// Join it (peers maps the host's site ID to its address):
+//
+//	decaf-chat -site 2 -listen :7702 -join 1=localhost:7701 -name bob
+//	decaf-chat -site 3 -listen :7703 -join 1=localhost:7701 -name caz
+//
+// Type lines to chat; /quit leaves.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"decaf"
+)
+
+func main() {
+	var (
+		siteID = flag.Uint("site", 1, "unique site ID (>=1)")
+		listen = flag.String("listen", ":7701", "listen address")
+		join   = flag.String("join", "", "host to join, as <siteID>=<addr> (empty: host a room)")
+		name   = flag.String("name", "", "display name (default: site<ID>)")
+	)
+	flag.Parse()
+	if *name == "" {
+		*name = fmt.Sprintf("site%d", *siteID)
+	}
+
+	peers := map[decaf.SiteID]string{}
+	var hostID decaf.SiteID
+	if *join != "" {
+		parts := strings.SplitN(*join, "=", 2)
+		if len(parts) != 2 {
+			fatal("-join must be <siteID>=<addr>")
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			fatal("bad site ID in -join: %v", err)
+		}
+		hostID = decaf.SiteID(id)
+		peers[hostID] = parts[1]
+	}
+
+	ep, err := decaf.ListenTCP(decaf.SiteID(*siteID), *listen, peers)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	site := decaf.NewSite(ep, decaf.Options{})
+	defer site.Close()
+
+	log, err := site.NewList("chat-log")
+	if err != nil {
+		fatal("create log: %v", err)
+	}
+
+	if *join == "" {
+		// Host: create the association so late joiners could discover
+		// the room (the log's object ID is the out-of-band token here).
+		assoc, _ := site.NewAssociation("room")
+		if res := assoc.Define("log", log, "chat log").Wait(); !res.Committed {
+			fatal("define relationship: %+v", res)
+		}
+		fmt.Printf("hosting room at %s — others join with:\n", ep.Addr())
+		fmt.Printf("  decaf-chat -site <N> -listen :770N -join %d=%s\n", *siteID, ep.Addr())
+	} else {
+		// The well-known object seq of the host's log: the host creates
+		// it first, so it is s<host>/1.
+		remote := decaf.ObjectID{Site: hostID, Seq: 1}
+		fmt.Printf("joining room at site %d ...\n", hostID)
+		if res := site.JoinObject(log, hostID, remote).Wait(); !res.Committed {
+			fatal("join failed: %+v", res)
+		}
+		fmt.Println("joined; backlog:")
+	}
+
+	// Pessimistic view: print committed messages in order.
+	printed := 0
+	view := decaf.ViewFunc(func(s *decaf.Snapshot) {
+		msgs := s.List(log)
+		for ; printed < len(msgs); printed++ {
+			m, ok := msgs[printed].(map[string]any)
+			if !ok {
+				continue
+			}
+			fmt.Printf("<%v> %v\n", m["from"], m["text"])
+		}
+	})
+	if _, err := site.Attach(view, decaf.Pessimistic, log); err != nil {
+		fatal("attach view: %v", err)
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		if text == "/quit" {
+			site.LeaveObject(log).Wait()
+			fmt.Println("left the room")
+			return
+		}
+		res := site.ExecuteFunc(func(tx *decaf.Tx) error {
+			msg := log.AppendTuple(tx)
+			msg.SetString(tx, "from", *name)
+			msg.SetString(tx, "text", text)
+			return nil
+		}).Wait()
+		if !res.Committed {
+			fmt.Printf("! message not delivered: %v\n", res.Err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

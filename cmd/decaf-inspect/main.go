@@ -1,0 +1,34 @@
+// Command decaf-inspect prints a human-readable summary of a DECAF site
+// checkpoint produced by Site.Checkpoint / Site.CheckpointFile (the
+// persistence store of paper §5.3): the site's objects, committed values,
+// composite structure with its virtual-time element tags, and replication
+// graphs.
+//
+// Usage: decaf-inspect <checkpoint-file>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"decaf/internal/engine"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: decaf-inspect <checkpoint-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	out, err := engine.DescribeCheckpoint(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

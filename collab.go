@@ -1,0 +1,96 @@
+package decaf
+
+import (
+	"decaf/internal/engine"
+	"decaf/internal/ids"
+	"decaf/internal/wire"
+)
+
+// Dynamic collaboration establishment (paper §2.6, §3.3).
+
+// Relationship is one replica relationship published in an association:
+// a named set of member objects with their sites and descriptions.
+type Relationship = wire.Relationship
+
+// Member is one object participating in a replica relationship.
+type Member = wire.Member
+
+// Invitation is the external token that publicizes the right to make
+// replicas of an application's objects (paper §2.6). It is plain data:
+// publish it on any out-of-band channel (a bulletin board, a URL, a chat
+// message) and import it with Site.Import.
+type Invitation = engine.Invitation
+
+// ObjectID is a model object's globally unique identifier.
+type ObjectID = ids.ObjectID
+
+// Association is a model object whose value is a set of replica
+// relationships bundled for an application purpose (paper §2.1). Changes
+// in membership are signaled to attached views exactly like value changes.
+type Association struct{ base }
+
+// NewAssociation creates an association model object.
+func (s *Site) NewAssociation(name string) (*Association, error) {
+	ref, err := s.eng.CreateAssociation(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Association{base{s, ref}}, nil
+}
+
+// Define adds (or extends) the named replica relationship, registering
+// member as a joined object others can collaborate with.
+func (a *Association) Define(relName string, member Object, desc string) *Pending {
+	return &Pending{h: a.site.eng.DefineRelationship(a.ref, relName, member.Ref(), desc)}
+}
+
+// Invitation creates the external token for this association.
+func (a *Association) Invitation(desc string) (Invitation, error) {
+	return a.site.eng.Invite(a.ref, desc)
+}
+
+// Relationships returns the association's current replica relationships.
+func (a *Association) Relationships() []Relationship {
+	rels, _ := a.site.eng.Relationships(a.ref)
+	return rels
+}
+
+// Join joins obj into the named replica relationship: the full §3.3
+// protocol — the association value is read to locate a member object,
+// optimistically updated with the new membership, and the replication
+// graphs are merged with confirmations from both graphs' primary copies.
+func (a *Association) Join(relName string, obj Object) *Pending {
+	return &Pending{h: a.site.eng.JoinRelationship(a.ref, relName, obj.Ref())}
+}
+
+// Leave removes obj from the named replica relationship; the remaining
+// members keep collaborating with one another.
+func (a *Association) Leave(relName string, obj Object) *Pending {
+	return &Pending{h: a.site.eng.LeaveRelationship(a.ref, relName, obj.Ref())}
+}
+
+// Import instantiates a local association object replicating the one
+// named by the invitation (paper §2.6). The returned association is
+// usable once the Pending commits; reading its Relationships then reveals
+// what can be joined.
+func (s *Site) Import(inv Invitation, name string) (*Association, *Pending, error) {
+	ref, h, err := s.eng.ImportAssociation(inv, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Association{base{s, ref}}, &Pending{h: h}, nil
+}
+
+// JoinObject establishes a replica relationship between a local object
+// and a remote object directly, given an out-of-band reference (remote
+// site and object ID). Associations are the full-featured path; this is
+// the low-level primitive.
+func (s *Site) JoinObject(local Object, remoteSite SiteID, remoteObj ObjectID) *Pending {
+	return &Pending{h: s.eng.JoinObject(local.Ref(), remoteSite, remoteObj)}
+}
+
+// LeaveObject removes a local object from its replica relationship
+// without an association.
+func (s *Site) LeaveObject(local Object) *Pending {
+	return &Pending{h: s.eng.LeaveRelationship(engine.ObjRef{}, "", local.Ref())}
+}

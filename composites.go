@@ -1,0 +1,219 @@
+package decaf
+
+import (
+	"decaf/internal/engine"
+	"decaf/internal/wire"
+)
+
+// Composite model objects (paper §2.1): lists are linearly indexed
+// sequences of embedded children; tuples are collections of children
+// indexed by a string key. Updates to embedded children propagate
+// indirectly through the composite root's replication graph using
+// VT-tagged paths (paper §3.2).
+
+// List is a linearly indexed composite model object.
+type List struct{ base }
+
+// NewList creates an empty list model object.
+func (s *Site) NewList(name string) (*List, error) {
+	ref, err := s.eng.CreateObject(engine.KindList, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &List{base{s, ref}}, nil
+}
+
+// Len returns the number of elements, recording a structural read.
+func (l *List) Len(tx *Tx) int {
+	n, _ := tx.inner.ListLen(l.ref)
+	return n
+}
+
+// At returns the child object at index i (nil when out of range).
+func (l *List) At(tx *Tx, i int) Object {
+	ref, err := tx.inner.ListGet(l.ref, i)
+	if err != nil {
+		return nil
+	}
+	return wrapRef(l.site, ref)
+}
+
+// Insert embeds a new child of the given kind at index i and returns it.
+func (l *List) Insert(tx *Tx, i int, kind Kind, initial any) Object {
+	ref, err := tx.inner.ListInsert(l.ref, i, wire.ChildDecl{Kind: kind.k, Value: normalizeValue(initial)})
+	if err != nil {
+		return nil
+	}
+	return wrapRef(l.site, ref)
+}
+
+// Append embeds a new child at the end of the list and returns it.
+func (l *List) Append(tx *Tx, kind Kind, initial any) Object {
+	ref, err := tx.inner.ListAppend(l.ref, wire.ChildDecl{Kind: kind.k, Value: normalizeValue(initial)})
+	if err != nil {
+		return nil
+	}
+	return wrapRef(l.site, ref)
+}
+
+// AppendInt embeds a new Int child with the given initial value.
+func (l *List) AppendInt(tx *Tx, v int64) *Int {
+	o, _ := l.Append(tx, KindInt, v).(*Int)
+	return o
+}
+
+// AppendString embeds a new String child with the given initial value.
+func (l *List) AppendString(tx *Tx, v string) *String {
+	o, _ := l.Append(tx, KindString, v).(*String)
+	return o
+}
+
+// AppendFloat embeds a new Float child with the given initial value.
+func (l *List) AppendFloat(tx *Tx, v float64) *Float {
+	o, _ := l.Append(tx, KindFloat, v).(*Float)
+	return o
+}
+
+// AppendList embeds a nested empty list.
+func (l *List) AppendList(tx *Tx) *List {
+	o, _ := l.Append(tx, KindList, nil).(*List)
+	return o
+}
+
+// AppendTuple embeds a nested empty tuple.
+func (l *List) AppendTuple(tx *Tx) *Tuple {
+	o, _ := l.Append(tx, KindTuple, nil).(*Tuple)
+	return o
+}
+
+// Remove deletes the element at index i.
+func (l *List) Remove(tx *Tx, i int) error {
+	return tx.inner.ListRemove(l.ref, i)
+}
+
+// Committed materializes the latest committed structure: a []any tree of
+// scalar values, []any, and map[string]any.
+func (l *List) Committed() []any {
+	v, _ := l.site.eng.ReadCommitted(l.ref)
+	out, _ := v.([]any)
+	return out
+}
+
+// Current materializes the current (possibly uncommitted) structure.
+func (l *List) Current() []any {
+	v, _ := l.site.eng.ReadCurrent(l.ref)
+	out, _ := v.([]any)
+	return out
+}
+
+// Tuple is a key-indexed composite model object.
+type Tuple struct{ base }
+
+// NewTuple creates an empty tuple model object.
+func (s *Site) NewTuple(name string) (*Tuple, error) {
+	ref, err := s.eng.CreateObject(engine.KindTuple, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuple{base{s, ref}}, nil
+}
+
+// Keys returns the live keys, recording a structural read.
+func (t *Tuple) Keys(tx *Tx) []string {
+	keys, _ := tx.inner.TupleKeys(t.ref)
+	return keys
+}
+
+// Get returns the child under key (nil when absent).
+func (t *Tuple) Get(tx *Tx, key string) Object {
+	ref, ok, err := tx.inner.TupleGet(t.ref, key)
+	if err != nil || !ok {
+		return nil
+	}
+	return wrapRef(t.site, ref)
+}
+
+// Set embeds (or replaces) a child of the given kind under key and
+// returns it.
+func (t *Tuple) Set(tx *Tx, key string, kind Kind, initial any) Object {
+	ref, err := tx.inner.TupleSet(t.ref, key, wire.ChildDecl{Kind: kind.k, Value: normalizeValue(initial)})
+	if err != nil {
+		return nil
+	}
+	return wrapRef(t.site, ref)
+}
+
+// SetInt embeds an Int child under key.
+func (t *Tuple) SetInt(tx *Tx, key string, v int64) *Int {
+	o, _ := t.Set(tx, key, KindInt, v).(*Int)
+	return o
+}
+
+// SetFloat embeds a Float child under key.
+func (t *Tuple) SetFloat(tx *Tx, key string, v float64) *Float {
+	o, _ := t.Set(tx, key, KindFloat, v).(*Float)
+	return o
+}
+
+// SetString embeds a String child under key.
+func (t *Tuple) SetString(tx *Tx, key string, v string) *String {
+	o, _ := t.Set(tx, key, KindString, v).(*String)
+	return o
+}
+
+// SetList embeds a nested empty list under key.
+func (t *Tuple) SetList(tx *Tx, key string) *List {
+	o, _ := t.Set(tx, key, KindList, nil).(*List)
+	return o
+}
+
+// SetTuple embeds a nested empty tuple under key.
+func (t *Tuple) SetTuple(tx *Tx, key string) *Tuple {
+	o, _ := t.Set(tx, key, KindTuple, nil).(*Tuple)
+	return o
+}
+
+// Remove deletes the child under key.
+func (t *Tuple) Remove(tx *Tx, key string) error {
+	return tx.inner.TupleRemove(t.ref, key)
+}
+
+// Committed materializes the latest committed structure.
+func (t *Tuple) Committed() map[string]any {
+	v, _ := t.site.eng.ReadCommitted(t.ref)
+	out, _ := v.(map[string]any)
+	return out
+}
+
+// Current materializes the current (possibly uncommitted) structure.
+func (t *Tuple) Current() map[string]any {
+	v, _ := t.site.eng.ReadCurrent(t.ref)
+	out, _ := v.(map[string]any)
+	return out
+}
+
+// Kind selects a model-object kind for composite embedding.
+type Kind struct{ k wire.ChildKind }
+
+// Embeddable model-object kinds.
+var (
+	KindInt    = Kind{wire.KindInt}
+	KindFloat  = Kind{wire.KindFloat}
+	KindString = Kind{wire.KindString}
+	KindBool   = Kind{wire.KindBool}
+	KindList   = Kind{wire.KindList}
+	KindTuple  = Kind{wire.KindTuple}
+)
+
+// normalizeValue coerces convenient Go literals to the engine's scalar
+// representation (int -> int64).
+func normalizeValue(v any) any {
+	switch n := v.(type) {
+	case int:
+		return int64(n)
+	case int32:
+		return int64(n)
+	default:
+		return v
+	}
+}

@@ -1,0 +1,419 @@
+package decaf_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"decaf"
+)
+
+// pair builds a two-site session over a simulated network.
+func pair(t *testing.T, latency time.Duration) (*decaf.SimNetwork, *decaf.Site, *decaf.Site) {
+	t.Helper()
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: latency})
+	a, err := decaf.Dial(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decaf.Dial(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+		net.Close()
+	})
+	return net, a, b
+}
+
+// joinInts creates joined Int replicas at both sites.
+func joinInts(t *testing.T, a, b *decaf.Site, name string) (*decaf.Int, *decaf.Int) {
+	t.Helper()
+	ia, err := a.NewInt(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := b.NewInt(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := b.JoinObject(ib, a.ID(), ia.Ref().ID()).Wait(); !res.Committed {
+		t.Fatalf("join: %+v", res)
+	}
+	return ia, ib
+}
+
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out: %s", what)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	_, a, b := pair(t, time.Millisecond)
+	ia, ib := joinInts(t, a, b, "counter")
+
+	res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		ia.Set(tx, ia.Value(tx)+1)
+		return nil
+	}).Wait()
+	if !res.Committed {
+		t.Fatalf("txn: %+v", res)
+	}
+	eventually(t, "replication", func() bool {
+		return ib.Committed() == 1 && ia.Committed() == 1
+	})
+}
+
+// XferTrans is the paper's Fig. 2 transaction object: transfer xferAmt
+// from account Ap to account Bp, aborting on overdraft.
+type XferTrans struct {
+	Ap, Bp  *decaf.Float
+	XferAmt float64
+	aborted chan error
+}
+
+// Execute implements decaf.Transaction.
+func (x *XferTrans) Execute(tx *decaf.Tx) error {
+	if x.Ap.Value(tx)-x.XferAmt >= 0 {
+		x.Ap.Set(tx, x.Ap.Value(tx)-x.XferAmt)
+		x.Bp.Set(tx, x.Bp.Value(tx)+x.XferAmt)
+		return nil
+	}
+	return errors.New("can't transfer more than balance")
+}
+
+// HandleAbort implements decaf.AbortHandler.
+func (x *XferTrans) HandleAbort(err error) {
+	if x.aborted != nil {
+		x.aborted <- err
+	}
+}
+
+func TestPaperFig2XferTrans(t *testing.T) {
+	_, a, b := pair(t, time.Millisecond)
+
+	apA, _ := a.NewFloat("A")
+	apB, _ := b.NewFloat("A")
+	bpA, _ := a.NewFloat("B")
+	bpB, _ := b.NewFloat("B")
+	if res := b.JoinObject(apB, a.ID(), apA.Ref().ID()).Wait(); !res.Committed {
+		t.Fatal("join A")
+	}
+	if res := b.JoinObject(bpB, a.ID(), bpA.Ref().ID()).Wait(); !res.Committed {
+		t.Fatal("join B")
+	}
+	if res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		apA.Set(tx, 100)
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("seed")
+	}
+	eventually(t, "seed replication", func() bool { return apB.Committed() == 100 })
+
+	// Successful transfer from site B.
+	if res := b.Execute(&XferTrans{Ap: apB, Bp: bpB, XferAmt: 30}).Wait(); !res.Committed {
+		t.Fatalf("transfer: %+v", res)
+	}
+	eventually(t, "transfer replication", func() bool {
+		return apA.Committed() == 70 && bpA.Committed() == 30
+	})
+
+	// Overdraft aborts with HandleAbort called (paper §2.4).
+	aborted := make(chan error, 1)
+	res := b.Execute(&XferTrans{Ap: apB, Bp: bpB, XferAmt: 1000, aborted: aborted}).Wait()
+	if res.Committed || !errors.Is(res.Err, decaf.ErrAborted) {
+		t.Fatalf("overdraft result: %+v", res)
+	}
+	select {
+	case <-aborted:
+	case <-time.After(time.Second):
+		t.Fatal("HandleAbort not called")
+	}
+	if apB.Committed() != 70 || bpB.Committed() != 30 {
+		t.Fatalf("balances changed after abort: %v / %v", apB.Committed(), bpB.Committed())
+	}
+}
+
+// BalanceView is the paper's Fig. 3 optimistic view: it renders the
+// balance in red on update (possibly uncommitted) and repaints black on
+// commit.
+type BalanceView struct {
+	Bp *decaf.Float
+
+	mu      sync.Mutex
+	color   string
+	text    string
+	commits int
+}
+
+// Update implements decaf.View.
+func (v *BalanceView) Update(s *decaf.Snapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.color = "red"
+	v.text = fmt.Sprintf("%.2f", s.Float(v.Bp))
+}
+
+// Commit implements decaf.Committer.
+func (v *BalanceView) Commit() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.color = "black"
+	v.commits++
+}
+
+func (v *BalanceView) state() (string, string, int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.color, v.text, v.commits
+}
+
+func TestPaperFig3BalanceView(t *testing.T) {
+	_, a, b := pair(t, 10*time.Millisecond)
+
+	bpA, _ := a.NewFloat("B")
+	bpB, _ := b.NewFloat("B")
+	if res := b.JoinObject(bpB, a.ID(), bpA.Ref().ID()).Wait(); !res.Committed {
+		t.Fatal("join")
+	}
+
+	view := &BalanceView{Bp: bpB}
+	if _, err := b.Attach(view, decaf.Optimistic, bpB); err != nil {
+		t.Fatal(err)
+	}
+
+	p := b.ExecuteFunc(func(tx *decaf.Tx) error {
+		bpB.Set(tx, 42.5)
+		return nil
+	})
+	<-p.Applied()
+	// Optimistic: the update notification shows the new value (red)
+	// before commit.
+	eventually(t, "red update", func() bool {
+		color, text, _ := view.state()
+		return text == "42.50" && color == "red"
+	})
+	if res := p.Wait(); !res.Committed {
+		t.Fatalf("txn: %+v", res)
+	}
+	// Then the commit notification repaints black.
+	eventually(t, "black commit", func() bool {
+		color, _, commits := view.state()
+		return color == "black" && commits >= 1
+	})
+}
+
+func TestPessimisticViewFacade(t *testing.T) {
+	_, a, b := pair(t, 2*time.Millisecond)
+	ia, ib := joinInts(t, a, b, "x")
+	_ = ia
+
+	var mu sync.Mutex
+	var seen []int64
+	v := decaf.ViewFunc(func(s *decaf.Snapshot) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !s.IsCommitted() {
+			t.Error("pessimistic snapshot not committed")
+		}
+		seen = append(seen, s.Int(ib))
+	})
+	if _, err := b.Attach(v, decaf.Pessimistic, ib); err != nil {
+		t.Fatal(err)
+	}
+
+	for k := int64(1); k <= 3; k++ {
+		if res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+			ia.Set(tx, k)
+			return nil
+		}).Wait(); !res.Committed {
+			t.Fatalf("write %d failed", k)
+		}
+	}
+	eventually(t, "all committed values", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) >= 3 && seen[len(seen)-1] == 3
+	})
+}
+
+func TestCompositeFacade(t *testing.T) {
+	_, a, b := pair(t, time.Millisecond)
+
+	la, _ := a.NewList("todo")
+	lb, _ := b.NewList("todo")
+	if res := b.JoinObject(lb, a.ID(), la.Ref().ID()).Wait(); !res.Committed {
+		t.Fatal("join")
+	}
+
+	res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		la.AppendString(tx, "write tests")
+		item := la.AppendTuple(tx)
+		item.SetString(tx, "title", "ship")
+		item.SetInt(tx, "priority", 1)
+		return nil
+	}).Wait()
+	if !res.Committed {
+		t.Fatalf("txn: %+v", res)
+	}
+
+	want := []any{"write tests", map[string]any{"title": "ship", "priority": int64(1)}}
+	eventually(t, "composite replication", func() bool {
+		return reflect.DeepEqual(lb.Committed(), want)
+	})
+
+	// Update an embedded child from the other site.
+	res = b.ExecuteFunc(func(tx *decaf.Tx) error {
+		item, ok := lb.At(tx, 1).(*decaf.Tuple)
+		if !ok {
+			return errors.New("no tuple at index 1")
+		}
+		pri, ok := item.Get(tx, "priority").(*decaf.Int)
+		if !ok {
+			return errors.New("no priority")
+		}
+		pri.Set(tx, pri.Value(tx)+1)
+		return nil
+	}).Wait()
+	if !res.Committed {
+		t.Fatalf("child txn: %+v", res)
+	}
+	eventually(t, "child update replication", func() bool {
+		got := la.Committed()
+		if len(got) != 2 {
+			return false
+		}
+		m, _ := got[1].(map[string]any)
+		return m != nil && m["priority"] == int64(2)
+	})
+}
+
+func TestAssociationFacade(t *testing.T) {
+	_, a, b := pair(t, time.Millisecond)
+
+	doc, _ := a.NewString("doc")
+	assoc, _ := a.NewAssociation("workspace")
+	if res := assoc.Define("doc", doc, "shared document").Wait(); !res.Committed {
+		t.Fatal("define")
+	}
+	inv, err := assoc.Invitation("join my workspace")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assocB, imp, err := b.Import(inv, "workspace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := imp.Wait(); !res.Committed {
+		t.Fatalf("import: %+v", res)
+	}
+
+	eventually(t, "relationships visible", func() bool {
+		rels := assocB.Relationships()
+		return len(rels) == 1 && rels[0].Name == "doc"
+	})
+
+	docB, _ := b.NewString("doc")
+	if res := assocB.Join("doc", docB).Wait(); !res.Committed {
+		t.Fatal("join")
+	}
+
+	if res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		doc.Set(tx, "hello collaboration")
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("write")
+	}
+	eventually(t, "doc replicated", func() bool {
+		return docB.Committed() == "hello collaboration"
+	})
+
+	// Leave and verify isolation.
+	if res := assocB.Leave("doc", docB).Wait(); !res.Committed {
+		t.Fatalf("leave: %+v", res)
+	}
+	if res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		doc.Set(tx, "post-leave")
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("write after leave")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if docB.Committed() == "post-leave" {
+		t.Fatal("left replica still receiving updates")
+	}
+}
+
+func TestConcurrentIncrementsFacade(t *testing.T) {
+	_, a, b := pair(t, 2*time.Millisecond)
+	ia, ib := joinInts(t, a, b, "n")
+
+	const per = 5
+	var wg sync.WaitGroup
+	inc := func(s *decaf.Site, o *decaf.Int) {
+		defer wg.Done()
+		for k := 0; k < per; k++ {
+			res := s.ExecuteFunc(func(tx *decaf.Tx) error {
+				o.Set(tx, o.Value(tx)+1)
+				return nil
+			}).Wait()
+			if !res.Committed {
+				t.Errorf("increment failed: %+v", res)
+			}
+		}
+	}
+	wg.Add(2)
+	go inc(a, ia)
+	go inc(b, ib)
+	wg.Wait()
+
+	eventually(t, "serialized increments", func() bool {
+		return ia.Committed() == 2*per && ib.Committed() == 2*per
+	})
+}
+
+func TestOverTCP(t *testing.T) {
+	// The same protocol over the real TCP transport.
+	epA, err := decaf.ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[decaf.SiteID]string{1: epA.Addr().String()}
+	epB, err := decaf.ListenTCP(2, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := decaf.NewSite(epA, decaf.Options{})
+	b := decaf.NewSite(epB, decaf.Options{})
+	defer a.Close()
+	defer b.Close()
+
+	ia, _ := a.NewInt("x")
+	ib, _ := b.NewInt("x")
+	if res := b.JoinObject(ib, 1, ia.Ref().ID()).Wait(); !res.Committed {
+		t.Fatalf("join over TCP: %+v", res)
+	}
+	if res := b.ExecuteFunc(func(tx *decaf.Tx) error {
+		ib.Set(tx, 9)
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatalf("write over TCP: %+v", res)
+	}
+	eventually(t, "tcp replication", func() bool {
+		return ia.Committed() == 9
+	})
+}

@@ -1,0 +1,145 @@
+package decaf_test
+
+import (
+	"fmt"
+	"time"
+
+	"decaf"
+)
+
+// Example shows the minimal two-party flow: join a replica relationship
+// and run an atomic transaction that replicates.
+func Example() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: time.Millisecond})
+	defer net.Close()
+	alice, _ := decaf.Dial(net, 1)
+	bob, _ := decaf.Dial(net, 2)
+	defer alice.Close()
+	defer bob.Close()
+
+	counterA, _ := alice.NewInt("counter")
+	counterB, _ := bob.NewInt("counter")
+	bob.JoinObject(counterB, alice.ID(), counterA.Ref().ID()).Wait()
+
+	alice.ExecuteFunc(func(tx *decaf.Tx) error {
+		counterA.Set(tx, counterA.Value(tx)+1)
+		return nil
+	}).Wait()
+
+	for counterB.Committed() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("bob sees", counterB.Committed())
+	// Output: bob sees 1
+}
+
+// ExampleSite_Execute shows a multi-object atomic transaction with a
+// programmed abort (the paper's Fig. 2 transfer).
+func ExampleSite_Execute() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	site, _ := decaf.Dial(net, 1)
+	defer site.Close()
+
+	a, _ := site.NewFloat("A")
+	b, _ := site.NewFloat("B")
+	site.ExecuteFunc(func(tx *decaf.Tx) error {
+		a.Set(tx, 100)
+		return nil
+	}).Wait()
+
+	transfer := func(amt float64) decaf.Result {
+		return site.ExecuteFunc(func(tx *decaf.Tx) error {
+			if a.Value(tx)-amt < 0 {
+				return fmt.Errorf("can't transfer more than balance")
+			}
+			a.Set(tx, a.Value(tx)-amt)
+			b.Set(tx, b.Value(tx)+amt)
+			return nil
+		}).Wait()
+	}
+
+	ok := transfer(30)
+	overdraft := transfer(500)
+	fmt.Printf("transfer committed=%v, overdraft committed=%v, A=%.0f B=%.0f\n",
+		ok.Committed, overdraft.Committed, a.Committed(), b.Committed())
+	// Output: transfer committed=true, overdraft committed=false, A=70 B=30
+}
+
+// ExampleSite_Attach shows optimistic and pessimistic views on the same
+// object.
+func ExampleSite_Attach() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	site, _ := decaf.Dial(net, 1)
+	defer site.Close()
+
+	x, _ := site.NewInt("x")
+	done := make(chan struct{})
+	site.Attach(decaf.ViewFunc(func(s *decaf.Snapshot) {
+		if s.Int(x) == 42 {
+			fmt.Println("pessimistic view saw committed", s.Int(x))
+			close(done)
+		}
+	}), decaf.Pessimistic, x)
+
+	site.ExecuteFunc(func(tx *decaf.Tx) error {
+		x.Set(tx, 42)
+		return nil
+	}).Wait()
+	<-done
+	// Output: pessimistic view saw committed 42
+}
+
+// ExampleList shows composite model objects with embedded children.
+func ExampleList() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	site, _ := decaf.Dial(net, 1)
+	defer site.Close()
+
+	todo, _ := site.NewList("todo")
+	site.ExecuteFunc(func(tx *decaf.Tx) error {
+		todo.AppendString(tx, "write tests")
+		item := todo.AppendTuple(tx)
+		item.SetString(tx, "title", "ship")
+		item.SetInt(tx, "priority", 1)
+		return nil
+	}).Wait()
+
+	fmt.Println(todo.Committed())
+	// Output: [write tests map[priority:1 title:ship]]
+}
+
+// ExampleAssociation shows the collaboration-establishment flow of paper
+// section 2.6: define a relationship, publish an invitation, import it
+// elsewhere, and join.
+func ExampleAssociation() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	host, _ := decaf.Dial(net, 1)
+	guest, _ := decaf.Dial(net, 2)
+	defer host.Close()
+	defer guest.Close()
+
+	doc, _ := host.NewString("doc")
+	host.ExecuteFunc(func(tx *decaf.Tx) error {
+		doc.Set(tx, "hello")
+		return nil
+	}).Wait()
+
+	assoc, _ := host.NewAssociation("workspace")
+	assoc.Define("doc", doc, "the shared doc").Wait()
+	inv, _ := assoc.Invitation("join me")
+
+	imported, pending, _ := guest.Import(inv, "workspace")
+	pending.Wait()
+	guestDoc, _ := guest.NewString("doc")
+	imported.Join("doc", guestDoc).Wait()
+
+	for guestDoc.Committed() != "hello" {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("guest sees:", guestDoc.Committed())
+	// Output: guest sees: hello
+}

@@ -1,0 +1,164 @@
+// Banking: the paper's running example (Figs. 2 and 3).
+//
+// Two account model objects are replicated between a client application
+// and an advisor application. XferTrans is the paper's Fig. 2 transaction
+// object — it transfers a balance atomically across both accounts and
+// aborts (with handleAbort) on overdraft. BalanceView is the Fig. 3
+// optimistic view — it renders updates "in red" immediately (possibly
+// uncommitted) and repaints "in black" on the commit notification; a
+// pessimistic AuditView sees only committed, monotonically ordered state.
+//
+// Run with: go run ./examples/banking
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"decaf"
+)
+
+// XferTrans is the paper's Fig. 2 transaction object.
+type XferTrans struct {
+	Ap, Bp  *decaf.Float
+	XferAmt float64
+}
+
+// Execute implements decaf.Transaction.
+func (x *XferTrans) Execute(tx *decaf.Tx) error {
+	if x.Ap.Value(tx)-x.XferAmt >= 0 {
+		x.Ap.Set(tx, x.Ap.Value(tx)-x.XferAmt)
+		x.Bp.Set(tx, x.Bp.Value(tx)+x.XferAmt)
+		return nil
+	}
+	return errors.New("can't transfer more than balance")
+}
+
+// HandleAbort implements decaf.AbortHandler (the paper's handleAbort()).
+func (x *XferTrans) HandleAbort(err error) {
+	fmt.Printf("  [handleAbort] transfer of %.2f rejected: %v\n", x.XferAmt, err)
+}
+
+// BalanceView is the paper's Fig. 3 optimistic view object.
+type BalanceView struct {
+	name string
+	bp   *decaf.Float
+
+	mu    sync.Mutex
+	color string
+}
+
+// Update implements decaf.View: show the (possibly uncommitted) balance
+// in red so the user is aware of its optimistic nature.
+func (v *BalanceView) Update(s *decaf.Snapshot) {
+	v.mu.Lock()
+	v.color = "red"
+	v.mu.Unlock()
+	fmt.Printf("  [%s optimistic] balance %.2f shown in RED (uncertain)\n", v.name, s.Float(v.bp))
+}
+
+// Commit implements decaf.Committer: the shown value is now committed.
+func (v *BalanceView) Commit() {
+	v.mu.Lock()
+	v.color = "black"
+	v.mu.Unlock()
+	fmt.Printf("  [%s optimistic] repainted BLACK (committed)\n", v.name)
+}
+
+// AuditView is a pessimistic view: it records every committed balance in
+// monotonic order — an audit trail that can never contain rolled-back
+// state.
+type AuditView struct {
+	a, b *decaf.Float
+
+	mu  sync.Mutex
+	log []string
+}
+
+// Update implements decaf.View.
+func (v *AuditView) Update(s *decaf.Snapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.log = append(v.log, fmt.Sprintf("vt %-8s A=%.2f B=%.2f", s.VT(), s.Float(v.a), s.Float(v.b)))
+}
+
+// Trail returns the audit entries.
+func (v *AuditView) Trail() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.log...)
+}
+
+func main() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: 15 * time.Millisecond})
+	defer net.Close()
+	client, _ := decaf.Dial(net, 1)
+	advisor, _ := decaf.Dial(net, 2)
+	defer client.Close()
+	defer advisor.Close()
+
+	// Replicated accounts A and B.
+	aC, _ := client.NewFloat("account-A")
+	bC, _ := client.NewFloat("account-B")
+	aA, _ := advisor.NewFloat("account-A")
+	bA, _ := advisor.NewFloat("account-B")
+	must(advisor.JoinObject(aA, client.ID(), aC.Ref().ID()).Wait())
+	must(advisor.JoinObject(bA, client.ID(), bC.Ref().ID()).Wait())
+
+	// Seed the balance and wait for it to reach the advisor's replica
+	// (otherwise the first transfer would read 0 and abort as an
+	// overdraft).
+	must(client.ExecuteFunc(func(tx *decaf.Tx) error {
+		aC.Set(tx, 100)
+		return nil
+	}).Wait())
+	for aA.Committed() != 100 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The advisor watches optimistically; the client audits
+	// pessimistically.
+	balView := &BalanceView{name: "advisor", bp: bA}
+	if _, err := advisor.Attach(balView, decaf.Optimistic, bA); err != nil {
+		panic(err)
+	}
+	audit := &AuditView{a: aC, b: bC}
+	if _, err := client.Attach(audit, decaf.Pessimistic, aC, bC); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("-- advisor transfers 30 from A to B --")
+	res := advisor.Execute(&XferTrans{Ap: aA, Bp: bA, XferAmt: 30}).Wait()
+	fmt.Printf("transfer committed=%v\n", res.Committed)
+	time.Sleep(100 * time.Millisecond)
+
+	fmt.Println("-- advisor attempts an overdraft of 500 --")
+	res = advisor.Execute(&XferTrans{Ap: aA, Bp: bA, XferAmt: 500}).Wait()
+	fmt.Printf("transfer committed=%v err=%v\n", res.Committed, res.Err != nil)
+	time.Sleep(100 * time.Millisecond)
+
+	fmt.Println("-- concurrent transfers from both sites --")
+	p1 := client.Execute(&XferTrans{Ap: aC, Bp: bC, XferAmt: 10})
+	p2 := advisor.Execute(&XferTrans{Ap: aA, Bp: bA, XferAmt: 20})
+	r1, r2 := p1.Wait(), p2.Wait()
+	fmt.Printf("client transfer committed=%v retries=%d; advisor committed=%v retries=%d\n",
+		r1.Committed, r1.Retries, r2.Committed, r2.Retries)
+	time.Sleep(200 * time.Millisecond)
+
+	fmt.Printf("\nfinal balances: client A=%.2f B=%.2f | advisor A=%.2f B=%.2f (sum preserved: %v)\n",
+		aC.Committed(), bC.Committed(), aA.Committed(), bA.Committed(),
+		aC.Committed()+bC.Committed() == 100)
+
+	fmt.Println("\naudit trail (pessimistic view — committed states only, monotonic):")
+	for _, line := range audit.Trail() {
+		fmt.Println("  " + line)
+	}
+}
+
+func must(res decaf.Result) {
+	if !res.Committed {
+		panic(fmt.Sprintf("transaction failed: %+v", res))
+	}
+}

@@ -1,0 +1,118 @@
+// Chat: the paper's multi-user chat program (§5.2.1), including dynamic
+// membership: users join mid-session through the §2.6 invitation flow,
+// receive the full backlog (the join ships the composite's structure),
+// and one user leaves while the rest keep talking. A simulated failure
+// (fail-stop crash of one member, §3.4) shows the survivors repairing
+// the replication graph and continuing.
+//
+// Run with: go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"decaf"
+)
+
+type user struct {
+	name string
+	site *decaf.Site
+	log  *decaf.List
+}
+
+func (u *user) say(text string) {
+	res := u.site.ExecuteFunc(func(tx *decaf.Tx) error {
+		msg := u.log.AppendTuple(tx)
+		msg.SetString(tx, "from", u.name)
+		msg.SetString(tx, "text", text)
+		return nil
+	}).Wait()
+	if !res.Committed {
+		panic(fmt.Sprintf("%s: message failed: %+v", u.name, res))
+	}
+}
+
+func (u *user) transcript() []string {
+	var out []string
+	for _, m := range u.log.Committed() {
+		t := m.(map[string]any)
+		out = append(out, fmt.Sprintf("<%v> %v", t["from"], t["text"]))
+	}
+	return out
+}
+
+func main() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: 8 * time.Millisecond})
+	defer net.Close()
+
+	// Host starts the room and publishes an invitation.
+	hostSite, _ := decaf.Dial(net, 1)
+	defer hostSite.Close()
+	hostLog, _ := hostSite.NewList("room")
+	host := &user{name: "host", site: hostSite, log: hostLog}
+
+	assoc, _ := hostSite.NewAssociation("room")
+	must(assoc.Define("log", hostLog, "the chat log").Wait())
+	inv, _ := assoc.Invitation("come chat")
+
+	host.say("welcome to the room")
+
+	// join brings a user in via the invitation; the backlog ships with
+	// the join.
+	join := func(name string, id decaf.SiteID) *user {
+		s, err := decaf.Dial(net, id)
+		if err != nil {
+			panic(err)
+		}
+		a, p, err := s.Import(inv, "imported room")
+		if err != nil {
+			panic(err)
+		}
+		must(p.Wait())
+		l, _ := s.NewList("room")
+		must(a.Join("log", l).Wait())
+		u := &user{name: name, site: s, log: l}
+		fmt.Printf("%s joined; backlog: %v\n", name, u.transcript())
+		return u
+	}
+
+	mira := join("mira", 2)
+	mira.say("hi all!")
+	noel := join("noel", 3)
+	noel.say("good to be here")
+	host.say("glad you both made it")
+
+	time.Sleep(150 * time.Millisecond)
+	fmt.Println("\ntranscripts after the opening round:")
+	for _, u := range []*user{host, mira, noel} {
+		fmt.Printf("  %-5s %v\n", u.name+":", u.transcript())
+	}
+
+	// Mira leaves gracefully; the others keep talking.
+	must(mira.site.LeaveObject(mira.log).Wait())
+	fmt.Println("\nmira left the room")
+	host.say("just us now")
+
+	// Noel's machine crashes (fail-stop); the host's site detects it,
+	// repairs the replication graph, and keeps working.
+	net.Kill(3)
+	fmt.Println("noel's site crashed (fail-stop)")
+	time.Sleep(100 * time.Millisecond)
+	host.say("still here after the crash")
+
+	time.Sleep(150 * time.Millisecond)
+	fmt.Printf("\nhost's replicas after leave+crash: %v\n", hostLog.ReplicaSites())
+	fmt.Println("final host transcript:")
+	for _, line := range host.transcript() {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("mira's frozen transcript (left before the last messages): %d messages\n", len(mira.transcript()))
+	mira.site.Close()
+}
+
+func must(res decaf.Result) {
+	if !res.Committed {
+		panic(fmt.Sprintf("transaction failed: %+v", res))
+	}
+}

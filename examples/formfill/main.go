@@ -1,0 +1,166 @@
+// Formfill: the paper's motivating insurance scenario — "groupware
+// applications that allow an insurance agent to help clients understand
+// insurance products ... and to fill out insurance forms" (§5.2.1).
+//
+// The form is a replicated Tuple whose fields are embedded scalar model
+// objects; the agent and the client edit different fields concurrently
+// (no conflicts), then race on the same field (optimistic concurrency
+// control serializes them). The agent's GUI is an optimistic view for
+// responsiveness; the insurer's back office uses a pessimistic view so
+// the record of the form only ever contains committed states.
+//
+// This example also demonstrates the §2.6 collaboration-establishment
+// flow: the agent publishes an invitation through an association object,
+// and the client imports it to discover and join the form.
+//
+// Run with: go run ./examples/formfill
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decaf"
+)
+
+func main() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: 12 * time.Millisecond})
+	defer net.Close()
+	agent, _ := decaf.Dial(net, 1)
+	client, _ := decaf.Dial(net, 2)
+	backOffice, _ := decaf.Dial(net, 3)
+	defer agent.Close()
+	defer client.Close()
+	defer backOffice.Close()
+
+	// The agent builds the form and publishes it through an association.
+	form, _ := agent.NewTuple("policy-form")
+	must(agent.ExecuteFunc(func(tx *decaf.Tx) error {
+		form.SetString(tx, "name", "")
+		form.SetString(tx, "product", "term-life")
+		form.SetInt(tx, "coverage", 100000)
+		form.SetString(tx, "notes", "")
+		return nil
+	}).Wait())
+
+	assoc, _ := agent.NewAssociation("policy-session")
+	must(assoc.Define("form", form, "the insurance form").Wait())
+	inv, err := assoc.Invitation("help me fill my policy")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("agent published invitation: site=%v assoc=%v\n", inv.Site, inv.Assoc)
+
+	// Client and back office import the invitation and join.
+	joinForm := func(s *decaf.Site, who string) *decaf.Tuple {
+		a, p, err := s.Import(inv, "imported "+who)
+		if err != nil {
+			panic(err)
+		}
+		must(p.Wait())
+		f, _ := s.NewTuple("policy-form")
+		must(a.Join("form", f).Wait())
+		fmt.Printf("%s joined the form (replicas now at %v)\n", who, f.ReplicaSites())
+		return f
+	}
+	clientForm := joinForm(client, "client")
+	backForm := joinForm(backOffice, "back-office")
+
+	// Back office keeps a pessimistic record.
+	var recMu sync.Mutex
+	var record []string
+	rec := decaf.ViewFunc(func(s *decaf.Snapshot) {
+		recMu.Lock()
+		defer recMu.Unlock()
+		record = append(record, fmt.Sprintf("vt %-8s %v", s.VT(), s.Tuple(backForm)))
+	})
+	if _, err := backOffice.Attach(rec, decaf.Pessimistic, backForm); err != nil {
+		panic(err)
+	}
+
+	// Agent GUI: optimistic for responsiveness.
+	gui := decaf.ViewFunc(func(s *decaf.Snapshot) {
+		state := "editing"
+		if s.IsCommitted() {
+			state = "saved"
+		}
+		_ = state // a real GUI would recolor; keep the console quiet
+	})
+	if _, err := agent.Attach(gui, decaf.Optimistic, form); err != nil {
+		panic(err)
+	}
+
+	// Concurrent edits of DIFFERENT fields: no conflicts.
+	fmt.Println("\n-- concurrent edits of different fields --")
+	p1 := client.ExecuteFunc(func(tx *decaf.Tx) error {
+		name := clientForm.Get(tx, "name").(*decaf.String)
+		name.Set(tx, "Jane Doe")
+		return nil
+	})
+	p2 := agent.ExecuteFunc(func(tx *decaf.Tx) error {
+		notes := form.Get(tx, "notes").(*decaf.String)
+		notes.Set(tx, "client prefers annual billing")
+		return nil
+	})
+	r1, r2 := p1.Wait(), p2.Wait()
+	fmt.Printf("client name edit: committed=%v retries=%d | agent notes edit: committed=%v retries=%d\n",
+		r1.Committed, r1.Retries, r2.Committed, r2.Retries)
+
+	// A race on the SAME field: read-modify-write increments of the
+	// coverage; concurrency control serializes them so both apply.
+	fmt.Println("\n-- racing read-modify-writes on the coverage field --")
+	bump := func(s *decaf.Site, f *decaf.Tuple, by int64) *decaf.Pending {
+		return s.ExecuteFunc(func(tx *decaf.Tx) error {
+			cov := f.Get(tx, "coverage").(*decaf.Int)
+			cov.Set(tx, cov.Value(tx)+by)
+			return nil
+		})
+	}
+	pa := bump(agent, form, 50000)
+	pc := bump(client, clientForm, 25000)
+	ra, rc := pa.Wait(), pc.Wait()
+	fmt.Printf("agent +50000: committed=%v retries=%d | client +25000: committed=%v retries=%d\n",
+		ra.Committed, ra.Retries, rc.Committed, rc.Retries)
+
+	// Quiesce and show the final form everywhere.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if fmt.Sprint(form.Committed()) == fmt.Sprint(clientForm.Committed()) &&
+			fmt.Sprint(form.Committed()) == fmt.Sprint(backForm.Committed()) {
+			cov, _ := form.Committed()["coverage"].(int64)
+			if cov == 175000 {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("\nfinal form (agent):  %v\n", form.Committed())
+	fmt.Printf("final form (client): %v\n", clientForm.Committed())
+	fmt.Printf("final form (office): %v\n", backForm.Committed())
+
+	// The back-office record trails the committed state by the
+	// notification protocol's confirmations; wait for the final entry.
+	for waitUntil := time.Now().Add(2 * time.Second); time.Now().Before(waitUntil); {
+		recMu.Lock()
+		n := len(record)
+		recMu.Unlock()
+		if n >= 5 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	recMu.Lock()
+	fmt.Printf("\nback-office record: %d committed states (monotonic, no rolled-back values)\n", len(record))
+	for _, line := range record {
+		fmt.Println("  " + line)
+	}
+	recMu.Unlock()
+}
+
+func must(res decaf.Result) {
+	if !res.Committed {
+		panic(fmt.Sprintf("transaction failed: %+v", res))
+	}
+}

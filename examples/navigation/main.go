@@ -1,0 +1,159 @@
+// Navigation: a group navigation tool (one of the application classes the
+// paper's introduction motivates — "group navigation tools"). A presenter
+// drives a shared viewport (page, scroll position, highlighted section);
+// followers' optimistic views track every move with local-GUI
+// responsiveness, and a follower can take over the presenter role by
+// writing the same replicated state — concurrency control arbitrates the
+// handoff.
+//
+// The viewport is a Tuple of scalars, so each field update is an
+// independent blind write: rapid navigation never conflicts (paper
+// §5.1.2), and a slow follower simply skips intermediate positions (lost
+// updates are invisible here — exactly the paper's argument that "a lost
+// update will usually be indistinguishable from two updates in rapid
+// succession").
+//
+// Run with: go run ./examples/navigation
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decaf"
+)
+
+type member struct {
+	name     string
+	site     *decaf.Site
+	viewport *decaf.Tuple
+
+	mu       sync.Mutex
+	lastSeen map[string]any
+	moves    int
+}
+
+// Update implements decaf.View: render the viewport state.
+func (m *member) Update(s *decaf.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastSeen = s.Tuple(m.viewport)
+	m.moves++
+}
+
+func (m *member) position() (string, any, any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastSeen == nil {
+		return "", nil, nil
+	}
+	return fmt.Sprint(m.lastSeen["doc"]), m.lastSeen["page"], m.lastSeen["scroll"]
+}
+
+func main() {
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: 12 * time.Millisecond})
+	defer net.Close()
+
+	// The presenter builds the shared viewport.
+	presenterSite, _ := decaf.Dial(net, 1)
+	defer presenterSite.Close()
+	vp, _ := presenterSite.NewTuple("viewport")
+	must(presenterSite.ExecuteFunc(func(tx *decaf.Tx) error {
+		vp.SetString(tx, "doc", "quarterly-report.pdf")
+		vp.SetInt(tx, "page", 1)
+		vp.SetInt(tx, "scroll", 0)
+		vp.SetString(tx, "presenter", "ana")
+		return nil
+	}).Wait())
+
+	presenter := &member{name: "ana", site: presenterSite, viewport: vp}
+	presenterSite.Attach(presenter, decaf.Optimistic, vp)
+
+	// Two followers join.
+	followers := make([]*member, 0, 2)
+	for i, name := range []string{"ben", "caz"} {
+		s, err := decaf.Dial(net, decaf.SiteID(i+2))
+		if err != nil {
+			panic(err)
+		}
+		defer s.Close()
+		fvp, _ := s.NewTuple("viewport")
+		must(s.JoinObject(fvp, presenterSite.ID(), vp.Ref().ID()).Wait())
+		f := &member{name: name, site: s, viewport: fvp}
+		s.Attach(f, decaf.Optimistic, fvp)
+		followers = append(followers, f)
+	}
+	fmt.Println("session: ana presents to ben and caz; viewport replicated at",
+		vp.ReplicaSites())
+
+	// The presenter navigates briskly: page flips and scrolls.
+	for page := int64(2); page <= 6; page++ {
+		p := page
+		must(presenterSite.ExecuteFunc(func(tx *decaf.Tx) error {
+			vp.Get(tx, "page").(*decaf.Int).Set(tx, p)
+			vp.Get(tx, "scroll").(*decaf.Int).Set(tx, 0)
+			return nil
+		}).Wait())
+		for scroll := int64(100); scroll <= 300; scroll += 100 {
+			sc := scroll
+			must(presenterSite.ExecuteFunc(func(tx *decaf.Tx) error {
+				vp.Get(tx, "scroll").(*decaf.Int).Set(tx, sc)
+				return nil
+			}).Wait())
+		}
+	}
+
+	// Wait for followers to land on the final position.
+	waitFor(func() bool {
+		for _, f := range followers {
+			_, page, scroll := f.position()
+			if page != int64(6) || scroll != int64(300) {
+				return false
+			}
+		}
+		return true
+	})
+	for _, f := range followers {
+		doc, page, scroll := f.position()
+		f.mu.Lock()
+		moves := f.moves
+		f.mu.Unlock()
+		fmt.Printf("%s follows: %s page %v scroll %v (rendered %d view updates; intermediate positions may be skipped)\n",
+			f.name, doc, page, scroll, moves)
+	}
+
+	// Ben takes over the presentation: an ordinary transaction on the
+	// same replicated state; optimistic concurrency control arbitrates
+	// against any concurrent presenter move.
+	ben := followers[0]
+	res := ben.site.ExecuteFunc(func(tx *decaf.Tx) error {
+		ben.viewport.Get(tx, "presenter").(*decaf.String).Set(tx, "ben")
+		ben.viewport.Get(tx, "page").(*decaf.Int).Set(tx, 1)
+		return nil
+	}).Wait()
+	fmt.Printf("\nben takes over: committed=%v retries=%d\n", res.Committed, res.Retries)
+
+	waitFor(func() bool {
+		m := vp.Committed()
+		return m != nil && m["presenter"] == "ben" && m["page"] == int64(1)
+	})
+	fmt.Printf("ana's replica confirms the handoff: %v\n", vp.Committed()["presenter"])
+}
+
+func must(res decaf.Result) {
+	if !res.Committed {
+		panic(fmt.Sprintf("transaction failed: %+v", res))
+	}
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	panic("condition never reached")
+}

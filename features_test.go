@@ -1,0 +1,233 @@
+package decaf_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"decaf"
+)
+
+// Facade-level tests for the extension features: authorization monitors,
+// the persistence store, and direct propagation of embedded objects.
+
+func TestFacadeAuthorizer(t *testing.T) {
+	_, a, b := pair(t, time.Millisecond)
+
+	secret, _ := a.NewString("secret")
+	a.SetAuthorizer(func(req decaf.AuthRequest) error {
+		if req.Kind == decaf.AuthJoin {
+			return errors.New("invitation only")
+		}
+		return nil
+	})
+
+	mine, _ := b.NewString("secret")
+	res := b.JoinObject(mine, a.ID(), secret.Ref().ID()).Wait()
+	if res.Committed {
+		t.Fatal("unauthorized join committed")
+	}
+
+	a.SetAuthorizer(nil)
+	mine2, _ := b.NewString("secret")
+	if res := b.JoinObject(mine2, a.ID(), secret.Ref().ID()).Wait(); !res.Committed {
+		t.Fatalf("join after clearing monitor: %+v", res)
+	}
+}
+
+func TestFacadeCheckpointRestore(t *testing.T) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	site, err := decaf.Dial(net, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, _ := site.NewInt("n")
+	todo, _ := site.NewList("todo")
+	if res := site.ExecuteFunc(func(tx *decaf.Tx) error {
+		n.Set(tx, 5)
+		todo.AppendString(tx, "persist me")
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("setup txn failed")
+	}
+
+	path := filepath.Join(t.TempDir(), "site7.ckpt")
+	if err := site.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	site.Close()
+	net.Close()
+
+	// Cold restart.
+	net2 := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net2.Close()
+	site2, err := decaf.Dial(net2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site2.Close()
+	if err := site2.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	objs, err := site2.Objects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("restored %d objects, want 2", len(objs))
+	}
+	var gotInt *decaf.Int
+	var gotList *decaf.List
+	for _, o := range objs {
+		switch v := o.(type) {
+		case *decaf.Int:
+			gotInt = v
+		case *decaf.List:
+			gotList = v
+		}
+	}
+	if gotInt == nil || gotList == nil {
+		t.Fatalf("restored objects have wrong types: %T", objs)
+	}
+	if gotInt.Committed() != 5 {
+		t.Fatalf("restored int = %d", gotInt.Committed())
+	}
+	if !reflect.DeepEqual(gotList.Committed(), []any{"persist me"}) {
+		t.Fatalf("restored list = %v", gotList.Committed())
+	}
+}
+
+func TestFacadeCheckpointBuffer(t *testing.T) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	site, _ := decaf.Dial(net, 1)
+	defer site.Close()
+	if _, err := site.NewInt("x"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := site.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty checkpoint")
+	}
+}
+
+func TestFacadePromoteAndEmbeddedJoin(t *testing.T) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{Latency: time.Millisecond})
+	defer net.Close()
+	a, _ := decaf.Dial(net, 1)
+	b, _ := decaf.Dial(net, 2)
+	c, _ := decaf.Dial(net, 3)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	// A tuple replicated between sites 1 and 2 with a scalar child.
+	formA, _ := a.NewTuple("form")
+	var childA *decaf.Int
+	if res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		childA = formA.SetInt(tx, "score", 10)
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("setup")
+	}
+	formB, _ := b.NewTuple("form")
+	if res := b.JoinObject(formB, a.ID(), formA.Ref().ID()).Wait(); !res.Committed {
+		t.Fatalf("tree join: %+v", res)
+	}
+
+	// Promote the child and join it from an outside site that has no
+	// copy of the tree (paper Fig. 7).
+	if res := a.Promote(childA).Wait(); !res.Committed {
+		t.Fatalf("promote: %+v", res)
+	}
+	outside, _ := c.NewInt("score")
+	if res := c.JoinObject(outside, a.ID(), childA.Ref().ID()).Wait(); !res.Committed {
+		t.Fatalf("outside join: %+v", res)
+	}
+
+	if res := c.ExecuteFunc(func(tx *decaf.Tx) error {
+		outside.Set(tx, 99)
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("outside write")
+	}
+	eventually(t, "score replicated into both trees", func() bool {
+		ma := formA.Committed()
+		mb := formB.Committed()
+		return ma != nil && mb != nil && ma["score"] == int64(99) && mb["score"] == int64(99)
+	})
+}
+
+func TestFacadeBoolAndFloat(t *testing.T) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	site, _ := decaf.Dial(net, 1)
+	defer site.Close()
+
+	flag, _ := site.NewBool("flag")
+	ratio, _ := site.NewFloat("ratio")
+	if res := site.ExecuteFunc(func(tx *decaf.Tx) error {
+		flag.Set(tx, !flag.Value(tx))
+		ratio.Set(tx, ratio.Value(tx)+0.5)
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("txn failed")
+	}
+	if flag.Committed() != true || ratio.Committed() != 0.5 {
+		t.Fatalf("flag=%v ratio=%v", flag.Committed(), ratio.Committed())
+	}
+	if flag.Current() != true {
+		t.Fatal("Current mismatch")
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	_, a, b := pair(t, time.Millisecond)
+	ia, ib := joinInts(t, a, b, "x")
+	_ = ib
+	if res := a.ExecuteFunc(func(tx *decaf.Tx) error {
+		ia.Set(tx, 1)
+		return nil
+	}).Wait(); !res.Committed {
+		t.Fatal("txn failed")
+	}
+	st := a.Stats()
+	if st.Commits == 0 || st.Submitted == 0 || st.MessagesSent == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestFacadeDetach(t *testing.T) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	site, _ := decaf.Dial(net, 1)
+	defer site.Close()
+	x, _ := site.NewInt("x")
+
+	calls := make(chan int64, 16)
+	att, err := site.Attach(decaf.ViewFunc(func(s *decaf.Snapshot) {
+		calls <- s.Int(x)
+	}), decaf.Optimistic, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-calls // initial
+	att.Detach()
+	site.ExecuteFunc(func(tx *decaf.Tx) error {
+		x.Set(tx, 5)
+		return nil
+	}).Wait()
+	select {
+	case v := <-calls:
+		t.Fatalf("notified after detach: %v", v)
+	case <-time.After(30 * time.Millisecond):
+	}
+}

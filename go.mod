@@ -1,0 +1,3 @@
+module decaf
+
+go 1.22

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"decaf"
+	"decaf/internal/vtime"
+)
+
+// E8: ablations of the paper's two commit-path optimizations.
+//
+//   - Delegated commit (§3.1): with a single remote primary site, the
+//     origin delegates the decision; remote replicas then commit in 2t
+//     instead of 3t.
+//   - Eager confirmation (§5.1.2): a pessimistic snapshot of objects the
+//     committing transaction updated reuses the transaction's own RL
+//     validation; without it, every snapshot pays an extra CONFIRM-READ
+//     round trip (2t) on top of the commit.
+
+// E8Ablations measures both optimizations on and off.
+func E8Ablations(cfg LatencyConfig) (*Table, error) {
+	tab := &Table{
+		Title: "E8: ablation of the delegated-commit (3.1) and eager-confirmation (5.1.2) optimizations",
+		Note: "delegation: remote-replica commit latency with a single remote primary (model 2t on / 3t off);\n" +
+			"eager confirm: pessimistic view latency at the origin (model 2t on / 4t off)",
+		Columns: []string{"t(ms)", "deleg on(ms)", "deleg off(ms)", "models 2t/3t", "eager on(ms)", "eager off(ms)", "models 2t/4t"},
+	}
+	for _, t := range cfg.Delays {
+		dOn, err := runDelegationAblation(t, cfg.Trials, false)
+		if err != nil {
+			return nil, fmt.Errorf("E8 delegation on t=%v: %w", t, err)
+		}
+		dOff, err := runDelegationAblation(t, cfg.Trials, true)
+		if err != nil {
+			return nil, fmt.Errorf("E8 delegation off t=%v: %w", t, err)
+		}
+		eOn, err := runEagerAblation(t, cfg.Trials, false)
+		if err != nil {
+			return nil, fmt.Errorf("E8 eager on t=%v: %w", t, err)
+		}
+		eOff, err := runEagerAblation(t, cfg.Trials, true)
+		if err != nil {
+			return nil, fmt.Errorf("E8 eager off t=%v: %w", t, err)
+		}
+		tab.AddRow(ms(t),
+			ms(dOn), ms(dOff), fmt.Sprintf("%s/%s", ms(2*t), ms(3*t)),
+			ms(eOn), ms(eOff), fmt.Sprintf("%s/%s", ms(2*t), ms(4*t)))
+	}
+	return tab, nil
+}
+
+// ablationCluster builds sites with per-site engine options.
+func ablationCluster(n int, t time.Duration, opts decaf.Options) (*cluster, error) {
+	c := &cluster{net: decaf.NewSimNetwork(decaf.SimConfig{Latency: t})}
+	for i := 1; i <= n; i++ {
+		s, err := decaf.DialOptions(c.net, vtime.SiteID(i), opts)
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.sites = append(c.sites, s)
+	}
+	return c, nil
+}
+
+// runDelegationAblation measures how long a non-origin, non-primary
+// replica (site 3) waits for the commit of a single-remote-primary
+// transaction.
+func runDelegationAblation(t time.Duration, trials int, disable bool) (time.Duration, error) {
+	c, err := ablationCluster(3, t, decaf.Options{DisableDelegation: disable})
+	if err != nil {
+		return 0, err
+	}
+	defer c.close()
+	objs, err := c.joinedInts("x", 1, 2, 3) // primary at site 1; origin 2; observer 3
+	if err != nil {
+		return 0, err
+	}
+	var samples []time.Duration
+	for trial := 1; trial <= trials; trial++ {
+		want := int64(trial)
+		start := time.Now()
+		res := c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+			objs[2].Set(tx, want)
+			return nil
+		}).Wait()
+		if !res.Committed {
+			return 0, fmt.Errorf("txn failed: %+v", res)
+		}
+		at, werr := waitCommittedInt(objs[3], want, 5*time.Second+10*t)
+		if werr != nil {
+			return 0, werr
+		}
+		samples = append(samples, at.Sub(start))
+	}
+	return mean(samples), nil
+}
+
+// runEagerAblation measures pessimistic view latency at the originating
+// site with and without eager confirmation.
+func runEagerAblation(t time.Duration, trials int, disable bool) (time.Duration, error) {
+	c, err := ablationCluster(2, t, decaf.Options{DisableEagerConfirm: disable, DisableDelegation: true})
+	if err != nil {
+		return 0, err
+	}
+	defer c.close()
+	objs, err := c.joinedInts("x", 1, 2) // primary remote from the origin
+	if err != nil {
+		return 0, err
+	}
+	v := newLatencyView(objs[2])
+	if _, err := c.site(2).Attach(v, decaf.Pessimistic, objs[2]); err != nil {
+		return 0, err
+	}
+	var samples []time.Duration
+	for trial := 1; trial <= trials; trial++ {
+		want := int64(trial)
+		start := time.Now()
+		// Read-modify-write: eligible for the eager confirmation.
+		res := c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+			objs[2].Set(tx, objs[2].Value(tx)+1)
+			return nil
+		}).Wait()
+		if !res.Committed {
+			return 0, fmt.Errorf("txn failed: %+v", res)
+		}
+		at, werr := v.seen(want, 5*time.Second+10*t)
+		if werr != nil {
+			return 0, werr
+		}
+		samples = append(samples, at.Sub(start))
+	}
+	return mean(samples), nil
+}

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decaf"
+)
+
+// Experiments E1-E3: the latency analysis of paper §5.1 and the first
+// §5.2.2 benchmark ("latency of optimistic and pessimistic views was
+// measured under a range of artificially induced network delays, and the
+// observed latencies closely matched the analytical expectations").
+
+// LatencyConfig parameterizes E1-E3.
+type LatencyConfig struct {
+	// Delays are the induced one-way network latencies t to sweep.
+	Delays []time.Duration
+	// Trials per configuration.
+	Trials int
+}
+
+// DefaultLatencyConfig mirrors the paper's light-load setting.
+func DefaultLatencyConfig() LatencyConfig {
+	return LatencyConfig{
+		Delays: []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond},
+		Trials: 5,
+	}
+}
+
+// E1CommitLatency reproduces §5.1.1: a transaction commits in 2t at the
+// originating site and 3t at other sites; with a single primary site at
+// the origin it commits immediately (and in t elsewhere); with a single
+// remote primary site, the delegated commit reaches the primary in t and
+// everyone else in 2t.
+func E1CommitLatency(cfg LatencyConfig) (*Table, error) {
+	tab := &Table{
+		Title: "E1: transaction commit latency (paper 5.1.1)",
+		Note: "model: remote primaries -> 2t origin / 3t remote; primary at origin -> ~0 / t;\n" +
+			"single remote primary (delegated commit) -> 2t origin / 2t remote",
+		Columns: []string{"scenario", "t(ms)", "origin(ms)", "model", "remote(ms)", "model"},
+	}
+	for _, t := range cfg.Delays {
+		for _, scenario := range []string{"remote-primaries", "primary-at-origin", "single-remote-primary"} {
+			origin, remote, err := runE1Scenario(scenario, t, cfg.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("E1 %s t=%v: %w", scenario, t, err)
+			}
+			var modelO, modelR string
+			switch scenario {
+			case "remote-primaries":
+				modelO, modelR = ms(2*t), ms(3*t)
+			case "primary-at-origin":
+				modelO, modelR = "~0", ms(t)
+			case "single-remote-primary":
+				modelO, modelR = ms(2*t), ms(2*t)
+			}
+			tab.AddRow(scenario, ms(t), ms(origin), modelO, ms(remote), modelR)
+		}
+	}
+	return tab, nil
+}
+
+// runE1Scenario measures origin- and remote-site commit latency for one
+// primary placement.
+func runE1Scenario(scenario string, t time.Duration, trials int) (origin, remote time.Duration, err error) {
+	// Site 4 is a pure replica observer in every scenario, so the
+	// "remote" number is a non-primary, non-origin site (the paper's
+	// "other sites"). The general remote-primaries case anchors the two
+	// objects at two DISTINCT remote sites (1 and 3) so the delegated
+	// commit optimization does not apply.
+	c, err := newCluster(4, decaf.SimConfig{Latency: t})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.close()
+
+	// Two objects, as in the paper's m-object analysis.
+	var objs []map[int]*decaf.Int
+	for k := 0; k < 2; k++ {
+		var anchor int
+		switch scenario {
+		case "remote-primaries":
+			anchor = 1 + 2*k // object 0 -> site 1, object 1 -> site 3
+		case "primary-at-origin":
+			anchor = 2
+		case "single-remote-primary":
+			anchor = 1
+		}
+		order := []int{anchor}
+		for _, s := range []int{1, 2, 3, 4} {
+			if s != anchor {
+				order = append(order, s)
+			}
+		}
+		o, jerr := c.joinedInts(fmt.Sprintf("o%d", k), order...)
+		if jerr != nil {
+			return 0, 0, jerr
+		}
+		objs = append(objs, o)
+	}
+
+	var originSamples, remoteSamples []time.Duration
+	for trial := 1; trial <= trials; trial++ {
+		want := int64(trial)
+		start := time.Now()
+		var p *decaf.Pending
+		if scenario == "single-remote-primary" {
+			// One object only: single write set keeps exactly one
+			// remote primary, triggering delegation.
+			p = c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+				objs[0][2].Set(tx, want)
+				return nil
+			})
+		} else {
+			p = c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+				objs[0][2].Set(tx, want)
+				objs[1][2].Set(tx, want)
+				return nil
+			})
+		}
+		res := p.Wait()
+		if !res.Committed {
+			return 0, 0, fmt.Errorf("trial txn failed: %+v", res)
+		}
+		originSamples = append(originSamples, time.Since(start))
+
+		at, werr := waitCommittedInt(objs[0][4], want, 5*time.Second+10*t)
+		if werr != nil {
+			return 0, 0, werr
+		}
+		remoteSamples = append(remoteSamples, at.Sub(start))
+	}
+	return mean(originSamples), mean(remoteSamples), nil
+}
+
+// E2ViewLatency reproduces §5.1.2: pessimistic views are notified in 2t
+// at the originating site and no more than 3t at other sites; an
+// optimistic view notification precedes the pessimistic one by 2t, and
+// optimistic commit notifications match pessimistic update timing.
+func E2ViewLatency(cfg LatencyConfig) (*Table, error) {
+	tab := &Table{
+		Title: "E2: view notification latency (paper 5.1.2)",
+		Note: "model: optimistic update -> ~0 origin / t remote; pessimistic update -> 2t origin / <=3t remote;\n" +
+			"optimistic notification precedes pessimistic by ~2t",
+		Columns: []string{"t(ms)", "opt@origin", "pess@origin", "model", "opt@remote", "model", "pess@remote", "model"},
+	}
+	for _, t := range cfg.Delays {
+		r, err := runE2(t, cfg.Trials)
+		if err != nil {
+			return nil, fmt.Errorf("E2 t=%v: %w", t, err)
+		}
+		tab.AddRow(ms(t),
+			ms(r.optOrigin), ms(r.pessOrigin), ms(2*t),
+			ms(r.optRemote), ms(t),
+			ms(r.pessRemote), ms(3*t))
+	}
+	return tab, nil
+}
+
+type e2Result struct {
+	optOrigin, pessOrigin, optRemote, pessRemote time.Duration
+}
+
+// latencyView records the time each distinct value was first seen.
+type latencyView struct {
+	obj *decaf.Int
+
+	mu    sync.Mutex
+	times map[int64]time.Time
+}
+
+func newLatencyView(obj *decaf.Int) *latencyView {
+	return &latencyView{obj: obj, times: map[int64]time.Time{}}
+}
+
+// Update implements decaf.View.
+func (v *latencyView) Update(s *decaf.Snapshot) {
+	now := time.Now()
+	val := s.Int(v.obj)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.times[val]; !ok {
+		v.times[val] = now
+	}
+}
+
+// seen returns when val was first notified.
+func (v *latencyView) seen(val int64, timeout time.Duration) (time.Time, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v.mu.Lock()
+		at, ok := v.times[val]
+		v.mu.Unlock()
+		if ok {
+			return at, nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return time.Time{}, fmt.Errorf("value %d never notified", val)
+}
+
+func runE2(t time.Duration, trials int) (e2Result, error) {
+	// Four sites so the remote observer (site 4) is neither the origin
+	// (site 2) nor a primary (sites 1 and 3), and the two distinct
+	// primaries rule out the delegated-commit shortcut — the general
+	// case the §5.1.2 analysis describes.
+	c, err := newCluster(4, decaf.SimConfig{Latency: t})
+	if err != nil {
+		return e2Result{}, err
+	}
+	defer c.close()
+
+	a, err := c.joinedInts("a", 1, 2, 3, 4)
+	if err != nil {
+		return e2Result{}, err
+	}
+	b, err := c.joinedInts("b", 3, 1, 2, 4)
+	if err != nil {
+		return e2Result{}, err
+	}
+
+	optO, pessO := newLatencyView(a[2]), newLatencyView(a[2])
+	optR, pessR := newLatencyView(a[4]), newLatencyView(a[4])
+	if _, err := c.site(2).Attach(optO, decaf.Optimistic, a[2], b[2]); err != nil {
+		return e2Result{}, err
+	}
+	if _, err := c.site(2).Attach(pessO, decaf.Pessimistic, a[2], b[2]); err != nil {
+		return e2Result{}, err
+	}
+	if _, err := c.site(4).Attach(optR, decaf.Optimistic, a[4], b[4]); err != nil {
+		return e2Result{}, err
+	}
+	if _, err := c.site(4).Attach(pessR, decaf.Pessimistic, a[4], b[4]); err != nil {
+		return e2Result{}, err
+	}
+
+	var r e2Result
+	var oo, po, or, pr []time.Duration
+	timeout := 5*time.Second + 10*t
+	for trial := 1; trial <= trials; trial++ {
+		want := int64(trial)
+		start := time.Now()
+		// Read-modify-writes: their confirmed RL reservations enable the
+		// eager view confirmation of paper 5.1.2.
+		res := c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+			a[2].Set(tx, a[2].Value(tx)+1)
+			b[2].Set(tx, b[2].Value(tx)+1)
+			return nil
+		}).Wait()
+		if !res.Committed {
+			return r, fmt.Errorf("trial txn failed: %+v", res)
+		}
+		for _, m := range []struct {
+			v    *latencyView
+			sink *[]time.Duration
+		}{{optO, &oo}, {pessO, &po}, {optR, &or}, {pessR, &pr}} {
+			at, err := m.v.seen(want, timeout)
+			if err != nil {
+				return r, err
+			}
+			*m.sink = append(*m.sink, at.Sub(start))
+		}
+	}
+	r.optOrigin, r.pessOrigin = mean(oo), mean(po)
+	r.optRemote, r.pessRemote = mean(or), mean(pr)
+	return r, nil
+}
+
+// E3LatencyVsDelay reproduces the first §5.2.2 benchmark: sweep the
+// artificially induced delay and confirm observed view latencies track
+// the analytic model.
+func E3LatencyVsDelay(cfg LatencyConfig) (*Table, error) {
+	tab := &Table{
+		Title:   "E3: observed vs analytic view latency across induced delays (paper 5.2.2)",
+		Note:    "pessimistic@origin model 2t; pessimistic@remote model 3t; optimistic@remote model t",
+		Columns: []string{"t(ms)", "opt@remote", "model t", "ratio", "pess@origin", "model 2t", "ratio", "pess@remote", "model 3t", "ratio"},
+	}
+	for _, t := range cfg.Delays {
+		r, err := runE2(t, cfg.Trials)
+		if err != nil {
+			return nil, fmt.Errorf("E3 t=%v: %w", t, err)
+		}
+		ratio := func(measured time.Duration, model time.Duration) string {
+			if model == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", float64(measured)/float64(model))
+		}
+		tab.AddRow(ms(t),
+			ms(r.optRemote), ms(t), ratio(r.optRemote, t),
+			ms(r.pessOrigin), ms(2*t), ratio(r.pessOrigin, 2*t),
+			ms(r.pessRemote), ms(3*t), ratio(r.pessRemote, 3*t))
+	}
+	return tab, nil
+}

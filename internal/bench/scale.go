@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"decaf"
+	"decaf/internal/centralized"
+	"decaf/internal/gvt"
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+)
+
+// Experiments E6 and E7: the scalability argument of §5.1.3 and the
+// responsiveness motivation of §1.
+//
+// E6: "In a hypothetical example of a very large network with large
+// numbers of relatively small replica sets (e.g., replicas at sites A, B,
+// and C, at sites C, D, and E, at E, F, and G, etc.) the sweep to compute
+// a GVT can be very time-consuming, since it is proportional to the size
+// of the network. But, in our algorithm, each replica set will have its
+// own primary site, and each transaction will require confirmations from
+// a very small number of such primary sites."
+
+// ScaleConfig parameterizes E6/E7.
+type ScaleConfig struct {
+	// Latency is the one-way network latency t.
+	Latency time.Duration
+	// Sizes are the network sizes (site counts) to sweep.
+	Sizes []int
+	// Trials per size.
+	Trials int
+}
+
+// DefaultScaleConfig covers the paper's shape argument at laptop scale.
+func DefaultScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Latency: 3 * time.Millisecond,
+		Sizes:   []int{3, 5, 9, 17, 33},
+		Trials:  3,
+	}
+}
+
+// E6Scalability measures commit latency vs network size for DECAF (chain
+// of overlapping 3-site replica sets; transactions touch one set) against
+// the GVT-sweep baseline (one group spanning all sites).
+func E6Scalability(cfg ScaleConfig) (*Table, error) {
+	tab := &Table{
+		Title: "E6: commit latency vs network size — DECAF primary-copy vs GVT sweep (paper 5.1.3)",
+		Note: fmt.Sprintf("t=%v; DECAF: chain of overlapping 3-site replica sets, txn on one set;\n"+
+			"GVT: token sweep over all N sites; expectation: DECAF flat (~2t), GVT grows with N", cfg.Latency),
+		Columns: []string{"N sites", "DECAF commit(ms)", "model 2t", "GVT commit(ms)", "GVT/DECAF"},
+	}
+	for _, n := range cfg.Sizes {
+		d, err := runE6Decaf(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("E6 decaf n=%d: %w", n, err)
+		}
+		g, err := runE6GVT(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("E6 gvt n=%d: %w", n, err)
+		}
+		ratio := "-"
+		if d > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(g)/float64(d))
+		}
+		tab.AddRow(fmt.Sprint(n), ms(d), ms(2*cfg.Latency), ms(g), ratio)
+	}
+	return tab, nil
+}
+
+// runE6Decaf builds a chain of overlapping 3-site replica sets (sites
+// {1,2,3}, {3,4,5}, {5,6,7}, ...) and measures commit latency of a
+// transaction on the FIRST replica set, which must not depend on N.
+func runE6Decaf(cfg ScaleConfig, n int) (time.Duration, error) {
+	c, err := newCluster(n, decaf.SimConfig{Latency: cfg.Latency})
+	if err != nil {
+		return 0, err
+	}
+	defer c.close()
+
+	// Chain topology: one shared object per overlapping triple.
+	var firstSet map[int]*decaf.Int
+	for lo := 1; lo+2 <= n; lo += 2 {
+		objs, jerr := c.joinedInts(fmt.Sprintf("set%d", lo), lo, lo+1, lo+2)
+		if jerr != nil {
+			return 0, jerr
+		}
+		if lo == 1 {
+			firstSet = objs
+		}
+	}
+	if firstSet == nil { // n < 3: single replica set of whatever exists
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i + 1
+		}
+		firstSet, err = c.joinedInts("set1", idx...)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	var samples []time.Duration
+	for trial := 1; trial <= cfg.Trials; trial++ {
+		want := int64(trial)
+		start := time.Now()
+		res := c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+			firstSet[2].Set(tx, want)
+			return nil
+		}).Wait()
+		if !res.Committed {
+			return 0, fmt.Errorf("txn failed: %+v", res)
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return mean(samples), nil
+}
+
+// runE6GVT measures write-commit latency in a GVT group spanning all N
+// sites.
+func runE6GVT(cfg ScaleConfig, n int) (time.Duration, error) {
+	net := transport.NewNetwork(transport.Config{Latency: cfg.Latency})
+	defer net.Close()
+	ring := make([]vtime.SiteID, n)
+	for i := range ring {
+		ring[i] = vtime.SiteID(i + 1)
+	}
+	sites := make([]*gvt.Site, n)
+	for i := range sites {
+		ep, err := net.Endpoint(ring[i])
+		if err != nil {
+			return 0, err
+		}
+		sites[i] = gvt.NewSite(ep, ring)
+	}
+	for _, s := range sites {
+		s.Start()
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Stop()
+		}
+	}()
+
+	// Warm-up write so the token is circulating.
+	select {
+	case <-sites[1%n].Write("warm", int64(0)).Done():
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("gvt warm-up never committed (n=%d)", n)
+	}
+
+	var samples []time.Duration
+	for trial := 1; trial <= cfg.Trials; trial++ {
+		start := time.Now()
+		select {
+		case <-sites[1%n].Write("x", int64(trial)).Done():
+		case <-time.After(30 * time.Second):
+			return 0, fmt.Errorf("gvt write never committed (n=%d)", n)
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return mean(samples), nil
+}
+
+// E7Responsiveness compares the replicated architecture's local response
+// (optimistic view at the originating site) against the centralized
+// architecture's echo round-trip (paper §1).
+func E7Responsiveness(cfg LatencyConfig) (*Table, error) {
+	tab := &Table{
+		Title: "E7: local action responsiveness — replicated DECAF vs centralized server (paper 1)",
+		Note: "DECAF: optimistic view at the originating site sees the action immediately;\n" +
+			"centralized: the actor's own view updates only after the 2t server echo",
+		Columns: []string{"t(ms)", "DECAF local(ms)", "centralized echo(ms)", "model 2t", "speedup"},
+	}
+	for _, t := range cfg.Delays {
+		d, err := runE7Decaf(t, cfg.Trials)
+		if err != nil {
+			return nil, fmt.Errorf("E7 decaf t=%v: %w", t, err)
+		}
+		cen, err := runE7Centralized(t, cfg.Trials)
+		if err != nil {
+			return nil, fmt.Errorf("E7 centralized t=%v: %w", t, err)
+		}
+		speedup := "-"
+		if d > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(cen)/float64(d))
+		}
+		tab.AddRow(ms(t), ms(d), ms(cen), ms(2*t), speedup)
+	}
+	return tab, nil
+}
+
+func runE7Decaf(t time.Duration, trials int) (time.Duration, error) {
+	c, err := newCluster(2, decaf.SimConfig{Latency: t})
+	if err != nil {
+		return 0, err
+	}
+	defer c.close()
+	objs, err := c.joinedInts("x", 1, 2)
+	if err != nil {
+		return 0, err
+	}
+	v := newLatencyView(objs[2])
+	if _, err := c.site(2).Attach(v, decaf.Optimistic, objs[2]); err != nil {
+		return 0, err
+	}
+	var samples []time.Duration
+	for trial := 1; trial <= trials; trial++ {
+		want := int64(trial)
+		start := time.Now()
+		p := c.site(2).ExecuteFunc(func(tx *decaf.Tx) error {
+			objs[2].Set(tx, want)
+			return nil
+		})
+		at, err := v.seen(want, 5*time.Second)
+		if err != nil {
+			return 0, err
+		}
+		samples = append(samples, at.Sub(start))
+		if res := p.Wait(); !res.Committed {
+			return 0, fmt.Errorf("txn failed: %+v", res)
+		}
+	}
+	return mean(samples), nil
+}
+
+func runE7Centralized(t time.Duration, trials int) (time.Duration, error) {
+	net := transport.NewNetwork(transport.Config{Latency: t})
+	defer net.Close()
+	sep, err := net.Endpoint(1)
+	if err != nil {
+		return 0, err
+	}
+	srv := centralized.NewServer(sep, []vtime.SiteID{2})
+	cep, err := net.Endpoint(2)
+	if err != nil {
+		return 0, err
+	}
+	client := centralized.NewClient(cep, 1)
+	defer func() {
+		net.Close()
+		srv.Stop()
+		client.Stop()
+	}()
+
+	var samples []time.Duration
+	for trial := 1; trial <= trials; trial++ {
+		start := time.Now()
+		select {
+		case <-client.Write("x", int64(trial)):
+		case <-time.After(5 * time.Second):
+			return 0, fmt.Errorf("echo never arrived")
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return mean(samples), nil
+}

@@ -1,0 +1,166 @@
+// Package centralized implements the non-replicated application
+// architecture of paper §1 as a responsiveness baseline: a single server
+// owns the shared state, and every client action round-trips to it — the
+// client's own display updates only when the server's echo returns (as in
+// shared-X-server systems). DECAF's replicated architecture exists to
+// avoid exactly this round-trip.
+package centralized
+
+import (
+	"sync"
+
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// Server owns the authoritative state and echoes every update to all
+// clients.
+type Server struct {
+	ep      transport.Endpoint
+	clients []vtime.SiteID
+
+	stop sync.Once
+	done chan struct{}
+
+	mu    sync.Mutex
+	state map[string]any
+}
+
+// NewServer creates (and starts) the central server. clients lists every
+// client site.
+func NewServer(ep transport.Endpoint, clients []vtime.SiteID) *Server {
+	s := &Server{
+		ep:      ep,
+		clients: append([]vtime.SiteID(nil), clients...),
+		done:    make(chan struct{}),
+		state:   map[string]any{},
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	for ev := range s.ep.Events() {
+		if ev.Kind != transport.EventMessage {
+			continue
+		}
+		m, ok := ev.Msg.(wire.CenWrite)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		s.state[m.Name] = m.Value
+		s.mu.Unlock()
+		echo := wire.CenEcho{Seq: m.Seq, Name: m.Name, Value: m.Value}
+		for _, c := range s.clients {
+			_ = s.ep.Send(c, vtime.Zero, echo)
+		}
+	}
+}
+
+// Get returns the server's authoritative value.
+func (s *Server) Get(name string) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state[name]
+}
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	s.stop.Do(func() { _ = s.ep.Close() })
+	<-s.done
+}
+
+// Client is a GUI instance in the non-replicated architecture: it holds
+// no authoritative state and sees its own actions only via server echoes.
+type Client struct {
+	ep     transport.Endpoint
+	server vtime.SiteID
+
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu      sync.Mutex
+	view    map[string]any
+	nextSeq uint64
+	waiters map[uint64]chan struct{}
+	onEcho  func(name string, value any)
+}
+
+// NewClient creates (and starts) a client of the central server.
+func NewClient(ep transport.Endpoint, server vtime.SiteID) *Client {
+	c := &Client{
+		ep:      ep,
+		server:  server,
+		done:    make(chan struct{}),
+		view:    map[string]any{},
+		waiters: map[uint64]chan struct{}{},
+	}
+	go c.loop()
+	return c
+}
+
+func (c *Client) loop() {
+	defer close(c.done)
+	for ev := range c.ep.Events() {
+		if ev.Kind != transport.EventMessage {
+			continue
+		}
+		m, ok := ev.Msg.(wire.CenEcho)
+		if !ok {
+			continue
+		}
+		c.mu.Lock()
+		c.view[m.Name] = m.Value
+		w := c.waiters[m.Seq]
+		delete(c.waiters, m.Seq)
+		cb := c.onEcho
+		c.mu.Unlock()
+		if w != nil {
+			close(w)
+		}
+		if cb != nil {
+			cb(m.Name, m.Value)
+		}
+	}
+}
+
+// OnEcho registers a callback for every state echo (the client's "view").
+func (c *Client) OnEcho(fn func(name string, value any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEcho = fn
+}
+
+// Write sends an update to the server and returns a channel closed when
+// the client's own view reflects it (the echo round-trip — 2t).
+func (c *Client) Write(name string, value any) <-chan struct{} {
+	c.mu.Lock()
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan struct{})
+	c.waiters[seq] = ch
+	c.mu.Unlock()
+	if err := c.ep.Send(c.server, vtime.Zero, wire.CenWrite{Seq: seq, From: c.ep.Site(), Name: name, Value: value}); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, seq)
+		c.mu.Unlock()
+		close(ch)
+	}
+	return ch
+}
+
+// Get returns the client's latest echoed value.
+func (c *Client) Get(name string) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view[name]
+}
+
+// Stop shuts the client down.
+func (c *Client) Stop() {
+	c.stopOnce.Do(func() { _ = c.ep.Close() })
+	<-c.done
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"decaf/internal/transport"
+)
+
+func TestAuthorizerDeniesJoin(t *testing.T) {
+	h := newHarness(t, 2, transport.Config{})
+	ref1, _ := h.site(1).CreateObject(KindInt, "secret", int64(0))
+
+	h.site(1).SetAuthorizer(func(req AuthRequest) error {
+		if req.Kind == AuthJoin && req.Requester == 2 {
+			return errors.New("site 2 is not trusted")
+		}
+		return nil
+	})
+
+	ref2, _ := h.site(2).CreateObject(KindInt, "secret", int64(0))
+	res := h.site(2).JoinObject(ref2, 1, ref1.ID()).Wait()
+	if res.Committed || res.Err == nil {
+		t.Fatalf("unauthorized join: %+v", res)
+	}
+	sites, _ := h.site(1).ReplicaSites(ref1)
+	if len(sites) != 1 {
+		t.Fatalf("graph grew despite denial: %v", sites)
+	}
+}
+
+func TestAuthorizerAllowsSelectedJoin(t *testing.T) {
+	h := newHarness(t, 3, transport.Config{})
+	ref1, _ := h.site(1).CreateObject(KindInt, "doc", int64(0))
+	h.site(1).SetAuthorizer(func(req AuthRequest) error {
+		if req.Kind == AuthJoin && req.Requester == 3 {
+			return errors.New("no")
+		}
+		return nil
+	})
+	ref2, _ := h.site(2).CreateObject(KindInt, "doc", int64(0))
+	if res := h.site(2).JoinObject(ref2, 1, ref1.ID()).Wait(); !res.Committed {
+		t.Fatalf("authorized join denied: %+v", res)
+	}
+	ref3, _ := h.site(3).CreateObject(KindInt, "doc", int64(0))
+	if res := h.site(3).JoinObject(ref3, 1, ref1.ID()).Wait(); res.Committed {
+		t.Fatal("unauthorized join succeeded")
+	}
+}
+
+func TestAuthorizerDeniesRemoteWrite(t *testing.T) {
+	h := newHarness(t, 2, transport.Config{})
+	refs := h.joined(KindInt, "x", int64(0), 1, 2)
+
+	// After joining, site 1 (the primary) stops accepting writes from
+	// site 2: every remote transaction aborts at its origin.
+	h.site(1).SetAuthorizer(func(req AuthRequest) error {
+		if req.Kind == AuthWrite && req.Requester == 2 {
+			return errors.New("read-only collaborator")
+		}
+		return nil
+	})
+
+	// Writes from site 1 (the owner) still work.
+	if res := h.setInt(1, refs[1], 5); !res.Committed {
+		t.Fatalf("owner write: %+v", res)
+	}
+	h.eventually(2*time.Second, "owner write replicates", func() bool {
+		return h.committedInt(2, refs[2]) == 5
+	})
+
+	// A write from site 2 is denied at the primary and aborts after the
+	// retry budget (the denial is not transient).
+	net2 := h.site(2)
+	done := make(chan Result, 1)
+	go func() {
+		done <- net2.Submit(&Txn{Execute: func(tx *Tx) error { return tx.Write(refs[2], int64(9)) }}).Wait()
+	}()
+	select {
+	case res := <-done:
+		if res.Committed {
+			t.Fatalf("unauthorized write committed: %+v", res)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("unauthorized write never resolved")
+	}
+	// The optimistic local value was rolled back.
+	if v, _ := h.site(2).ReadCurrent(refs[2]); v != int64(5) {
+		t.Fatalf("current at site 2 = %v, want rolled back to 5", v)
+	}
+}
+
+func TestAuthorizerCleared(t *testing.T) {
+	h := newHarness(t, 2, transport.Config{})
+	ref1, _ := h.site(1).CreateObject(KindInt, "x", int64(0))
+	h.site(1).SetAuthorizer(func(req AuthRequest) error { return errors.New("locked") })
+	ref2, _ := h.site(2).CreateObject(KindInt, "x", int64(0))
+	if res := h.site(2).JoinObject(ref2, 1, ref1.ID()).Wait(); res.Committed {
+		t.Fatal("join while locked succeeded")
+	}
+	h.site(1).SetAuthorizer(nil)
+	ref2b, _ := h.site(2).CreateObject(KindInt, "x", int64(0))
+	if res := h.site(2).JoinObject(ref2b, 1, ref1.ID()).Wait(); !res.Committed {
+		t.Fatalf("join after unlock failed: %+v", res)
+	}
+}
+
+func TestAuthKindString(t *testing.T) {
+	for k, want := range map[AuthKind]string{AuthJoin: "join", AuthWrite: "write", AuthRead: "read"} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := AuthKind(99).String(); got != "AuthKind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestAuthorizerErrorCarriesContext(t *testing.T) {
+	h := newHarness(t, 2, transport.Config{})
+	ref1, _ := h.site(1).CreateObject(KindInt, "vault", int64(0))
+	h.site(1).SetAuthorizer(func(req AuthRequest) error {
+		return fmt.Errorf("policy says no to %s", req.Desc)
+	})
+	ref2, _ := h.site(2).CreateObject(KindInt, "vault", int64(0))
+	res := h.site(2).JoinObject(ref2, 1, ref1.ID()).Wait()
+	if res.Err == nil {
+		t.Fatal("no error")
+	}
+	if !errors.Is(res.Err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted wrap", res.Err)
+	}
+}

@@ -1,0 +1,715 @@
+package engine
+
+import (
+	"fmt"
+
+	"decaf/internal/history"
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// Dynamic collaboration establishment (paper §2.6, §3.3): association
+// objects hold sets of replica relationships; invitations are external
+// tokens granting the right to replicate; the join protocol merges
+// replication graphs with confirmations from both graphs' primaries.
+
+// Invitation is the external token publicizing the right to make replicas
+// of an application's objects (paper §2.6). It is plain data: publish it
+// on any out-of-band channel.
+type Invitation struct {
+	Site  vtime.SiteID
+	Assoc ids.ObjectID
+	Desc  string
+}
+
+// CreateAssociation creates an association model object at this site.
+func (s *Site) CreateAssociation(desc string) (ObjRef, error) {
+	return s.CreateObject(KindAssociation, desc, []wire.Relationship(nil))
+}
+
+// Invite creates the external token for an association.
+func (s *Site) Invite(assoc ObjRef, desc string) (Invitation, error) {
+	if assoc.o == nil || assoc.o.kind != KindAssociation {
+		return Invitation{}, fmt.Errorf("%w: Invite requires an association", ErrWrongKind)
+	}
+	return Invitation{Site: s.id, Assoc: assoc.o.id, Desc: desc}, nil
+}
+
+// relationships reads an association object's current value.
+func assocValue(o *object) []wire.Relationship {
+	cur, ok := o.hist.Current()
+	if !ok {
+		return nil
+	}
+	rels, _ := cur.Value.([]wire.Relationship)
+	return rels
+}
+
+// cloneRels deep-copies a relationship list for safe modification.
+func cloneRels(rels []wire.Relationship) []wire.Relationship {
+	out := make([]wire.Relationship, len(rels))
+	for i, r := range rels {
+		out[i] = wire.Relationship{Name: r.Name, Members: append([]wire.Member(nil), r.Members...)}
+	}
+	return out
+}
+
+// DefineRelationship adds (or extends) a named replica relationship in an
+// association, registering member as a joined object. It runs as a normal
+// transaction on the association object.
+func (s *Site) DefineRelationship(assoc ObjRef, name string, member ObjRef, memberDesc string) *Handle {
+	return s.Submit(&Txn{
+		Name: "define-relationship",
+		Execute: func(tx *Tx) error {
+			if assoc.o == nil || assoc.o.kind != KindAssociation {
+				return fmt.Errorf("%w: not an association", ErrWrongKind)
+			}
+			if member.o == nil {
+				return ErrInvalidRef
+			}
+			cur, _ := tx.Read(assoc)
+			rels, _ := cur.([]wire.Relationship)
+			rels = cloneRels(rels)
+			m := wire.Member{Site: s.id, Obj: member.o.id, Desc: memberDesc}
+			found := false
+			for i := range rels {
+				if rels[i].Name == name {
+					rels[i].Members = append(rels[i].Members, m)
+					found = true
+				}
+			}
+			if !found {
+				rels = append(rels, wire.Relationship{Name: name, Members: []wire.Member{m}})
+			}
+			tx.WriteScalar(assoc.o, rels)
+			return nil
+		},
+	})
+}
+
+// Relationships returns the association's current relationships.
+func (s *Site) Relationships(assoc ObjRef) ([]wire.Relationship, error) {
+	if assoc.o == nil || assoc.o.kind != KindAssociation {
+		return nil, fmt.Errorf("%w: not an association", ErrWrongKind)
+	}
+	var out []wire.Relationship
+	err := s.call(func() { out = cloneRels(assocValue(assoc.o)) })
+	return out, err
+}
+
+// joinState tracks an in-flight join at the joining site.
+type joinState struct {
+	st    *txnState
+	local *object
+	// newRef receives the resulting local ref for ImportAssociation.
+	onValue func(any)
+}
+
+// ImportAssociation instantiates a local association object replicating
+// the one named by an invitation (paper §2.6: "Application B must then
+// import this invitation and use it to instantiate its own association
+// object"). The returned handle resolves when the underlying join
+// transaction commits; the ObjRef is usable immediately.
+func (s *Site) ImportAssociation(inv Invitation, desc string) (ObjRef, *Handle, error) {
+	local, err := s.CreateAssociation(desc)
+	if err != nil {
+		return ObjRef{}, nil, err
+	}
+	h := newHandle()
+	s.do(func() { s.startJoin(h, local.o, inv.Site, inv.Assoc, nil, "") })
+	return local, h, nil
+}
+
+// JoinObject joins a local object directly into a remote object's replica
+// relationship, given an out-of-band reference (site and object ID). This
+// is the object-level §3.3 protocol without an association; applications
+// normally use associations (ImportAssociation / JoinRelationship).
+func (s *Site) JoinObject(local ObjRef, remoteSite vtime.SiteID, remoteObj ids.ObjectID) *Handle {
+	h := newHandle()
+	s.do(func() {
+		if local.o == nil {
+			h.finish(Result{Err: fmt.Errorf("%w: invalid local object", ErrAborted)})
+			return
+		}
+		s.startJoin(h, local.o, remoteSite, remoteObj, nil, "")
+	})
+	return h
+}
+
+// JoinRelationship joins obj into the named replica relationship of a
+// (locally replicated) association: the §3.3 protocol. The association
+// value is read to find a member object B, optimistically updated to
+// record the new member, and the object-level graph merge runs between
+// obj and B.
+func (s *Site) JoinRelationship(assoc ObjRef, relName string, obj ObjRef) *Handle {
+	h := newHandle()
+	s.do(func() {
+		if assoc.o == nil || assoc.o.kind != KindAssociation || obj.o == nil {
+			h.finish(Result{Err: fmt.Errorf("%w: join needs an association and an object", ErrAborted)})
+			return
+		}
+		rels := assocValue(assoc.o)
+		var target *wire.Member
+		for i := range rels {
+			if rels[i].Name == relName {
+				for j := range rels[i].Members {
+					m := &rels[i].Members[j]
+					if m.Obj != obj.o.id {
+						target = m
+						break
+					}
+				}
+			}
+		}
+		if target == nil {
+			h.finish(Result{Err: fmt.Errorf("%w: relationship %q has no joinable member", ErrAborted, relName)})
+			return
+		}
+		s.startJoin(h, obj.o, target.Site, target.Obj, assoc.o, relName)
+	})
+	return h
+}
+
+// startJoin begins the join transaction at the joining site (paper §3.3).
+// assoc (optional) is the local association replica to update with the
+// new membership as part of the same atomic transaction.
+func (s *Site) startJoin(h *Handle, local *object, remoteSite vtime.SiteID, remoteObj ids.ObjectID, assoc *object, relName string) {
+	s.startJoinAttempt(h, local, remoteSite, remoteObj, assoc, relName, 0)
+}
+
+// startJoinAttempt runs one (re-)execution of the join transaction.
+func (s *Site) startJoinAttempt(h *Handle, local *object, remoteSite vtime.SiteID, remoteObj ids.ObjectID, assoc *object, relName string, retries int) {
+	if local.graph == nil {
+		// An embedded object must first switch to direct propagation
+		// (paper §3.2.2) before it can join external objects.
+		ph := newHandle()
+		s.startPromote(local, ph)
+		go func() {
+			select {
+			case res := <-ph.Done():
+				if !res.Committed {
+					h.finish(Result{Err: fmt.Errorf("%w: promotion before join failed: %v", ErrAborted, res.Err)})
+					return
+				}
+				s.do(func() { s.startJoinAttempt(h, local, remoteSite, remoteObj, assoc, relName, retries) })
+			case <-s.stop:
+				h.finish(Result{Err: ErrSiteStopped})
+			}
+		}()
+		return
+	}
+	vt := s.clock.Next()
+	st := &txnState{
+		vt:           vt,
+		origin:       s.id,
+		status:       txnWaiting,
+		handle:       h,
+		rcDeps:       map[vtime.VT]bool{},
+		waitConfirms: map[vtime.SiteID]bool{},
+		involved:     map[vtime.SiteID]bool{s.id: true},
+		retries:      retries,
+	}
+	st.retryFn = func(r int) {
+		s.startJoinAttempt(h, local, remoteSite, remoteObj, assoc, relName, r)
+	}
+	s.txns[vt] = st
+	h.markApplied()
+
+	// Step 1: read and optimistically update the association value
+	// (treated like any other read+update, confirmed by the
+	// association's primary copy).
+	if assoc != nil {
+		cur, ok := assoc.hist.Current()
+		readVT := vtime.Zero
+		if ok {
+			readVT = cur.VT
+			if cur.Status == history.Pending {
+				st.rcDeps[cur.VT] = true
+			}
+		}
+		rels := cloneRels(assocValue(assoc))
+		for i := range rels {
+			if rels[i].Name == relName {
+				rels[i].Members = append(rels[i].Members, wire.Member{Site: s.id, Obj: local.id, Desc: local.desc})
+			}
+		}
+		s.applyOp(st, assoc, nil, wire.OpAssoc{Relationships: rels}, history.Pending)
+		s.propagateAssocUpdate(st, assoc, readVT, rels)
+	}
+
+	// Step 2: the remote call to B carrying gA.
+	reqID := s.newReqID()
+	s.joins[reqID] = &joinState{st: st, local: local}
+	st.extraPending++ // the JoinReply itself
+	s.send(remoteSite, wire.JoinRequest{
+		TxnVT:  vt,
+		Origin: s.id,
+		ReqID:  reqID,
+		AObj:   local.id,
+		BObj:   remoteObj,
+		GraphA: local.graph.ToWire(),
+	})
+	st.involved[remoteSite] = true
+}
+
+// propagateAssocUpdate sends the association-value update to the
+// association's replicas with confirmation from its primary.
+func (s *Site) propagateAssocUpdate(st *txnState, assoc *object, readVT vtime.VT, rels []wire.Relationship) {
+	g := assoc.graph
+	if g == nil || g.NumNodes() <= 1 {
+		return
+	}
+	primaryNode, _ := g.Primary()
+	primarySite, _ := g.SiteOf(primaryNode)
+	for _, node := range g.Nodes() {
+		nodeSite, _ := g.SiteOf(node)
+		if node == assoc.id {
+			continue
+		}
+		st.involved[nodeSite] = true
+		s.send(nodeSite, wire.Write{
+			TxnVT:  st.vt,
+			Origin: s.id,
+			Updates: []wire.Update{{
+				Target:  node,
+				ReadVT:  readVT,
+				GraphVT: assoc.graphVT,
+				Op:      wire.OpAssoc{Relationships: rels},
+			}},
+			NeedsConfirm: nodeSite == primarySite,
+		})
+	}
+	if primarySite == s.id {
+		if ok, reason := s.primaryCheck(assoc, assoc, readVT, assoc.graphVT, st.vt, true, false); !ok {
+			st.denied = true
+			st.deniedReason = reason
+		} else {
+			st.reservedObjs = append(st.reservedObjs, assoc)
+		}
+	} else {
+		st.waitConfirms[primarySite] = true
+	}
+}
+
+// handleJoinRequest runs B's side of the join (paper §3.3): merge gA and
+// gB, apply and propagate the merged graph to B's replicas (confirmed by
+// gB's primary on A's behalf), and return B's value and graph to A.
+func (s *Site) handleJoinRequest(from vtime.SiteID, m wire.JoinRequest) {
+	deny := func(reason string) {
+		s.send(from, wire.JoinReply{TxnVT: m.TxnVT, ReqID: m.ReqID, From: s.id, OK: false, Reason: reason})
+	}
+	denyRetryable := func(reason string) {
+		s.send(from, wire.JoinReply{TxnVT: m.TxnVT, ReqID: m.ReqID, From: s.id, OK: false, Reason: reason, Retryable: true})
+	}
+	b, ok := s.objects[m.BObj]
+	if !ok {
+		deny(fmt.Sprintf("object %s unknown at %s", m.BObj, s.id))
+		return
+	}
+	if err := s.authorize(AuthJoin, b, m.Origin); err != nil {
+		deny(err.Error())
+		return
+	}
+	if b.graph == nil {
+		if b.parent == nil {
+			deny(fmt.Sprintf("object %s has no replication graph", m.BObj))
+			return
+		}
+		// An embedded invitee switches to direct propagation first
+		// (paper §3.2.2), then the join proceeds.
+		ph := newHandle()
+		s.startPromote(b, ph)
+		msg := m
+		origin := from
+		go func() {
+			select {
+			case res := <-ph.Done():
+				if !res.Committed {
+					s.do(func() {
+						s.send(origin, wire.JoinReply{
+							TxnVT: msg.TxnVT, ReqID: msg.ReqID, From: s.id,
+							OK: false, Reason: fmt.Sprintf("promotion failed: %v", res.Err),
+						})
+					})
+					return
+				}
+				s.do(func() { s.handleJoinRequest(origin, msg) })
+			case <-s.stop:
+			}
+		}()
+		return
+	}
+	gA := repgraph.FromWire(m.GraphA)
+	if !gA.Has(m.AObj) {
+		deny("joiner graph does not contain the joining object")
+		return
+	}
+
+	// The join executes at the joiner's pre-assigned VT, but the state it
+	// merges is read HERE. A joiner whose clock lags (first contact)
+	// could stamp the merged graph below the current version, making it
+	// invisible; deny and let the retry pick up this site's clock from
+	// the reply's Lamport stamp.
+	if cur, okc := b.hist.Current(); okc && m.TxnVT.LessEq(cur.VT) {
+		denyRetryable(fmt.Sprintf("stale VT %s <= value at %s", m.TxnVT, cur.VT))
+		return
+	}
+	if m.TxnVT.LessEq(b.graphVT) {
+		denyRetryable(fmt.Sprintf("stale VT %s <= graph at %s", m.TxnVT, b.graphVT))
+		return
+	}
+
+	st := s.ensureTxn(m.TxnVT, m.Origin)
+
+	oldGraph := b.graph
+	oldGraphVT := b.graphVT
+	var pendingGraphTxn vtime.VT
+	if gcur, okc := b.graphHist.Current(); okc && gcur.Status == history.Pending {
+		// A must additionally wait for the transaction that wrote gB
+		// (paper §3.3: "this fact is remembered at B"). A was not an
+		// involved site of that transaction, so B forwards its outcome.
+		pendingGraphTxn = gcur.VT
+		dep, joiner := gcur.VT, m.Origin
+		s.rcWaiters[dep] = append(s.rcWaiters[dep], func(committed bool) {
+			s.send(joiner, wire.Outcome{TxnVT: dep, Committed: committed})
+		})
+	}
+
+	merged := oldGraph.Clone()
+	merged.Merge(gA)
+	if err := merged.AddEdge(m.AObj, m.BObj); err != nil {
+		deny(fmt.Sprintf("graph merge: %v", err))
+		return
+	}
+
+	// Apply the merged graph to B locally (optimistically) and ship it to
+	// B's former replicas; gB's primary confirms directly to A.
+	s.applyOp(st, b, nil, wire.OpGraph{Graph: merged.ToWire()}, history.Pending)
+
+	primaryNode, _ := oldGraph.Primary()
+	primarySite, _ := oldGraph.SiteOf(primaryNode)
+	if primarySite == s.id {
+		// gB's primary is B's own site: validate here, BEFORE any
+		// propagation, and fold the verdict into the reply (no separate
+		// confirmation message).
+		groot := b.replicationRoot()
+		iv := vtime.Interval{Lo: oldGraphVT, Hi: m.TxnVT}
+		if groot.graphHist.HasVersionIn(iv, m.TxnVT) {
+			s.undoApplied(st)
+			denyRetryable(fmt.Sprintf("RL: graph change in %s", iv))
+			return
+		}
+		if groot.graphRes.Conflicts(m.TxnVT, m.TxnVT) {
+			s.undoApplied(st)
+			denyRetryable("NC: graph reservation conflict")
+			return
+		}
+		groot.graphRes.Reserve(iv, m.TxnVT)
+		st.reservedObjs = append(st.reservedObjs, b)
+	}
+	var confirmSites []vtime.SiteID
+	for _, node := range oldGraph.Nodes() {
+		nodeSite, _ := oldGraph.SiteOf(node)
+		if node == b.id || nodeSite == m.Origin {
+			continue
+		}
+		if nodeSite == s.id {
+			if sib, okSib := s.objects[node]; okSib {
+				s.applyOp(st, sib, nil, wire.OpGraph{Graph: merged.ToWire()}, history.Pending)
+			}
+			continue
+		}
+		s.send(nodeSite, wire.Write{
+			TxnVT:  m.TxnVT,
+			Origin: m.Origin, // confirmations flow to the joiner
+			Updates: []wire.Update{{
+				Target:  node,
+				ReadVT:  oldGraphVT,
+				GraphVT: oldGraphVT,
+				Op:      wire.OpGraph{Graph: merged.ToWire()},
+			}},
+			NeedsConfirm: nodeSite == primarySite,
+		})
+		if nodeSite == primarySite {
+			confirmSites = append(confirmSites, nodeSite)
+		}
+	}
+
+	s.send(from, wire.JoinReply{
+		TxnVT:           m.TxnVT,
+		ReqID:           m.ReqID,
+		From:            s.id,
+		OK:              true,
+		BObj:            m.BObj,
+		BValue:          snapshotValue(b),
+		GraphB:          merged.ToWire(),
+		PendingGraphTxn: pendingGraphTxn,
+		ConfirmSites:    confirmSites,
+	})
+}
+
+// snapshotValue captures b's current value for shipment to the joiner.
+func snapshotValue(b *object) any {
+	if b.isComposite() {
+		return compositeSnapshot(b)
+	}
+	cur, ok := b.hist.Current()
+	if !ok {
+		return defaultValue(b.kind)
+	}
+	return cur.Value
+}
+
+// compositeSnapshot serializes a composite's live structure.
+func compositeSnapshot(b *object) wire.CompositeSnapshot {
+	snap := wire.CompositeSnapshot{Kind: b.kind}
+	at := b.latestVT()
+	switch b.kind {
+	case KindList:
+		for _, i := range b.visibleElems(at, false) {
+			e := &b.elems[i]
+			snap.Elems = append(snap.Elems, snapshotElem(e.child, e.tag, ""))
+		}
+	case KindTuple:
+		for _, i := range b.visibleEntries(at, false) {
+			e := &b.entries[i]
+			// The tag carries the entry's original insert identity so
+			// pinned paths resolve at the new replica.
+			snap.Elems = append(snap.Elems, snapshotElem(e.child, wire.ElemTag{VT: e.insertVT}, e.key))
+		}
+	}
+	return snap
+}
+
+func snapshotElem(child *object, tag wire.ElemTag, key string) wire.SnapshotElem {
+	el := wire.SnapshotElem{Tag: tag, Key: key}
+	if child.isComposite() {
+		nested := compositeSnapshot(child)
+		el.Child = wire.ChildDecl{Kind: child.kind}
+		el.Nested = &nested
+		return el
+	}
+	cur, _ := child.hist.Current()
+	el.Child = wire.ChildDecl{Kind: child.kind, Value: cur.Value}
+	return el
+}
+
+// handleJoinReply completes the join at the joining site.
+func (s *Site) handleJoinReply(m wire.JoinReply) {
+	js, ok := s.joins[m.ReqID]
+	if !ok {
+		return
+	}
+	delete(s.joins, m.ReqID)
+	st := js.st
+	if st.status != txnWaiting {
+		return
+	}
+	st.extraPending--
+	if !m.OK {
+		if m.Retryable {
+			// An ordinary concurrency-control conflict: undo and retry
+			// with a fresh virtual time, like any other transaction.
+			s.abortTxn(st, fmt.Sprintf("join conflict: %s", m.Reason))
+			return
+		}
+		s.abortJoin(st, fmt.Sprintf("join denied: %s", m.Reason))
+		return
+	}
+
+	merged := repgraph.FromWire(m.GraphB)
+	local := js.local
+	oldGraph := local.graph
+	oldGraphVT := local.graphVT
+
+	// Apply merged graph and B's value locally.
+	s.applyOp(st, local, nil, wire.OpGraph{Graph: m.GraphB}, history.Pending)
+	s.applyJoinedValue(st, local, m.BValue)
+
+	// Propagate graph + value to A's former replicas, confirmed by gA's
+	// primary.
+	primaryNode, hasPrim := oldGraph.Primary()
+	var primarySite vtime.SiteID = s.id
+	if hasPrim {
+		primarySite, _ = oldGraph.SiteOf(primaryNode)
+	}
+	for _, node := range oldGraph.Nodes() {
+		nodeSite, _ := oldGraph.SiteOf(node)
+		if node == local.id {
+			continue
+		}
+		st.involved[nodeSite] = true
+		updates := []wire.Update{
+			{Target: node, ReadVT: oldGraphVT, GraphVT: oldGraphVT, Op: wire.OpGraph{Graph: m.GraphB}},
+			{Target: node, ReadVT: st.vt, GraphVT: oldGraphVT, Op: valueOpFor(local.kind, m.BValue)},
+		}
+		s.send(nodeSite, wire.Write{
+			TxnVT:        st.vt,
+			Origin:       s.id,
+			Updates:      updates,
+			NeedsConfirm: nodeSite == primarySite,
+		})
+		if nodeSite == primarySite {
+			st.waitConfirms[nodeSite] = true
+		}
+	}
+	if primarySite == s.id && hasPrim && oldGraph.NumNodes() > 1 {
+		iv := vtime.Interval{Lo: oldGraphVT, Hi: st.vt}
+		if local.graphHist.HasVersionIn(iv, st.vt) || local.graphRes.Conflicts(st.vt, st.vt) {
+			s.abortJoin(st, "gA primary denied graph update")
+			return
+		}
+		local.graphRes.Reserve(iv, st.vt)
+		st.reservedObjs = append(st.reservedObjs, local)
+	}
+
+	// Every member of the merged graph is involved in the outcome.
+	for _, site := range merged.Sites() {
+		st.involved[site] = true
+	}
+	// Wait for the confirmations B requested on our behalf.
+	for _, site := range m.ConfirmSites {
+		if site != s.id {
+			st.waitConfirms[site] = true
+		}
+	}
+	// Apply any confirms that raced ahead of the reply.
+	for from, okc := range st.earlyConfirms {
+		if okc {
+			delete(st.waitConfirms, from)
+		} else {
+			s.abortJoin(st, fmt.Sprintf("denied by %s", from))
+			return
+		}
+	}
+	// RC guess on B's uncommitted graph (paper §3.3).
+	if !m.PendingGraphTxn.IsZero() {
+		st.rcDeps[m.PendingGraphTxn] = true
+	}
+	s.registerRCDeps(st)
+	s.checkTxnComplete(st)
+}
+
+// applyJoinedValue installs B's shipped value into the local replica.
+func (s *Site) applyJoinedValue(st *txnState, local *object, value any) {
+	switch v := value.(type) {
+	case wire.CompositeSnapshot:
+		s.applySnapshot(st, local, v)
+	case []wire.Relationship:
+		s.applyOp(st, local, nil, wire.OpAssoc{Relationships: v}, history.Pending)
+	default:
+		s.applyOp(st, local, nil, wire.OpSet{Value: v}, history.Pending)
+	}
+}
+
+// valueOpFor wraps a joined value in the right op for further propagation.
+func valueOpFor(kind Kind, value any) wire.Op {
+	if rels, ok := value.([]wire.Relationship); ok {
+		return wire.OpAssoc{Relationships: rels}
+	}
+	return wire.OpSet{Value: value}
+}
+
+// applySnapshot reconstructs a composite's structure from a shipped
+// snapshot, reusing the original element tags so paths stay global.
+func (s *Site) applySnapshot(st *txnState, comp *object, snap wire.CompositeSnapshot) {
+	for _, el := range snap.Elems {
+		var op wire.Op
+		switch comp.kind {
+		case KindList:
+			op = wire.OpListInsert{Tag: el.Tag, Child: el.Child, After: lastTag(comp)}
+		case KindTuple:
+			op = wire.OpTupleSet{Key: el.Key, Child: el.Child, At: el.Tag.VT}
+		default:
+			continue
+		}
+		s.applyOp(st, comp, nil, op, history.Pending)
+		var child *object
+		if comp.kind == KindList {
+			if _, le := comp.findChildByTag(el.Tag); le != nil {
+				child = le.child
+			}
+		} else {
+			if _, ent := comp.findEntryAt(el.Key, el.Tag.VT); ent != nil {
+				child = ent.child
+			} else if _, ent := comp.findEntry(el.Key); ent != nil {
+				child = ent.child
+			}
+		}
+		if child != nil && el.Nested != nil {
+			s.applySnapshot(st, child, *el.Nested)
+		}
+	}
+}
+
+// lastTag returns the tag of the last live element of a list (zero for an
+// empty list).
+func lastTag(lst *object) wire.ElemTag {
+	vis := lst.visibleElems(lst.latestVT(), false)
+	if len(vis) == 0 {
+		return wire.ElemTag{}
+	}
+	return lst.elems[vis[len(vis)-1]].tag
+}
+
+// abortJoin aborts an in-flight join transaction (no retry: joins surface
+// their failure to the caller).
+func (s *Site) abortJoin(st *txnState, reason string) {
+	st.txn = nil // suppress automatic retry
+	st.retryFn = nil
+	s.abortTxn(st, reason)
+	if st.handle != nil {
+		st.handle.finish(Result{Err: fmt.Errorf("%w: %s", ErrAborted, reason), VT: st.vt})
+	}
+}
+
+// LeaveRelationship removes obj from its replica relationship: the
+// remaining members receive the relationship graph with obj disconnected
+// (each replica keeps its own component, so obj reverts to a single-node
+// graph), and the association drops the membership entry. It runs as an
+// ordinary transaction, confirmed by the old graph's primary, and retries
+// automatically on conflicts.
+func (s *Site) LeaveRelationship(assoc ObjRef, relName string, obj ObjRef) *Handle {
+	return s.Submit(&Txn{
+		Name: "leave-relationship",
+		Execute: func(tx *Tx) error {
+			if obj.o == nil {
+				return ErrInvalidRef
+			}
+			local := obj.o
+			if local.graph == nil || local.graph.NumNodes() <= 1 {
+				return fmt.Errorf("%w: object not collaborating", ErrWrongKind)
+			}
+			// Update the association membership if provided.
+			if assoc.o != nil && assoc.o.kind == KindAssociation {
+				cur, _ := tx.Read(assoc)
+				rels, _ := cur.([]wire.Relationship)
+				rels = cloneRels(rels)
+				for i := range rels {
+					if rels[i].Name != relName {
+						continue
+					}
+					kept := rels[i].Members[:0]
+					for _, mb := range rels[i].Members {
+						if mb.Obj != local.id {
+							kept = append(kept, mb)
+						}
+					}
+					rels[i].Members = kept
+				}
+				tx.WriteScalar(assoc.o, rels)
+			}
+			// Ship the relationship graph with this object disconnected:
+			// every replica (including this one) keeps the component
+			// containing itself.
+			disconnected := local.graph.Clone()
+			disconnected.RemoveNodeContract(local.id)
+			site := local.site.id
+			disconnected.AddNode(local.id, site)
+			tx.writeGraphUpdate(local, disconnected)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"decaf/internal/transport"
+)
+
+// TestFullCollaborationEstablishment walks the complete §2.6 flow:
+// application A creates a relationship and an association, publicizes an
+// invitation; application B imports the invitation, instantiates its own
+// association object, reads the relationships, and joins.
+func TestFullCollaborationEstablishment(t *testing.T) {
+	h := newHarness(t, 2, transport.Config{Latency: time.Millisecond})
+	sA, sB := h.site(1), h.site(2)
+
+	// A's shared object and association.
+	aObj, _ := sA.CreateObject(KindString, "doc", "draft-1")
+	assocA, err := sA.CreateAssociation("project-docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := sA.DefineRelationship(assocA, "doc", aObj, "the shared doc").Wait(); !res.Committed {
+		t.Fatalf("define: %+v", res)
+	}
+	inv, err := sA.Invite(assocA, "join my docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// B imports the invitation: its own association object replicates A's.
+	assocB, hImport, err := sB.ImportAssociation(inv, "imported docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := hImport.Wait(); !res.Committed {
+		t.Fatalf("import: %+v", res)
+	}
+	h.eventually(2*time.Second, "relationships visible at B", func() bool {
+		rels, err := sB.Relationships(assocB)
+		return err == nil && len(rels) == 1 && rels[0].Name == "doc" && len(rels[0].Members) == 1
+	})
+
+	// B discovers the relationship and joins its own object.
+	bObj, _ := sB.CreateObject(KindString, "doc", "")
+	if res := sB.JoinRelationship(assocB, "doc", bObj).Wait(); !res.Committed {
+		t.Fatalf("join: %+v", res)
+	}
+	h.eventually(2*time.Second, "value mirrored at B", func() bool {
+		v, _ := sB.ReadCommitted(bObj)
+		return v == "draft-1"
+	})
+
+	// The association value now lists B as a member — at BOTH replicas
+	// (associations are model objects; membership changes are updates).
+	h.eventually(2*time.Second, "membership visible at both sites", func() bool {
+		relsA, _ := sA.Relationships(assocA)
+		relsB, _ := sB.Relationships(assocB)
+		return len(relsA) == 1 && len(relsA[0].Members) == 2 &&
+			len(relsB) == 1 && len(relsB[0].Members) == 2
+	})
+
+	// Writes now propagate both ways.
+	if res := sB.Submit(&Txn{Execute: func(tx *Tx) error {
+		return tx.Write(bObj, "draft-2")
+	}}).Wait(); !res.Committed {
+		t.Fatal("write after join failed")
+	}
+	h.eventually(2*time.Second, "write propagates to A", func() bool {
+		v, _ := sA.ReadCommitted(aObj)
+		return v == "draft-2"
+	})
+}
+
+func TestAssociationViewsSignalMembershipChanges(t *testing.T) {
+	// "changes in membership in associations are signaled as update
+	// notifications in exactly the same way as changes in values" (§2.6).
+	h := newHarness(t, 2, transport.Config{Latency: time.Millisecond})
+	sA, sB := h.site(1), h.site(2)
+
+	aObj, _ := sA.CreateObject(KindInt, "x", int64(0))
+	assocA, _ := sA.CreateAssociation("assoc")
+	if res := sA.DefineRelationship(assocA, "xs", aObj, "x").Wait(); !res.Committed {
+		t.Fatal("define failed")
+	}
+
+	rec := &recorder{}
+	if _, err := sA.AttachView([]ObjRef{assocA}, Optimistic, rec.fns()); err != nil {
+		t.Fatal(err)
+	}
+	h.eventually(time.Second, "initial", func() bool {
+		ups, _ := rec.snapshot()
+		return len(ups) >= 1
+	})
+	before, _ := rec.snapshot()
+
+	inv, _ := sA.Invite(assocA, "")
+	assocB, hImp, _ := sB.ImportAssociation(inv, "")
+	if res := hImp.Wait(); !res.Committed {
+		t.Fatal("import failed")
+	}
+	bObj, _ := sB.CreateObject(KindInt, "x", int64(0))
+	if res := sB.JoinRelationship(assocB, "xs", bObj).Wait(); !res.Committed {
+		t.Fatal("join failed")
+	}
+
+	h.eventually(2*time.Second, "membership update notification", func() bool {
+		ups, _ := rec.snapshot()
+		return len(ups) > len(before)
+	})
+}
+
+func TestLeaveRelationship(t *testing.T) {
+	h := newHarness(t, 3, transport.Config{Latency: time.Millisecond})
+	refs := h.joined(KindInt, "x", int64(0), 1, 2, 3)
+
+	// Site 2 leaves; sites 1 and 3 keep collaborating.
+	if res := h.site(2).LeaveRelationship(ObjRef{}, "", refs[2]).Wait(); !res.Committed {
+		t.Fatalf("leave: %+v", res)
+	}
+	h.eventually(2*time.Second, "graphs shrunk", func() bool {
+		for _, i := range []int{1, 3} {
+			sites, _ := h.site(i).ReplicaSites(refs[i])
+			if len(sites) != 2 {
+				return false
+			}
+			for _, s := range sites {
+				if s == 2 {
+					return false
+				}
+			}
+		}
+		s2, _ := h.site(2).ReplicaSites(refs[2])
+		return len(s2) == 1
+	})
+
+	// Updates no longer reach site 2, but still flow 1 <-> 3.
+	if res := h.setInt(1, refs[1], 42); !res.Committed {
+		t.Fatalf("write after leave: %+v", res)
+	}
+	h.eventually(2*time.Second, "1<->3 propagation", func() bool {
+		v3, _ := h.site(3).ReadCommitted(refs[3])
+		return v3 == int64(42)
+	})
+	v2, _ := h.site(2).ReadCommitted(refs[2])
+	if v2 != int64(0) {
+		t.Fatalf("left site received update: %v", v2)
+	}
+}
+
+func TestJoinUnknownObjectFails(t *testing.T) {
+	h := newHarness(t, 2, transport.Config{})
+	ref, _ := h.site(2).CreateObject(KindInt, "x", int64(0))
+	bogus := ref.ID()
+	bogus.Seq += 999
+	res := h.site(2).JoinObject(ref, 1, bogus).Wait()
+	if res.Committed || res.Err == nil {
+		t.Fatalf("join to unknown object: %+v", res)
+	}
+}
+
+func TestJoinRelationshipWithoutMembersFails(t *testing.T) {
+	h := newHarness(t, 1, transport.Config{})
+	assoc, _ := h.site(1).CreateAssociation("empty")
+	obj, _ := h.site(1).CreateObject(KindInt, "x", int64(0))
+	res := h.site(1).JoinRelationship(assoc, "nope", obj).Wait()
+	if res.Committed || res.Err == nil {
+		t.Fatalf("join empty relationship: %+v", res)
+	}
+}
+
+func TestChainedJoinsAreTransitive(t *testing.T) {
+	// 2 joins 1; 3 joins 2: all three become mutual replicas
+	// (relationships are transitive, §2.2).
+	h := newHarness(t, 3, transport.Config{Latency: time.Millisecond})
+	r1, _ := h.site(1).CreateObject(KindInt, "x", int64(0))
+	r2, _ := h.site(2).CreateObject(KindInt, "x", int64(0))
+	r3, _ := h.site(3).CreateObject(KindInt, "x", int64(0))
+
+	if res := h.site(2).JoinObject(r2, 1, r1.ID()).Wait(); !res.Committed {
+		t.Fatalf("join 2->1: %+v", res)
+	}
+	// 3 joins via 2 (not via 1): transitivity must pull in site 1 too.
+	if res := h.site(3).JoinObject(r3, 2, r2.ID()).Wait(); !res.Committed {
+		t.Fatalf("join 3->2: %+v", res)
+	}
+	h.eventually(2*time.Second, "all graphs have 3 sites", func() bool {
+		for i, r := range map[int]ObjRef{1: r1, 2: r2, 3: r3} {
+			sites, _ := h.site(i).ReplicaSites(r)
+			if len(sites) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	if res := h.setInt(3, r3, 5); !res.Committed {
+		t.Fatalf("write: %+v", res)
+	}
+	h.eventually(2*time.Second, "full propagation", func() bool {
+		v1, _ := h.site(1).ReadCommitted(r1)
+		v2, _ := h.site(2).ReadCommitted(r2)
+		return v1 == int64(5) && v2 == int64(5)
+	})
+}
+
+func TestMultipleRelationshipsInOneAssociation(t *testing.T) {
+	// One association can bundle several replica relationships
+	// (paper §2.1: "The value of an association object is a set of
+	// replica relationships"), joinable independently.
+	h := newHarness(t, 2, transport.Config{Latency: time.Millisecond})
+	sA, sB := h.site(1), h.site(2)
+
+	doc, _ := sA.CreateObject(KindString, "doc", "d0")
+	notes, _ := sA.CreateObject(KindString, "notes", "n0")
+	assoc, _ := sA.CreateAssociation("workspace")
+	if res := sA.DefineRelationship(assoc, "doc", doc, "the doc").Wait(); !res.Committed {
+		t.Fatal("define doc")
+	}
+	if res := sA.DefineRelationship(assoc, "notes", notes, "the notes").Wait(); !res.Committed {
+		t.Fatal("define notes")
+	}
+	inv, _ := sA.Invite(assoc, "")
+
+	assocB, imp, err := sB.ImportAssociation(inv, "imported")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := imp.Wait(); !res.Committed {
+		t.Fatalf("import: %+v", res)
+	}
+	h.eventually(2*time.Second, "two relationships visible", func() bool {
+		rels, _ := sB.Relationships(assocB)
+		return len(rels) == 2
+	})
+
+	// Join only the "doc" relationship; "notes" stays private to A —
+	// the paper's partial-state-sharing requirement (§1: "the shared
+	// state may not be the entire application state").
+	docB, _ := sB.CreateObject(KindString, "doc", "")
+	if res := sB.JoinRelationship(assocB, "doc", docB).Wait(); !res.Committed {
+		t.Fatal("join doc")
+	}
+	if res := h.site(1).Submit(&Txn{Execute: func(tx *Tx) error {
+		if err := tx.Write(doc, "d1"); err != nil {
+			return err
+		}
+		return tx.Write(notes, "n1")
+	}}).Wait(); !res.Committed {
+		t.Fatal("write")
+	}
+	h.eventually(2*time.Second, "doc replicated", func() bool {
+		v, _ := sB.ReadCommitted(docB)
+		return v == "d1"
+	})
+	// B never receives the notes object's state.
+	notesSites, _ := sA.ReplicaSites(notes)
+	if len(notesSites) != 1 {
+		t.Fatalf("notes leaked to %v", notesSites)
+	}
+}

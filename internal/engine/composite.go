@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"fmt"
+
+	"decaf/internal/history"
+	"decaf/internal/wire"
+)
+
+// Composite model-object operations on the transaction context
+// (paper §2.1: lists are linearly indexed sequences of children; tuples
+// are collections of children indexed by a key; §3.2: updates inside
+// composites propagate indirectly through the root's replication graph).
+
+// ensureCompositeWrite returns (creating if needed) the write record that
+// accumulates structural ops on comp within this transaction.
+func (tx *Tx) ensureCompositeWrite(comp *object) *writeRec {
+	if w := tx.findWrite(comp); w != nil {
+		return w
+	}
+	readVT := tx.st.vt // blind structural write
+	if r := tx.findRead(comp); r != nil {
+		readVT = r.readVT
+		r.absorbed = true
+	}
+	root := comp.replicationRoot()
+	w := &writeRec{obj: comp, readVT: readVT, graphVT: root.graphVT}
+	tx.st.writes = append(tx.st.writes, w)
+	tx.recordPathDeps(comp)
+	return w
+}
+
+// applyLocalOp applies a structural op at the originating site through the
+// same machinery remote sites use, keeping behaviour identical everywhere.
+func (tx *Tx) applyLocalOp(comp *object, op wire.Op) {
+	tx.s.applyOp(tx.st, comp, nil, op, history.Pending)
+}
+
+// countInsertsBy returns how many list inserts this transaction already
+// performed on lst (the element-tag ordinal).
+func (tx *Tx) countInsertsBy(w *writeRec) uint32 {
+	var n uint32
+	for _, op := range w.ops {
+		if _, ok := op.(wire.OpListInsert); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ListLen returns the number of live elements, recording a structural
+// read.
+func (tx *Tx) ListLen(ref ObjRef) (int, error) {
+	l := ref.o
+	if l == nil {
+		return 0, ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return 0, fmt.Errorf("%w: ListLen on %s", ErrWrongKind, l.kind)
+	}
+	tx.recordRead(l)
+	return len(l.visibleElems(l.latestVT(), false)), nil
+}
+
+// ListGet returns the child at index idx (over live elements), recording a
+// structural read.
+func (tx *Tx) ListGet(ref ObjRef, idx int) (ObjRef, error) {
+	l := ref.o
+	if l == nil {
+		return ObjRef{}, ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return ObjRef{}, fmt.Errorf("%w: ListGet on %s", ErrWrongKind, l.kind)
+	}
+	tx.recordRead(l)
+	vis := l.visibleElems(l.latestVT(), false)
+	if idx < 0 || idx >= len(vis) {
+		return ObjRef{}, fmt.Errorf("%w: index %d of %d", ErrNoSuchElement, idx, len(vis))
+	}
+	return ObjRef{o: l.elems[vis[idx]].child}, nil
+}
+
+// ListInsert embeds a new child at index idx (len(list) appends) and
+// returns its ref. The element receives a VT tag making its path robust
+// against concurrent reordering (paper §3.2.1).
+func (tx *Tx) ListInsert(ref ObjRef, idx int, decl wire.ChildDecl) (ObjRef, error) {
+	l := ref.o
+	if l == nil {
+		return ObjRef{}, ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return ObjRef{}, fmt.Errorf("%w: ListInsert on %s", ErrWrongKind, l.kind)
+	}
+	if err := validDecl(decl); err != nil {
+		return ObjRef{}, err
+	}
+	w := tx.ensureCompositeWrite(l)
+	vis := l.visibleElems(l.latestVT(), false)
+	if idx < 0 || idx > len(vis) {
+		return ObjRef{}, fmt.Errorf("%w: insert index %d of %d", ErrNoSuchElement, idx, len(vis))
+	}
+	var after wire.ElemTag
+	if idx > 0 {
+		after = l.elems[vis[idx-1]].tag
+		// The insert is causally ordered after the element it follows:
+		// if that element's inserting transaction is still pending, this
+		// transaction must not commit unless it does (an RC guess on the
+		// structural dependency, paper §3.2.1). Remote replicas block
+		// the new element until the earlier one arrives.
+		if v, ok := l.hist.Get(l.elems[vis[idx-1]].insertVT); ok && v.Status == history.Pending && v.VT != tx.st.vt {
+			tx.st.rcDeps[v.VT] = true
+		}
+	}
+	op := wire.OpListInsert{
+		Tag:   wire.ElemTag{VT: tx.st.vt, N: tx.countInsertsBy(w)},
+		Index: idx,
+		Child: decl,
+		After: after,
+	}
+	w.ops = append(w.ops, op)
+	tx.applyLocalOp(l, op)
+	_, le := l.findChildByTag(op.Tag)
+	if le == nil {
+		return ObjRef{}, fmt.Errorf("engine: insert did not materialize element %s", op.Tag)
+	}
+	return ObjRef{o: le.child}, nil
+}
+
+// ListAppend embeds a new child at the end of the list.
+func (tx *Tx) ListAppend(ref ObjRef, decl wire.ChildDecl) (ObjRef, error) {
+	l := ref.o
+	if l == nil {
+		return ObjRef{}, ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return ObjRef{}, fmt.Errorf("%w: ListAppend on %s", ErrWrongKind, l.kind)
+	}
+	tx.recordRead(l)
+	return tx.ListInsert(ref, len(l.visibleElems(l.latestVT(), false)), decl)
+}
+
+// ListRemove removes the element at index idx.
+func (tx *Tx) ListRemove(ref ObjRef, idx int) error {
+	l := ref.o
+	if l == nil {
+		return ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return fmt.Errorf("%w: ListRemove on %s", ErrWrongKind, l.kind)
+	}
+	tx.recordRead(l)
+	vis := l.visibleElems(l.latestVT(), false)
+	if idx < 0 || idx >= len(vis) {
+		return fmt.Errorf("%w: remove index %d of %d", ErrNoSuchElement, idx, len(vis))
+	}
+	w := tx.ensureCompositeWrite(l)
+	op := wire.OpListRemove{Tag: l.elems[vis[idx]].tag}
+	w.ops = append(w.ops, op)
+	tx.applyLocalOp(l, op)
+	return nil
+}
+
+// TupleGet returns the child under key, if present.
+func (tx *Tx) TupleGet(ref ObjRef, key string) (ObjRef, bool, error) {
+	t := ref.o
+	if t == nil {
+		return ObjRef{}, false, ErrInvalidRef
+	}
+	if t.kind != KindTuple {
+		return ObjRef{}, false, fmt.Errorf("%w: TupleGet on %s", ErrWrongKind, t.kind)
+	}
+	tx.recordRead(t)
+	_, ent := t.findEntry(key)
+	if ent == nil {
+		return ObjRef{}, false, nil
+	}
+	return ObjRef{o: ent.child}, true, nil
+}
+
+// TupleKeys returns the live keys, recording a structural read.
+func (tx *Tx) TupleKeys(ref ObjRef) ([]string, error) {
+	t := ref.o
+	if t == nil {
+		return nil, ErrInvalidRef
+	}
+	if t.kind != KindTuple {
+		return nil, fmt.Errorf("%w: TupleKeys on %s", ErrWrongKind, t.kind)
+	}
+	tx.recordRead(t)
+	idxs := t.visibleEntries(t.latestVT(), false)
+	out := make([]string, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, t.entries[i].key)
+	}
+	return out, nil
+}
+
+// TupleSet embeds (or replaces) the child under key and returns its ref.
+func (tx *Tx) TupleSet(ref ObjRef, key string, decl wire.ChildDecl) (ObjRef, error) {
+	t := ref.o
+	if t == nil {
+		return ObjRef{}, ErrInvalidRef
+	}
+	if t.kind != KindTuple {
+		return ObjRef{}, fmt.Errorf("%w: TupleSet on %s", ErrWrongKind, t.kind)
+	}
+	if err := validDecl(decl); err != nil {
+		return ObjRef{}, err
+	}
+	w := tx.ensureCompositeWrite(t)
+	op := wire.OpTupleSet{Key: key, Child: decl}
+	w.ops = append(w.ops, op)
+	tx.applyLocalOp(t, op)
+	_, ent := t.findEntry(key)
+	if ent == nil {
+		return ObjRef{}, fmt.Errorf("engine: tuple set did not materialize key %q", key)
+	}
+	return ObjRef{o: ent.child}, nil
+}
+
+// TupleRemove removes the child under key.
+func (tx *Tx) TupleRemove(ref ObjRef, key string) error {
+	t := ref.o
+	if t == nil {
+		return ErrInvalidRef
+	}
+	if t.kind != KindTuple {
+		return fmt.Errorf("%w: TupleRemove on %s", ErrWrongKind, t.kind)
+	}
+	tx.recordRead(t)
+	_, ent := t.findEntry(key)
+	if ent == nil {
+		return fmt.Errorf("%w: key %q", ErrNoSuchElement, key)
+	}
+	w := tx.ensureCompositeWrite(t)
+	// Of pins the exact entry being removed so a concurrent re-set of
+	// the key at another site is not clobbered (add-wins).
+	op := wire.OpTupleRemove{Key: key, Of: ent.insertVT}
+	w.ops = append(w.ops, op)
+	tx.applyLocalOp(t, op)
+	return nil
+}
+
+// validDecl vets a child declaration.
+func validDecl(decl wire.ChildDecl) error {
+	switch decl.Kind {
+	case KindInt, KindFloat, KindString, KindBool, KindList, KindTuple:
+	default:
+		return fmt.Errorf("%w: cannot embed %s", ErrWrongKind, decl.Kind)
+	}
+	if decl.Value != nil {
+		return checkValueKind(decl.Kind, decl.Value)
+	}
+	return nil
+}

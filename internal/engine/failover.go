@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"decaf/internal/history"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// Client-failure handling (paper §3.4). Failures are fail-stop: the
+// transport notifies survivors and blocks further communication with the
+// failed site. Three duties follow:
+//
+//  1. In-flight transactions whose ORIGINATING site failed are resolved by
+//     querying the surviving sites: if any received a summary COMMIT the
+//     transaction commits everywhere, else it aborts.
+//  2. Transactions waiting on a failed PRIMARY site abort; they are
+//     retried after the graph repair commits (the retry is parked).
+//  3. Replication graphs drop the failed site's nodes. When the graph's
+//     primary survives, it coordinates an ordinary timestamped graph
+//     update. When the primary itself failed, the circularity (a primary
+//     is a function of the graph, but committing the new graph needs a
+//     primary) is broken by a consensus round among survivors, led by the
+//     lowest surviving site.
+
+// queryState tracks an outstanding commit-query for one orphaned
+// transaction.
+type queryState struct {
+	st        *txnState
+	waiting   map[vtime.SiteID]bool
+	committed bool
+}
+
+// repairState tracks one in-flight graph repair (keyed by failed site).
+type repairState struct {
+	epoch       uint64
+	failed      vtime.SiteID
+	coordinator vtime.SiteID
+	graphVT     vtime.VT
+	survivors   []vtime.SiteID
+	acks        map[vtime.SiteID]bool
+	commitSet   map[vtime.VT]bool
+}
+
+// parkedRetry is a transaction retry deferred until graph repair.
+type parkedRetry struct {
+	txn     *Txn
+	handle  *Handle
+	retries int
+}
+
+// handleSiteFailure reacts to a fail-stop notification.
+func (s *Site) handleSiteFailure(f vtime.SiteID) {
+	if s.failed[f] {
+		return
+	}
+	s.failed[f] = true
+	s.log.Info("site failed", "failed", f.String())
+
+	// (1) Resolve in-flight transactions originated at the failed site.
+	for vt, st := range s.txns {
+		if st.origin == f && st.status == txnApplied {
+			s.startCommitQuery(vt, st)
+		}
+	}
+	// (2) Abort local transactions waiting on the failed site.
+	for _, st := range s.txns {
+		if st.origin != s.id || st.status != txnWaiting {
+			continue
+		}
+		if st.waitConfirms[f] || st.delegatedTo == f {
+			st.parkOnAbort = true
+			s.abortTxn(st, fmt.Sprintf("primary site %s failed", f))
+		}
+	}
+	// (3) Repair replication graphs containing the failed site.
+	s.repairGraphsFor(f)
+}
+
+// startCommitQuery polls survivors for knowledge of an orphaned
+// transaction's outcome.
+func (s *Site) startCommitQuery(vt vtime.VT, st *txnState) {
+	// Survivors: every site hosting a replica of an object this
+	// transaction updated here.
+	waiting := map[vtime.SiteID]bool{}
+	for _, o := range st.appliedObjects() {
+		g, _ := o.currentGraph()
+		if g == nil {
+			continue
+		}
+		for _, site := range g.Sites() {
+			if site != s.id && !s.failed[site] {
+				waiting[site] = true
+			}
+		}
+	}
+	if len(waiting) == 0 {
+		// No one else to ask: no COMMIT can exist (the origin died
+		// before distributing one we'd have seen); abort.
+		s.handleOutcome(wire.Outcome{TxnVT: vt, Committed: false})
+		return
+	}
+	s.commitQueries[vt] = &queryState{st: st, waiting: waiting}
+	for site := range waiting {
+		s.send(site, wire.CommitQuery{TxnVT: vt, From: s.id})
+	}
+}
+
+// handleCommitQuery answers with this site's knowledge of the outcome.
+func (s *Site) handleCommitQuery(from vtime.SiteID, m wire.CommitQuery) {
+	committed, known := s.outcomes[m.TxnVT]
+	s.send(from, wire.CommitQueryReply{TxnVT: m.TxnVT, From: s.id, Known: known, Committed: committed})
+}
+
+// handleCommitQueryReply collects survivor knowledge; when every survivor
+// answered, the transaction commits if anyone saw a COMMIT, else aborts.
+func (s *Site) handleCommitQueryReply(m wire.CommitQueryReply) {
+	q, ok := s.commitQueries[m.TxnVT]
+	if !ok {
+		return
+	}
+	delete(q.waiting, m.From)
+	if m.Known && m.Committed {
+		q.committed = true
+	}
+	if m.Known && !m.Committed {
+		// A known abort decides immediately.
+		delete(s.commitQueries, m.TxnVT)
+		s.handleOutcome(wire.Outcome{TxnVT: m.TxnVT, Committed: false})
+		return
+	}
+	if q.committed {
+		delete(s.commitQueries, m.TxnVT)
+		s.handleOutcome(wire.Outcome{TxnVT: m.TxnVT, Committed: true})
+		return
+	}
+	if len(q.waiting) == 0 {
+		delete(s.commitQueries, m.TxnVT)
+		s.handleOutcome(wire.Outcome{TxnVT: m.TxnVT, Committed: false})
+	}
+}
+
+// repairGraphsFor drops the failed site from every affected local
+// replication graph, via a normal primary-coordinated transaction or via
+// survivor consensus when the primary itself failed.
+func (s *Site) repairGraphsFor(f vtime.SiteID) {
+	needConsensus := false
+	var consensusSites map[vtime.SiteID]bool
+	for _, o := range s.objects {
+		if o.graph == nil || len(o.graph.RemoveSiteDryRun(f)) == 0 {
+			continue
+		}
+		primarySite, ok := o.graph.PrimarySite()
+		if !ok {
+			continue
+		}
+		if primarySite == f {
+			needConsensus = true
+			if consensusSites == nil {
+				consensusSites = map[vtime.SiteID]bool{}
+			}
+			for _, site := range o.graph.Sites() {
+				if site != f && !s.failed[site] {
+					consensusSites[site] = true
+				}
+			}
+			continue
+		}
+		if primarySite == s.id {
+			// This site hosts the surviving primary: coordinate an
+			// ordinary timestamped graph-update transaction.
+			obj := o
+			repaired := obj.graph.Clone()
+			repaired.RemoveSiteContract(f)
+			repaired = repaired.Component(obj.id)
+			s.execute(&Txn{
+				Name: "graph-repair",
+				Execute: func(tx *Tx) error {
+					tx.writeGraphUpdate(obj, repaired)
+					return nil
+				},
+			}, newHandle(), 0)
+		}
+	}
+	if !needConsensus {
+		return
+	}
+	// Consensus repair: the lowest surviving site coordinates.
+	sites := make([]vtime.SiteID, 0, len(consensusSites))
+	for site := range consensusSites {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	if len(sites) == 0 || sites[0] != s.id {
+		return // another survivor coordinates
+	}
+	s.startRepair(f, sites)
+}
+
+// RemoveSiteDryRun is declared in repgraph; see graph_dryrun.go for the
+// engine-side helper.
+
+// startRepair begins (or restarts) the survivor consensus for graphs
+// whose primary site failed.
+func (s *Site) startRepair(f vtime.SiteID, survivors []vtime.SiteID) {
+	prev := s.repairs[f]
+	epoch := uint64(1)
+	if prev != nil {
+		epoch = prev.epoch + 1
+	}
+	rs := &repairState{
+		epoch:       epoch,
+		failed:      f,
+		coordinator: s.id,
+		graphVT:     s.clock.Next(),
+		survivors:   survivors,
+		acks:        map[vtime.SiteID]bool{},
+		commitSet:   map[vtime.VT]bool{},
+	}
+	s.repairs[f] = rs
+	s.log.Debug("startRepair", "failed", f.String(), "epoch", epoch, "survivors", fmt.Sprint(survivors))
+	for _, site := range survivors {
+		s.send(site, wire.RepairPropose{
+			Epoch:      epoch,
+			FailedSite: f,
+			From:       s.id,
+			GraphVT:    rs.graphVT,
+			Survivors:  survivors,
+		})
+	}
+}
+
+// handleRepairPropose answers a repair proposal with the outcomes this
+// site knows for transactions involving the failed site.
+func (s *Site) handleRepairPropose(m wire.RepairPropose) {
+	s.log.Debug("repair propose", "from", m.From.String(), "epoch", m.Epoch)
+	if cur := s.repairs[m.FailedSite]; cur != nil && cur.epoch > m.Epoch {
+		return // stale epoch
+	}
+	if s.repairs[m.FailedSite] == nil || s.repairs[m.FailedSite].coordinator != s.id {
+		s.repairs[m.FailedSite] = &repairState{
+			epoch:       m.Epoch,
+			failed:      m.FailedSite,
+			coordinator: m.From,
+			graphVT:     m.GraphVT,
+			survivors:   m.Survivors,
+		}
+	}
+	var known []vtime.VT
+	for vt, committed := range s.outcomes {
+		if committed && vt.Site == m.FailedSite {
+			known = append(known, vt)
+		}
+	}
+	s.send(m.From, wire.RepairAck{
+		EpochN:         m.Epoch,
+		FailedSite:     m.FailedSite,
+		From:           s.id,
+		KnownCommitted: known,
+	})
+}
+
+// handleRepairAck (coordinator side) gathers survivor knowledge and
+// decides once everyone answered.
+func (s *Site) handleRepairAck(m wire.RepairAck) {
+	s.log.Debug("repair ack", "from", m.From.String())
+	rs := s.repairs[m.FailedSite]
+	if rs == nil || rs.coordinator != s.id || rs.epoch != m.EpochN {
+		return
+	}
+	rs.acks[m.From] = true
+	for _, vt := range m.KnownCommitted {
+		rs.commitSet[vt] = true
+	}
+	for _, site := range rs.survivors {
+		if !rs.acks[site] && !s.failed[site] {
+			return // still waiting
+		}
+	}
+	commit := make([]vtime.VT, 0, len(rs.commitSet))
+	for vt := range rs.commitSet {
+		commit = append(commit, vt)
+	}
+	sort.Slice(commit, func(i, j int) bool { return commit[i].Less(commit[j]) })
+	for _, site := range rs.survivors {
+		s.send(site, wire.RepairDecide{
+			EpochN:     rs.epoch,
+			FailedSite: rs.failed,
+			From:       s.id,
+			GraphVT:    rs.graphVT,
+			Commit:     commit,
+		})
+	}
+}
+
+// handleRepairDecide applies the consensus: commit the listed
+// transactions, abort every other in-flight transaction involving the
+// failed site, and install the repaired graphs at the common VT.
+func (s *Site) handleRepairDecide(m wire.RepairDecide) {
+	s.log.Debug("repair decide", "from", m.From.String())
+	rs := s.repairs[m.FailedSite]
+	if rs != nil && rs.epoch > m.EpochN {
+		return
+	}
+	delete(s.repairs, m.FailedSite)
+	s.clock.Observe(m.GraphVT)
+
+	inCommit := map[vtime.VT]bool{}
+	for _, vt := range m.Commit {
+		inCommit[vt] = true
+	}
+	// Decide conflicting in-flight transactions.
+	for vt, st := range s.txns {
+		if st.status != txnApplied || vt.Site != m.FailedSite {
+			continue
+		}
+		delete(s.commitQueries, vt)
+		s.handleOutcome(wire.Outcome{TxnVT: vt, Committed: inCommit[vt]})
+	}
+	// Install repaired graphs at the common virtual time.
+	for _, o := range s.objects {
+		if o.graph == nil || len(o.graph.RemoveSiteDryRun(m.FailedSite)) == 0 {
+			continue
+		}
+		if ps, ok := o.graph.PrimarySite(); !ok || ps != m.FailedSite {
+			continue // repaired by its surviving primary, not by consensus
+		}
+		repaired := o.graph.Clone()
+		repaired.RemoveSiteContract(m.FailedSite)
+		repaired = repaired.Component(o.id)
+		if err := o.graphHist.Insert(m.GraphVT, repaired, history.Committed); err == nil {
+			o.graph = repaired
+			o.graphVT = m.GraphVT
+			s.log.Debug("repair installed", "obj", o.id.String(), "graph", repaired.String())
+		} else {
+			s.log.Debug("repair install failed", "obj", o.id.String(), "err", err.Error())
+		}
+	}
+	s.unparkRetries()
+}
+
+// writeGraphUpdate records a replication-graph update inside a
+// transaction (surviving-primary repair, paper §3.4).
+func (tx *Tx) writeGraphUpdate(o *object, ng *repgraph.Graph) {
+	// The update must reach the members of the graph as it stood before
+	// this change (e.g. the site being left), so the targets are
+	// captured now.
+	tx.writeGraphUpdateTargets(o, ng, o.replicationRoot().graph.Clone())
+}
+
+// writeGraphUpdateTargets is writeGraphUpdate with an explicit target set
+// (a direct-propagation refresh must reach both the old members and the
+// newly collected counterparts).
+func (tx *Tx) writeGraphUpdateTargets(o *object, ng, targets *repgraph.Graph) {
+	op := wire.OpGraph{Graph: ng.ToWire()}
+	root := o.replicationRoot()
+	// Both the addressing path and the graph times are captured BEFORE
+	// the local apply: adopting the new graph may change o's replication
+	// root (a promotion), which would change what pathFromRoot computes.
+	path := o.pathFromRoot()
+	w := &writeRec{
+		obj:          o,
+		readVT:       root.graphVT,
+		graphVT:      root.graphVT,
+		ops:          []wire.Op{op},
+		targetGraph:  targets,
+		pathOverride: &path,
+	}
+	tx.st.writes = append(tx.st.writes, w)
+	tx.s.applyOp(tx.st, o, nil, op, history.Pending)
+	tx.st.hasGraphOp = true
+}
+
+// unparkRetries resubmits transactions parked on a failed primary.
+func (s *Site) unparkRetries() {
+	parked := s.parked
+	s.parked = nil
+	for _, p := range parked {
+		p := p
+		s.bumpStat(func(st *Stats) { st.Retries++ })
+		s.do(func() { s.execute(p.txn, p.handle, p.retries) })
+	}
+}

@@ -1,0 +1,716 @@
+package engine
+
+import (
+	"fmt"
+
+	"decaf/internal/history"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// ensureTxn returns (creating if needed) the local transaction
+// implementation object for a remotely originated transaction.
+func (s *Site) ensureTxn(vt vtime.VT, origin vtime.SiteID) *txnState {
+	if st, ok := s.txns[vt]; ok {
+		return st
+	}
+	st := &txnState{vt: vt, origin: origin, status: txnApplied}
+	s.txns[vt] = st
+	return st
+}
+
+// handleWrite applies a remote transaction's updates; when this site hosts
+// a primary copy it additionally validates the RL/NC guesses and confirms
+// (or, as delegate, decides the whole transaction).
+func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
+	if known, ok := s.outcomes[m.TxnVT]; ok && !known {
+		return // already aborted: ignore late updates (paper §3.1)
+	}
+	committedAlready := false
+	if known, ok := s.outcomes[m.TxnVT]; ok && known {
+		committedAlready = true // late updates of a committed txn
+	}
+	st := s.ensureTxn(m.TxnVT, m.Origin)
+
+	status := history.Pending
+	if committedAlready {
+		status = history.Committed
+	}
+
+	blocked := 0
+	for _, upd := range m.Updates {
+		upd := upd
+		ok := s.applyUpdate(st, upd, status)
+		if ok {
+			s.bumpStat(func(stt *Stats) { stt.UpdatesApplied++ })
+		}
+		if !ok {
+			blocked++
+			root := s.objects[upd.Target]
+			if root != nil {
+				root.pending = append(root.pending, pendingIndirect{
+					txnVT:  m.TxnVT,
+					origin: m.Origin,
+					upd:    upd,
+				})
+			}
+		}
+	}
+	s.scheduleOptimistic(st.appliedObjects())
+	if committedAlready {
+		s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+		st.status = txnCommitted
+	}
+
+	if !m.NeedsConfirm {
+		return
+	}
+
+	decide := func() {
+		ok, _, reason := s.validateAsPrimary(st, m.TxnVT, m.Updates, m.Checks)
+		if !ok {
+			s.log.Debug("primary denial", "txn", m.TxnVT.String(), "reason", reason)
+		}
+		if m.Delegate != nil {
+			// Delegated commit (paper §3.1): this single remote primary
+			// site decides the transaction and informs every involved
+			// site directly.
+			s.decideAsDelegate(st, m, ok)
+			return
+		}
+		s.send(m.Origin, wire.Confirm{TxnVT: m.TxnVT, From: s.id, OK: ok, Reason: reason})
+	}
+	if blocked > 0 {
+		// Structural ops for some paths have not arrived; the check (and
+		// any delegation) must wait until propagation unblocks
+		// (paper §3.2.1).
+		st.blockedRemaining = blocked
+		st.onUnblocked = decide
+		return
+	}
+	decide()
+}
+
+// decideAsDelegate commits or aborts the whole transaction at the single
+// remote primary site on the origin's behalf.
+func (s *Site) decideAsDelegate(st *txnState, m wire.Write, ok bool) {
+	s.outcomes[m.TxnVT] = ok
+	if ok {
+		st.commitApplied()
+		st.status = txnCommitted
+		for _, site := range m.Delegate.Sites {
+			s.send(site, wire.Outcome{TxnVT: m.TxnVT, Committed: true})
+		}
+		s.resolveRC(m.TxnVT, true)
+		s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+		s.gcTxnObjects(st)
+		return
+	}
+	objs := st.appliedObjects()
+	s.undoApplied(st)
+	s.releaseReservations(st)
+	st.status = txnAborted
+	for _, site := range m.Delegate.Sites {
+		s.send(site, wire.Outcome{TxnVT: m.TxnVT, Committed: false})
+	}
+	s.resolveRC(m.TxnVT, false)
+	s.onLocalAbort(objs)
+}
+
+// validateAsPrimary runs the RL/NC checks this site is responsible for
+// within one transaction message: updates whose target's primary copy
+// lives here, plus explicit read checks.
+func (s *Site) validateAsPrimary(st *txnState, vt vtime.VT, updates []wire.Update, checks []wire.ReadCheck) (ok, transient bool, reason string) {
+	// Authorization monitors vet remote access before any guess check
+	// (paper 1); a denial aborts the transaction at its origin.
+	if err := s.authorizeUpdates(updates, st.origin); err != nil {
+		return false, false, err.Error()
+	}
+	if err := s.authorizeChecks(checks, st.origin); err != nil {
+		return false, false, err.Error()
+	}
+	for _, upd := range updates {
+		root, exists := s.objects[upd.Target]
+		if !exists {
+			return false, false, fmt.Sprintf("unknown object %s", upd.Target)
+		}
+		if _, isGraph := upd.Op.(wire.OpGraph); isGraph {
+			// Graph updates validate at the primary of the PREVIOUS
+			// graph (the new graph has already been applied
+			// optimistically) against the graph history and graph
+			// reservations only (paper §3.3).
+			groot := root.replicationRoot()
+			if oldV, okOld := groot.graphHist.At(upd.GraphVT); okOld {
+				if og, okG := oldV.Value.(*repgraph.Graph); okG {
+					if pn, has := og.Primary(); has && pn != root.id {
+						continue // another site validates this graph
+					}
+				}
+			}
+			iv := vtime.Interval{Lo: upd.GraphVT, Hi: vt}
+			if groot.graphHist.HasVersionIn(iv, vt) {
+				return false, false, fmt.Sprintf("RL: graph change in %s for %s", iv, groot.id)
+			}
+			if groot.graphRes.Conflicts(vt, vt) {
+				return false, false, fmt.Sprintf("NC: graph reservation conflict at %s on %s", vt, groot.id)
+			}
+			groot.graphRes.Reserve(iv, vt)
+			st.reservedObjs = append(st.reservedObjs, groot)
+			continue
+		}
+		g, _ := root.currentGraph()
+		primaryNode, has := g.Primary()
+		if !has || primaryNode != root.id {
+			continue // another site validates this object
+		}
+		target := root
+		if len(upd.Path) > 0 {
+			child, removed, blocked := root.resolvePath(upd.Path)
+			if removed {
+				return false, false, fmt.Sprintf("path %s removed", upd.Path)
+			}
+			if blocked || child == nil {
+				// The structural op is part of this same transaction
+				// and was just applied; a still-blocked path here means
+				// out-of-order structure, handled by the caller.
+				continue
+			}
+			target = child
+		}
+		if isStructuralOp(upd.Op) {
+			target = targetForStructural(root, upd)
+		}
+		okc, reasonc := s.primaryCheck(target, root, upd.ReadVT, upd.GraphVT, vt, true, false)
+		if !okc {
+			return false, false, reasonc
+		}
+		st.reservedObjs = append(st.reservedObjs, target)
+	}
+	for _, c := range checks {
+		okc, tr, reasonc := s.runReadCheck(c, vt)
+		if !okc {
+			return false, tr, reasonc
+		}
+		if obj := s.resolveCheckTarget(c.Target, c.Path); obj != nil {
+			st.reservedObjs = append(st.reservedObjs, obj)
+		}
+	}
+	return true, false, ""
+}
+
+// isStructuralOp reports whether op changes composite structure (and thus
+// validates against the composite itself rather than a child).
+func isStructuralOp(op wire.Op) bool {
+	switch op.(type) {
+	case wire.OpListInsert, wire.OpListRemove, wire.OpTupleSet, wire.OpTupleRemove:
+		return true
+	default:
+		return false
+	}
+}
+
+// targetForStructural resolves the composite a structural op applies to:
+// the root itself (empty path) or the composite at the path.
+func targetForStructural(root *object, upd wire.Update) *object {
+	if len(upd.Path) == 0 {
+		return root
+	}
+	child, _, _ := root.resolvePath(upd.Path)
+	if child == nil {
+		return root
+	}
+	return child
+}
+
+// runReadCheck validates one RL read-check at this primary site,
+// reserving the interval on success.
+func (s *Site) runReadCheck(c wire.ReadCheck, vt vtime.VT) (ok, transient bool, reason string) {
+	root, exists := s.objects[c.Target]
+	if !exists {
+		return false, false, fmt.Sprintf("unknown object %s", c.Target)
+	}
+	target := root
+	if len(c.Path) > 0 {
+		child, removed, blocked := root.resolvePath(c.Path)
+		if removed {
+			return false, false, fmt.Sprintf("path %s removed", c.Path)
+		}
+		if blocked || child == nil {
+			return false, true, fmt.Sprintf("transient: path %s not yet present", c.Path)
+		}
+		target = child
+	}
+	okc, reasonc := s.primaryCheckOpts(target, root, c.ReadVT, c.GraphVT, vt, false, c.CommittedOnly, c.NoReserve)
+	if !okc {
+		return false, isTransientReason(reasonc), reasonc
+	}
+	return true, false, ""
+}
+
+// isTransientReason reports whether a denial reason marks a transient
+// condition.
+func isTransientReason(reason string) bool {
+	return len(reason) >= 10 && reason[:10] == "transient:"
+}
+
+// handleConfirmRead validates RL guesses on behalf of a remote reader
+// (a transaction's read set, a view snapshot, or a join step).
+func (s *Site) handleConfirmRead(from vtime.SiteID, m wire.ConfirmRead) {
+	if err := s.authorizeChecks(m.Checks, m.Origin); err != nil {
+		s.send(m.Origin, wire.Confirm{TxnVT: m.TxnVT, ReqID: m.ReqID, From: s.id, OK: false, Reason: err.Error()})
+		return
+	}
+	allOK := true
+	anyTransient := false
+	reason := ""
+	st := s.txns[m.TxnVT] // may be nil; reservations then tracked per object
+	for _, c := range m.Checks {
+		ok, tr, r := s.runReadCheck(c, m.TxnVT)
+		if !ok {
+			allOK = false
+			anyTransient = anyTransient || tr
+			reason = r
+			break
+		}
+		if st != nil {
+			if obj := s.resolveCheckTarget(c.Target, c.Path); obj != nil {
+				st.reservedObjs = append(st.reservedObjs, obj)
+			}
+		}
+	}
+	s.send(m.Origin, wire.Confirm{
+		TxnVT:     m.TxnVT,
+		ReqID:     m.ReqID,
+		From:      s.id,
+		OK:        allOK,
+		Transient: anyTransient,
+		Reason:    reason,
+	})
+}
+
+// handleConfirm routes a primary site's verdict to the waiting
+// transaction or snapshot request.
+func (s *Site) handleConfirm(m wire.Confirm) {
+	if m.ReqID != 0 {
+		if w, ok := s.confirmWaiters[m.ReqID]; ok {
+			delete(s.confirmWaiters, m.ReqID)
+			w(m)
+		}
+		return
+	}
+	st, ok := s.txns[m.TxnVT]
+	if !ok || st.origin != s.id || st.status != txnWaiting {
+		return
+	}
+	if m.OK {
+		if _, expected := st.waitConfirms[m.From]; !expected && st.extraPending > 0 {
+			// A confirmation raced ahead of the join reply that will
+			// register it (paper §3.3 flow).
+			if st.earlyConfirms == nil {
+				st.earlyConfirms = map[vtime.SiteID]bool{}
+			}
+			st.earlyConfirms[m.From] = true
+			return
+		}
+		delete(st.waitConfirms, m.From)
+		s.checkTxnComplete(st)
+		return
+	}
+	if st.extraPending > 0 {
+		// Join in flight: record the denial; handleJoinReply aborts.
+		if st.earlyConfirms == nil {
+			st.earlyConfirms = map[vtime.SiteID]bool{}
+		}
+		st.earlyConfirms[m.From] = false
+	}
+	s.abortTxn(st, fmt.Sprintf("denied by %s: %s", m.From, m.Reason))
+}
+
+// handleOutcome records and applies a summary COMMIT/ABORT.
+func (s *Site) handleOutcome(m wire.Outcome) {
+	s.outcomes[m.TxnVT] = m.Committed
+	st, ok := s.txns[m.TxnVT]
+	if !ok {
+		// Updates not yet arrived; they will be applied with the
+		// recorded outcome (paper §3.1).
+		s.resolveRC(m.TxnVT, m.Committed)
+		return
+	}
+	switch st.status {
+	case txnApplied:
+		if m.Committed {
+			st.commitApplied()
+			st.status = txnCommitted
+			s.resolveRC(m.TxnVT, true)
+			s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+			s.gcTxnObjects(st)
+			if st.hasGraphOp {
+				s.unparkRetries()
+				s.afterGraphCommit(st)
+			}
+		} else {
+			objs := st.appliedObjects()
+			s.undoApplied(st)
+			s.releaseReservations(st)
+			st.status = txnAborted
+			s.resolveRC(m.TxnVT, false)
+			s.onLocalAbort(objs)
+		}
+	case txnWaiting:
+		// Originating site of a delegated transaction: the delegate
+		// decided.
+		if st.origin != s.id {
+			return
+		}
+		if m.Committed {
+			st.status = txnCommitted
+			st.commitApplied()
+			s.resolveRC(m.TxnVT, true)
+			s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+			s.bumpStat(func(stt *Stats) { stt.Commits++ })
+			if st.handle != nil {
+				st.handle.finish(Result{Committed: true, Retries: st.retries, VT: st.vt})
+			}
+			s.gcTxnObjects(st)
+		} else {
+			// Delegate denied: undo and retry. The delegate has already
+			// informed the other involved sites.
+			objs := st.appliedObjects()
+			s.undoApplied(st)
+			s.releaseReservations(st)
+			st.status = txnAborted
+			s.resolveRC(m.TxnVT, false)
+			s.onLocalAbort(objs)
+			s.bumpStat(func(stt *Stats) { stt.ConflictAborts++ })
+			if st.txn == nil || st.handle == nil {
+				return
+			}
+			if st.retries+1 > s.opts.MaxRetries {
+				st.handle.finish(Result{Err: fmt.Errorf("%w (%d attempts)", ErrTooManyRetries, st.retries+1), Retries: st.retries, VT: st.vt})
+				return
+			}
+			s.bumpStat(func(stt *Stats) { stt.Retries++ })
+			txn, h, retries := st.txn, st.handle, st.retries+1
+			s.do(func() { s.execute(txn, h, retries) })
+		}
+	default:
+		// Already decided locally; nothing to do.
+	}
+}
+
+// gcTxnObjects prunes histories of the objects a committed transaction
+// touched.
+func (s *Site) gcTxnObjects(st *txnState) {
+	for _, o := range st.appliedObjects() {
+		s.maybeGC(o)
+	}
+}
+
+// applyUpdate applies one update from a remote transaction. It returns
+// false when the update must block on a not-yet-received structural op.
+func (s *Site) applyUpdate(st *txnState, upd wire.Update, status history.Status) bool {
+	root, ok := s.objects[upd.Target]
+	if !ok {
+		s.log.Warn("update for unknown object", "target", upd.Target.String())
+		return true // drop; cannot block on an unknown root
+	}
+	return s.applyOpRead(st, root, upd.Path, upd.Op, status, upd.ReadVT)
+}
+
+// applyOp applies op to the object at path below target, recording undo
+// state in st. It returns false when blocked on missing structure.
+func (s *Site) applyOp(st *txnState, target *object, path wire.Path, op wire.Op, status history.Status) bool {
+	return s.applyOpRead(st, target, path, op, status, vtime.Zero)
+}
+
+// applyOpRead is applyOp carrying the writer's read time tR, recorded on
+// scalar versions for the view engine's eager-confirmation test.
+func (s *Site) applyOpRead(st *txnState, target *object, path wire.Path, op wire.Op, status history.Status, readVT vtime.VT) bool {
+	obj := target
+	if len(path) > 0 {
+		// Application traverses tombstones: an update that validated at
+		// the primary must apply at every replica even where a pending
+		// local removal currently hides the element, so all replicas
+		// converge whichever way the removal resolves.
+		child, blocked := target.resolvePathForApply(path)
+		if blocked {
+			return false
+		}
+		if child == nil {
+			s.log.Debug("update path unavailable", "path", path.String())
+			return true
+		}
+		obj = child
+	}
+	vt := st.vt
+	switch o := op.(type) {
+	case wire.OpSet:
+		if err := obj.hist.InsertRead(vt, o.Value, status, readVT); err != nil {
+			s.log.Debug("duplicate update ignored", "obj", obj.id.String(), "vt", vt.String())
+			return true
+		}
+		st.applied = append(st.applied, appliedUpdate{obj: obj, undo: func() { obj.hist.Abort(vt) }})
+	case wire.OpAssoc:
+		if err := obj.hist.InsertRead(vt, o.Relationships, status, readVT); err != nil {
+			return true
+		}
+		st.applied = append(st.applied, appliedUpdate{obj: obj, undo: func() { obj.hist.Abort(vt) }})
+	case wire.OpGraph:
+		s.applyGraphOp(st, obj, o, status)
+		st.hasGraphOp = true
+		st.graphObjs = append(st.graphObjs, obj)
+	case wire.OpListInsert:
+		if !s.applyListInsert(st, obj, o, status) {
+			return false // the After element's insert not yet received
+		}
+	case wire.OpListRemove:
+		if !s.applyListRemove(st, obj, o, status) {
+			return false // element's insert not yet received: block
+		}
+	case wire.OpTupleSet:
+		s.applyTupleSet(st, obj, o, status)
+	case wire.OpTupleRemove:
+		if !s.applyTupleRemove(st, obj, o, status) {
+			return false // entry's insert not yet received: block
+		}
+	default:
+		s.log.Warn("unknown op", "type", fmt.Sprintf("%T", op))
+	}
+	s.drainPending(target.root())
+	return true
+}
+
+// applyGraphOp replaces obj's replication graph at st.vt. The shipped
+// graph may describe several components (a leave ships the relationship
+// with the leaver disconnected); each replica keeps the component
+// containing itself.
+func (s *Site) applyGraphOp(st *txnState, obj *object, o wire.OpGraph, status history.Status) {
+	newG := repgraph.FromWire(o.Graph)
+	if newG.Has(obj.id) && !newG.Connected() {
+		newG = newG.Component(obj.id)
+	}
+	if err := obj.graphHist.Insert(st.vt, newG, status); err != nil {
+		return // duplicate
+	}
+	// The cached graph always mirrors the graph history's current
+	// version, so out-of-order arrivals and rollbacks both resolve to
+	// the latest surviving graph.
+	obj.refreshGraph()
+	vt := st.vt
+	st.applied = append(st.applied, appliedUpdate{
+		obj:    obj,
+		undo:   func() { obj.graphHist.Abort(vt); obj.refreshGraph() },
+		commit: func() { obj.graphHist.Commit(vt) },
+	})
+}
+
+// recordCompositeVersion notes a structural change in the composite's own
+// history (one version per transaction, accumulating ops).
+func (s *Site) recordCompositeVersion(st *txnState, comp *object, op wire.Op, status history.Status) {
+	if v, ok := comp.hist.Get(st.vt); ok {
+		ops, _ := v.Value.([]wire.Op)
+		comp.hist.SetValue(st.vt, append(ops, op))
+		return
+	}
+	vt := st.vt
+	if err := comp.hist.Insert(vt, []wire.Op{op}, status); err != nil {
+		return
+	}
+	st.applied = append(st.applied, appliedUpdate{obj: comp, undo: func() { comp.hist.Abort(vt) }})
+}
+
+// applyListInsert embeds a new child element into a list, positioning it
+// deterministically so all replicas converge (RGA-style: after the After
+// element, before any concurrent sibling with a smaller tag). It returns
+// false (blocked) when the After element's insert has not yet arrived
+// (paper §3.2.1: propagation blocks until the earlier structural update
+// is received).
+func (s *Site) applyListInsert(st *txnState, lst *object, o wire.OpListInsert, status history.Status) bool {
+	if lst.kind != KindList {
+		s.log.Warn("list insert on non-list", "obj", lst.id.String())
+		return true
+	}
+	if i, _ := lst.findChildByTag(o.Tag); i >= 0 {
+		return true // duplicate delivery
+	}
+	pos := 0
+	if !o.After.IsZero() {
+		ai, _ := lst.findChildByTag(o.After)
+		if ai < 0 {
+			return false // causal dependency missing: block
+		}
+		pos = ai + 1
+	}
+	child := s.newChildObject(lst, wire.PathElem{Tag: o.Tag}, o.Child)
+	elem := listElem{tag: o.Tag, child: child, insertVT: st.vt}
+	// Skip over concurrent inserts with greater tags (deterministic
+	// total order regardless of arrival order).
+	for pos < len(lst.elems) && tagLess(o.Tag, lst.elems[pos].tag) {
+		pos++
+	}
+	lst.elems = append(lst.elems, listElem{})
+	copy(lst.elems[pos+1:], lst.elems[pos:])
+	lst.elems[pos] = elem
+
+	s.recordCompositeVersion(st, lst, o, status)
+	tag := o.Tag
+	childID := child.id
+	st.applied = append(st.applied, appliedUpdate{obj: lst, undo: func() {
+		if i, _ := lst.findChildByTag(tag); i >= 0 {
+			lst.elems = append(lst.elems[:i], lst.elems[i+1:]...)
+		}
+		delete(s.objects, childID)
+	}})
+	return true
+}
+
+// tagLess orders element tags by (VT, ordinal).
+func tagLess(a, b wire.ElemTag) bool {
+	if a.VT != b.VT {
+		return a.VT.Less(b.VT)
+	}
+	return a.N < b.N
+}
+
+// applyListRemove tombstones a list element. It returns false (blocked)
+// when the element's insert has not yet arrived. Concurrent removals from
+// several sites accumulate independently so an abort of one leaves the
+// others in force at every replica.
+func (s *Site) applyListRemove(st *txnState, lst *object, o wire.OpListRemove, status history.Status) bool {
+	_, le := lst.findChildByTag(o.Tag)
+	if le == nil {
+		return false
+	}
+	for _, r := range le.removals {
+		if r == st.vt {
+			return true // duplicate delivery
+		}
+	}
+	le.removals = append(le.removals, st.vt)
+	s.recordCompositeVersion(st, lst, o, status)
+	tag := o.Tag
+	vt := st.vt
+	st.applied = append(st.applied, appliedUpdate{obj: lst, undo: func() {
+		if _, l := lst.findChildByTag(tag); l != nil {
+			for i, r := range l.removals {
+				if r == vt {
+					l.removals = append(l.removals[:i], l.removals[i+1:]...)
+					break
+				}
+			}
+		}
+	}})
+	return true
+}
+
+// applyTupleSet embeds a child under a key. Concurrent sets of the same
+// key coexist as separate entries; visibility picks the greatest insert
+// VT, so every replica converges on the same winner regardless of
+// arrival order (add-wins).
+func (s *Site) applyTupleSet(st *txnState, tup *object, o wire.OpTupleSet, status history.Status) {
+	if tup.kind != KindTuple {
+		s.log.Warn("tuple set on non-tuple", "obj", tup.id.String())
+		return
+	}
+	// At pins the entry identity when a join ships existing structure;
+	// otherwise the inserting transaction's VT is the identity.
+	insertVT := st.vt
+	if !o.At.IsZero() {
+		insertVT = o.At
+	}
+	// Idempotence: a duplicate delivery inserted this entry already.
+	if _, ent := tup.findEntryAt(o.Key, insertVT); ent != nil {
+		return
+	}
+	link := wire.PathElem{IsKey: true, Key: o.Key, Tag: wire.ElemTag{VT: insertVT}}
+	child := s.newChildObject(tup, link, o.Child)
+	tup.entries = append(tup.entries, tupleEntry{key: o.Key, child: child, insertVT: insertVT})
+
+	s.recordCompositeVersion(st, tup, o, status)
+	key := o.Key
+	childID := child.id
+	vt := insertVT
+	st.applied = append(st.applied, appliedUpdate{obj: tup, undo: func() {
+		for i := len(tup.entries) - 1; i >= 0; i-- {
+			if tup.entries[i].key == key && tup.entries[i].insertVT == vt {
+				tup.entries = append(tup.entries[:i], tup.entries[i+1:]...)
+				break
+			}
+		}
+		delete(s.objects, childID)
+	}})
+}
+
+// applyTupleRemove tombstones the specific entry (key, Of). It returns
+// false (blocked) when that entry's insert has not yet arrived.
+func (s *Site) applyTupleRemove(st *txnState, tup *object, o wire.OpTupleRemove, status history.Status) bool {
+	_, ent := tup.findEntryAt(o.Key, o.Of)
+	if ent == nil {
+		return false
+	}
+	for _, r := range ent.removals {
+		if r == st.vt {
+			return true // duplicate delivery
+		}
+	}
+	ent.removals = append(ent.removals, st.vt)
+	s.recordCompositeVersion(st, tup, o, status)
+	vt := st.vt
+	key, of := o.Key, o.Of
+	st.applied = append(st.applied, appliedUpdate{obj: tup, undo: func() {
+		if _, e := tup.findEntryAt(key, of); e != nil {
+			for i, r := range e.removals {
+				if r == vt {
+					e.removals = append(e.removals[:i], e.removals[i+1:]...)
+					break
+				}
+			}
+		}
+	}})
+	return true
+}
+
+// drainPending retries indirect updates blocked on structure below root,
+// applying any that have become resolvable (paper §3.2.1).
+func (s *Site) drainPending(root *object) {
+	if len(root.pending) == 0 {
+		return
+	}
+	progress := true
+	for progress {
+		progress = false
+		kept := root.pending[:0]
+		for _, p := range root.pending {
+			if known, ok := s.outcomes[p.txnVT]; ok && !known {
+				progress = true
+				continue // aborted while blocked
+			}
+			_, _, blocked := root.resolvePath(p.upd.Path)
+			if blocked {
+				kept = append(kept, p)
+				continue
+			}
+			st := s.ensureTxn(p.txnVT, p.origin)
+			status := history.Pending
+			if known, ok := s.outcomes[p.txnVT]; ok && known {
+				status = history.Committed
+			}
+			s.applyOp(st, root, p.upd.Path, p.upd.Op, status)
+			s.scheduleOptimistic([]*object{root})
+			if status == history.Committed {
+				s.onLocalCommit(st.appliedObjects(), p.txnVT)
+			}
+			if st.blockedRemaining > 0 {
+				st.blockedRemaining--
+				if st.blockedRemaining == 0 && st.onUnblocked != nil {
+					cont := st.onUnblocked
+					st.onUnblocked = nil
+					cont()
+				}
+			}
+			progress = true
+		}
+		root.pending = kept
+	}
+}

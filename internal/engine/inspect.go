@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"decaf/internal/repgraph"
+)
+
+// DescribeCheckpoint renders a human-readable summary of a persisted
+// checkpoint without loading it into a site (the decaf-inspect tool).
+func DescribeCheckpoint(r io.Reader) (string, error) {
+	var cp siteCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return "", fmt.Errorf("engine: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return "", fmt.Errorf("engine: checkpoint version %d unsupported", cp.Version)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "checkpoint of site %s (format v%d)\n", cp.Site, cp.Version)
+	fmt.Fprintf(&b, "clock %s, next object seq %d, %d top-level objects\n",
+		cp.Clock, cp.NextSeq, len(cp.Objects))
+	for _, oc := range cp.Objects {
+		fmt.Fprintf(&b, "\n%s %q (%s)\n", oc.ID, oc.Desc, oc.Kind)
+		if oc.Value != nil || !oc.ValueVT.IsZero() {
+			fmt.Fprintf(&b, "  value %v (committed at %s)\n", oc.Value, oc.ValueVT)
+		}
+		if len(oc.Graph.Nodes) > 0 {
+			g := repgraph.FromWire(oc.Graph)
+			fmt.Fprintf(&b, "  replicas %v, primary at ", g.Sites())
+			if ps, ok := g.PrimarySite(); ok {
+				fmt.Fprintf(&b, "site %s", ps)
+			} else {
+				b.WriteString("(none)")
+			}
+			fmt.Fprintf(&b, " (graph changed at %s)\n", oc.GraphVT)
+		}
+		describeChildren(&b, oc.Children, "  ")
+	}
+	return b.String(), nil
+}
+
+func describeChildren(b *strings.Builder, children []childCheckpoint, indent string) {
+	for _, cc := range children {
+		label := cc.Key
+		if label == "" {
+			label = cc.Tag.String()
+		}
+		fmt.Fprintf(b, "%s[%s] %s", indent, label, cc.Kind)
+		if cc.Value != nil {
+			fmt.Fprintf(b, " = %v", cc.Value)
+		}
+		fmt.Fprintf(b, " (embedded at %s)\n", cc.InsertVT)
+		describeChildren(b, cc.Children, indent+"  ")
+	}
+}

@@ -1,0 +1,582 @@
+// Package engine implements the DECAF site runtime: model objects with
+// versioned histories, the optimistic concurrency-control transaction
+// engine (paper §3), the view-notification engine (paper §4), dynamic
+// collaboration establishment (§3.3), and failure handling (§3.4).
+//
+// Each Site runs a single event-loop goroutine that owns all site state;
+// controllers submit transactions into the loop and user callbacks (views,
+// abort handlers) run on a separate notifier goroutine with immutable
+// snapshot data, so user code never races with the engine.
+package engine
+
+import (
+	"fmt"
+
+	"decaf/internal/history"
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// Kind aliases the wire-level model-object kind enumeration.
+type Kind = wire.ChildKind
+
+// Re-exported model object kinds.
+const (
+	KindInt         = wire.KindInt
+	KindFloat       = wire.KindFloat
+	KindString      = wire.KindString
+	KindBool        = wire.KindBool
+	KindList        = wire.KindList
+	KindTuple       = wire.KindTuple
+	KindAssociation = wire.KindAssociation
+)
+
+// listElem is one element slot of a list object. Tombstoned slots are
+// retained so that concurrent inserts converge to the same order at every
+// replica (the element tags give the paper's VT-tagged path indices).
+type listElem struct {
+	tag   wire.ElemTag
+	child *object
+	// insertVT is the transaction that embedded the element; removals are
+	// the transactions that removed it (several sites may remove the same
+	// element concurrently; aborted removals are withdrawn by undo).
+	insertVT vtime.VT
+	removals []vtime.VT
+}
+
+// tupleEntry is one key slot of a tuple object. Concurrent sets of the
+// same key coexist as separate entries; the one with the greatest insert
+// VT is the live value (deterministic at every replica regardless of
+// arrival order).
+type tupleEntry struct {
+	key      string
+	child    *object
+	insertVT vtime.VT
+	removals []vtime.VT
+}
+
+// pendingIndirect is an indirect-propagation update that arrived before
+// the structural operation creating part of its path (paper §3.2.1: "the
+// propagation will block until the earlier update is received").
+type pendingIndirect struct {
+	txnVT  vtime.VT
+	origin vtime.SiteID
+	upd    wire.Update
+}
+
+// object is one model object replica at one site. All access is confined
+// to the owning site's event loop.
+type object struct {
+	id   ids.ObjectID
+	kind Kind
+	desc string
+	site *Site
+
+	// hist is the value history. For scalar objects the versions carry
+	// the value; for composites they carry the structural op that
+	// changed the composite (embed/remove), giving composites their own
+	// read/write times; for associations they carry []wire.Relationship.
+	hist history.History
+	// res is the write-free reservation table, meaningful when this
+	// site hosts the object's primary copy.
+	res history.Reservations
+
+	// graph is the current replication graph; graphVT the VT at which
+	// it was last changed; graphHist the replication-graph history.
+	// Indirect children have a nil graph and inherit the root's.
+	graph     *repgraph.Graph
+	graphVT   vtime.VT
+	graphHist history.History
+	graphRes  history.Reservations
+
+	// proxies are the view proxies attached locally to this object.
+	proxies []*viewProxy
+
+	// Composite linkage.
+	parent     *object
+	parentLink wire.PathElem
+	elems      []listElem   // list children, ordered, with tombstones
+	entries    []tupleEntry // tuple children with tombstones
+	pending    []pendingIndirect
+}
+
+// An embedded object with a non-nil graph uses DIRECT propagation (paper
+// §3.2.2): it is its own replication root. See promote.go.
+
+// newObject creates a local object with a fresh ID and a single-node
+// replication graph.
+func (s *Site) newObject(kind Kind, desc string, initial any) *object {
+	s.nextSeq++
+	o := &object{
+		id:   ids.ObjectID{Site: s.id, Seq: s.nextSeq},
+		kind: kind,
+		desc: desc,
+		site: s,
+	}
+	o.graph = repgraph.NewGraph(o.id, s.id)
+	// Initial value at the zero VT, committed: objects are born with a
+	// consistent value visible to snapshots at any time.
+	if err := o.hist.Insert(vtime.Zero, initial, history.Committed); err != nil {
+		panic(fmt.Sprintf("engine: fresh history insert: %v", err))
+	}
+	if err := o.graphHist.Insert(vtime.Zero, o.graph, history.Committed); err != nil {
+		panic(fmt.Sprintf("engine: fresh graph insert: %v", err))
+	}
+	s.objects[o.id] = o
+	return o
+}
+
+// newChildObject creates an object embedded in a composite (indirect
+// propagation by default: nil own graph until it collaborates directly).
+func (s *Site) newChildObject(parent *object, link wire.PathElem, decl wire.ChildDecl) *object {
+	s.nextSeq++
+	o := &object{
+		id:     ids.ObjectID{Site: s.id, Seq: s.nextSeq},
+		kind:   decl.Kind,
+		desc:   fmt.Sprintf("%s%s", parent.desc, link),
+		site:   s,
+		parent: parent,
+	}
+	o.parentLink = link
+	initial := decl.Value
+	if initial == nil {
+		initial = defaultValue(decl.Kind)
+	}
+	if err := o.hist.Insert(vtime.Zero, initial, history.Committed); err != nil {
+		panic(fmt.Sprintf("engine: fresh child history insert: %v", err))
+	}
+	s.objects[o.id] = o
+	return o
+}
+
+// defaultValue returns the initial value for a model-object kind.
+func defaultValue(kind Kind) any {
+	switch kind {
+	case KindInt:
+		return int64(0)
+	case KindFloat:
+		return float64(0)
+	case KindString:
+		return ""
+	case KindBool:
+		return false
+	case KindAssociation:
+		return []wire.Relationship(nil)
+	default:
+		return nil // composites carry structure, not a scalar value
+	}
+}
+
+// isComposite reports whether the object embeds children.
+func (o *object) isComposite() bool {
+	return o.kind == KindList || o.kind == KindTuple
+}
+
+// root walks up to the outermost enclosing composite (or o itself).
+func (o *object) root() *object {
+	r := o
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// replicationRoot returns the object whose replication graph governs o's
+// propagation: o itself when it has its own graph (standalone or direct
+// propagation), else the nearest ancestor with a graph.
+func (o *object) replicationRoot() *object {
+	r := o
+	for r.graph == nil && r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// pathFromRoot returns the VT-tagged path from o's replication root down
+// to o (empty when o is its own replication root).
+func (o *object) pathFromRoot() wire.Path {
+	var rev []wire.PathElem
+	for cur := o; cur.graph == nil && cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.parentLink)
+	}
+	// Reverse into root-first order.
+	p := make(wire.Path, len(rev))
+	for i, e := range rev {
+		p[len(rev)-1-i] = e
+	}
+	return p
+}
+
+// pathFromContainer returns the VT-tagged path from the outermost
+// enclosing composite down to o, regardless of o's own graph (used by the
+// promotion protocol, which addresses counterparts through the tree).
+func (o *object) pathFromContainer() wire.Path {
+	var rev []wire.PathElem
+	for cur := o; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.parentLink)
+	}
+	p := make(wire.Path, len(rev))
+	for i, e := range rev {
+		p[len(rev)-1-i] = e
+	}
+	return p
+}
+
+// refreshGraph re-derives the cached current graph from the graph
+// history (after inserts, aborts, or out-of-order arrivals).
+func (o *object) refreshGraph() {
+	cur, ok := o.graphHist.Current()
+	if !ok {
+		return
+	}
+	if g, okG := cur.Value.(*repgraph.Graph); okG {
+		o.graph = g
+		o.graphVT = cur.VT
+	}
+}
+
+// currentGraph returns the replication graph governing o (its own or the
+// inherited root graph), together with the VT it was last changed at.
+func (o *object) currentGraph() (*repgraph.Graph, vtime.VT) {
+	r := o.replicationRoot()
+	return r.graph, r.graphVT
+}
+
+// primarySite returns the site hosting o's primary copy.
+func (o *object) primarySite() vtime.SiteID {
+	g, _ := o.currentGraph()
+	if g == nil {
+		return o.site.id
+	}
+	p, ok := g.PrimarySite()
+	if !ok {
+		return o.site.id
+	}
+	return p
+}
+
+// replicaSites returns all sites hosting replicas of o (via its governing
+// graph), excluding this site.
+func (o *object) remoteSites() []vtime.SiteID {
+	g, _ := o.currentGraph()
+	if g == nil {
+		return nil
+	}
+	var out []vtime.SiteID
+	for _, s := range g.Sites() {
+		if s != o.site.id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// findChildByTag returns the list element with the given tag.
+func (o *object) findChildByTag(tag wire.ElemTag) (int, *listElem) {
+	for i := range o.elems {
+		if o.elems[i].tag == tag {
+			return i, &o.elems[i]
+		}
+	}
+	return -1, nil
+}
+
+// removalEffective reports whether any removal at or below `at` applies
+// (for committedOnly, only removals whose transaction committed count;
+// otherwise every present removal counts — aborted ones are withdrawn by
+// undo). A removal whose history version was garbage-collected is by
+// construction committed: pending versions block GC and aborted removals
+// are deleted from the slice.
+func (o *object) removalEffective(removals []vtime.VT, at vtime.VT, committedOnly bool) bool {
+	for _, r := range removals {
+		if !r.LessEq(at) {
+			continue
+		}
+		if committedOnly {
+			if v, ok := o.hist.Get(r); ok && v.Status != history.Committed {
+				continue // still pending
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// findEntry returns the live tuple entry for key: among non-removed
+// entries, the one with the greatest insert VT (the deterministic winner
+// of concurrent sets).
+func (o *object) findEntry(key string) (int, *tupleEntry) {
+	at := o.latestVT()
+	best := -1
+	for i := range o.entries {
+		e := &o.entries[i]
+		if e.key != key || o.removalEffective(e.removals, at, false) {
+			continue
+		}
+		if best < 0 || o.entries[best].insertVT.Less(e.insertVT) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, nil
+	}
+	return best, &o.entries[best]
+}
+
+// findEntryAt returns the exact entry for key inserted at `of`.
+func (o *object) findEntryAt(key string, of vtime.VT) (int, *tupleEntry) {
+	for i := range o.entries {
+		if o.entries[i].key == key && o.entries[i].insertVT == of {
+			return i, &o.entries[i]
+		}
+	}
+	return -1, nil
+}
+
+// resolvePath walks a VT-tagged path from o down to the addressed child,
+// for primary-copy CHECKS: it reports removed components (an RL path
+// guess failure — any removal, committed or pending, conservatively
+// denies; a wrongly denied transaction simply retries). blocked reports a
+// component whose structural op has not yet arrived (indirect propagation
+// must block, §3.2.1).
+func (o *object) resolvePath(p wire.Path) (child *object, removed bool, blocked bool) {
+	cur := o
+	for _, elem := range p {
+		if elem.IsKey {
+			if cur.kind != KindTuple {
+				return nil, false, false
+			}
+			var ent *tupleEntry
+			if !elem.Tag.VT.IsZero() {
+				// Pinned identity: the exact entry the writer targeted.
+				_, ent = cur.findEntryAt(elem.Key, elem.Tag.VT)
+				if ent == nil {
+					return nil, false, true // entry's set not yet received
+				}
+				if cur.removalEffective(ent.removals, cur.latestVT(), false) {
+					return nil, true, false
+				}
+			} else {
+				_, ent = cur.findEntry(elem.Key)
+				if ent == nil {
+					for i := range cur.entries {
+						if cur.entries[i].key == elem.Key {
+							return nil, true, false
+						}
+					}
+					return nil, false, true
+				}
+			}
+			cur = ent.child
+		} else {
+			if cur.kind != KindList {
+				return nil, false, false
+			}
+			_, le := cur.findChildByTag(elem.Tag)
+			if le == nil {
+				return nil, false, true // structural op not yet received
+			}
+			if cur.removalEffective(le.removals, cur.latestVT(), false) {
+				return nil, true, false
+			}
+			cur = le.child
+		}
+	}
+	return cur, false, false
+}
+
+// resolvePathForApply walks a path for UPDATE APPLICATION: tombstoned
+// components are traversed (the transaction's fate was decided at the
+// primary; a replica with a pending local removal must still apply the
+// update so all replicas converge whichever way the removal resolves).
+// blocked reports a component whose structural op has not yet arrived.
+func (o *object) resolvePathForApply(p wire.Path) (child *object, blocked bool) {
+	cur := o
+	for _, elem := range p {
+		if elem.IsKey {
+			if cur.kind != KindTuple {
+				return nil, false
+			}
+			var ent *tupleEntry
+			if !elem.Tag.VT.IsZero() {
+				_, ent = cur.findEntryAt(elem.Key, elem.Tag.VT)
+			} else {
+				// Legacy unpinned path: latest entry for the key,
+				// tombstoned or not.
+				best := -1
+				for i := range cur.entries {
+					if cur.entries[i].key != elem.Key {
+						continue
+					}
+					if best < 0 || cur.entries[best].insertVT.Less(cur.entries[i].insertVT) {
+						best = i
+					}
+				}
+				if best >= 0 {
+					ent = &cur.entries[best]
+				}
+			}
+			if ent == nil {
+				return nil, true
+			}
+			cur = ent.child
+		} else {
+			if cur.kind != KindList {
+				return nil, false
+			}
+			_, le := cur.findChildByTag(elem.Tag)
+			if le == nil {
+				return nil, true
+			}
+			cur = le.child
+		}
+	}
+	return cur, false
+}
+
+// visibleElems returns the indices of live (non-tombstoned) list elements,
+// in order. When committedOnly is set, elements whose insert is not yet
+// committed are excluded and only committed removals hide an element.
+func (o *object) visibleElems(at vtime.VT, committedOnly bool) []int {
+	var out []int
+	for i := range o.elems {
+		e := &o.elems[i]
+		if !e.insertVT.LessEq(at) {
+			continue
+		}
+		if committedOnly {
+			if v, ok := o.hist.Get(e.insertVT); ok && v.Status != history.Committed {
+				continue
+			}
+		}
+		if o.removalEffective(e.removals, at, committedOnly) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// visibleEntries returns the live tuple entries: per key, the non-removed
+// entry with the greatest insert VT at or below `at`.
+func (o *object) visibleEntries(at vtime.VT, committedOnly bool) []int {
+	bestByKey := map[string]int{}
+	for i := range o.entries {
+		e := &o.entries[i]
+		if !e.insertVT.LessEq(at) {
+			continue
+		}
+		if committedOnly {
+			if v, ok := o.hist.Get(e.insertVT); ok && v.Status != history.Committed {
+				continue
+			}
+		}
+		if o.removalEffective(e.removals, at, committedOnly) {
+			continue
+		}
+		if prev, ok := bestByKey[e.key]; !ok || o.entries[prev].insertVT.Less(e.insertVT) {
+			bestByKey[e.key] = i
+		}
+	}
+	out := make([]int, 0, len(bestByKey))
+	for i := range o.entries {
+		if best, ok := bestByKey[o.entries[i].key]; ok && best == i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// readValue materializes o's value at virtual time `at`: scalars return
+// the version value; composites return a structured value ([]any for
+// lists, map[string]any for tuples) built recursively.
+func (o *object) readValue(at vtime.VT, committedOnly bool) any {
+	switch o.kind {
+	case KindList:
+		idxs := o.visibleElems(at, committedOnly)
+		out := make([]any, 0, len(idxs))
+		for _, i := range idxs {
+			out = append(out, o.elems[i].child.readValue(at, committedOnly))
+		}
+		return out
+	case KindTuple:
+		idxs := o.visibleEntries(at, committedOnly)
+		out := make(map[string]any, len(idxs))
+		for _, i := range idxs {
+			e := &o.entries[i]
+			out[e.key] = e.child.readValue(at, committedOnly)
+		}
+		return out
+	default:
+		var v history.Version
+		var ok bool
+		if committedOnly {
+			v, ok = o.hist.CommittedAt(at)
+		} else {
+			v, ok = o.hist.At(at)
+		}
+		if !ok {
+			return defaultValue(o.kind)
+		}
+		return v.Value
+	}
+}
+
+// latestVT returns the VT of the newest version affecting o, including —
+// for composites — versions of embedded children (so that snapshot times
+// cover child updates).
+func (o *object) latestVT() vtime.VT {
+	v := vtime.Zero
+	if cur, ok := o.hist.Current(); ok {
+		v = cur.VT
+	}
+	switch o.kind {
+	case KindList:
+		for i := range o.elems {
+			e := &o.elems[i]
+			v = v.Max(e.child.latestVT())
+			for _, r := range e.removals {
+				v = v.Max(r)
+			}
+		}
+	case KindTuple:
+		for i := range o.entries {
+			e := &o.entries[i]
+			v = v.Max(e.child.latestVT())
+			for _, r := range e.removals {
+				v = v.Max(r)
+			}
+		}
+	}
+	return v
+}
+
+// forEachDescendant visits o and every embedded child.
+func (o *object) forEachDescendant(fn func(*object)) {
+	fn(o)
+	for i := range o.elems {
+		o.elems[i].child.forEachDescendant(fn)
+	}
+	for i := range o.entries {
+		o.entries[i].child.forEachDescendant(fn)
+	}
+}
+
+// attachedProxies returns the view proxies that observe o: those attached
+// to o itself and to any enclosing composite (a view attached to a
+// composite receives notifications for changes to its children, §2.5).
+func (o *object) attachedProxies() []*viewProxy {
+	var out []*viewProxy
+	seen := map[*viewProxy]bool{}
+	for cur := o; cur != nil; cur = cur.parent {
+		for _, p := range cur.proxies {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"decaf/internal/history"
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// Persistence store (paper §5.3: "We are also incorporating a persistence
+// store and recovery ... into the algorithms of DECAF").
+//
+// Checkpoint serializes a site's committed state: every top-level model
+// object with its latest committed value (composites recursively, keeping
+// their VT element tags so cross-site paths stay valid), its replication
+// graph, and the site's clock and sequence counters. Restore loads a
+// checkpoint into a fresh site with the same site ID.
+//
+// Semantics: a checkpoint captures committed state only — in-flight
+// optimistic state is deliberately excluded (it would be undone on abort
+// anyway). Restoring a single member of a live collaboration is the
+// "rejoin as a new member" path of §3.4; restoring ALL members from
+// mutually consistent checkpoints resumes the collaboration in place.
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// objCheckpoint is one persisted model object.
+type objCheckpoint struct {
+	ID      ids.ObjectID
+	Kind    wire.ChildKind
+	Desc    string
+	Value   any      // scalar value or []wire.Relationship; nil for composites
+	ValueVT vtime.VT // VT of the committed value
+	Graph   repgraph.Wire
+	GraphVT vtime.VT
+	// Children carries composite structure, recursively.
+	Children []childCheckpoint
+}
+
+// childCheckpoint is one embedded child with its identity tags.
+type childCheckpoint struct {
+	Tag      wire.ElemTag // list element tag (zero for tuple entries)
+	Key      string       // tuple key (empty for list elements)
+	InsertVT vtime.VT
+	Kind     wire.ChildKind
+	Value    any
+	ValueVT  vtime.VT
+	Children []childCheckpoint
+}
+
+// siteCheckpoint is the serialized site.
+type siteCheckpoint struct {
+	Version uint32
+	Site    vtime.SiteID
+	NextSeq uint64
+	Clock   vtime.VT
+	Objects []objCheckpoint
+}
+
+func init() {
+	gob.Register(siteCheckpoint{})
+}
+
+// Checkpoint writes the site's committed state to w.
+func (s *Site) Checkpoint(w io.Writer) error {
+	var cp siteCheckpoint
+	err := s.call(func() {
+		cp = siteCheckpoint{
+			Version: checkpointVersion,
+			Site:    s.id,
+			NextSeq: s.nextSeq,
+			Clock:   s.clock.Now(),
+		}
+		for _, o := range s.objects {
+			if o.parent != nil {
+				continue // children ride inside their composite root
+			}
+			cp.Objects = append(cp.Objects, s.checkpointObject(o))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("engine: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// checkpointObject captures one top-level object.
+func (s *Site) checkpointObject(o *object) objCheckpoint {
+	oc := objCheckpoint{ID: o.id, Kind: o.kind, Desc: o.desc}
+	if v, ok := o.hist.CurrentCommitted(); ok && !o.isComposite() {
+		oc.Value, oc.ValueVT = v.Value, v.VT
+	}
+	if o.graph != nil {
+		oc.Graph = o.graph.ToWire()
+		oc.GraphVT = o.graphVT
+	}
+	if o.isComposite() {
+		oc.Children = checkpointChildren(o)
+	}
+	return oc
+}
+
+// checkpointChildren captures a composite's live committed structure.
+func checkpointChildren(o *object) []childCheckpoint {
+	at := o.latestCommittedVT()
+	var out []childCheckpoint
+	appendChild := func(child *object, tag wire.ElemTag, key string, insertVT vtime.VT) {
+		cc := childCheckpoint{Tag: tag, Key: key, InsertVT: insertVT, Kind: child.kind}
+		if v, ok := child.hist.CurrentCommitted(); ok && !child.isComposite() {
+			cc.Value, cc.ValueVT = v.Value, v.VT
+		}
+		if child.isComposite() {
+			cc.Children = checkpointChildren(child)
+		}
+		out = append(out, cc)
+	}
+	switch o.kind {
+	case KindList:
+		for _, i := range o.visibleElems(at, true) {
+			e := &o.elems[i]
+			appendChild(e.child, e.tag, "", e.insertVT)
+		}
+	case KindTuple:
+		for _, i := range o.visibleEntries(at, true) {
+			e := &o.entries[i]
+			appendChild(e.child, wire.ElemTag{}, e.key, e.insertVT)
+		}
+	}
+	return out
+}
+
+// Restore loads a checkpoint into this (fresh, same-ID) site.
+func (s *Site) Restore(r io.Reader) error {
+	var cp siteCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("engine: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("engine: checkpoint version %d unsupported", cp.Version)
+	}
+	if cp.Site != s.id {
+		return fmt.Errorf("engine: checkpoint is for site %s, this site is %s", cp.Site, s.id)
+	}
+	var restoreErr error
+	err := s.call(func() {
+		if len(s.objects) != 0 {
+			restoreErr = fmt.Errorf("engine: restore requires a fresh site (has %d objects)", len(s.objects))
+			return
+		}
+		s.clock.Observe(cp.Clock)
+		if cp.NextSeq > s.nextSeq {
+			s.nextSeq = cp.NextSeq
+		}
+		for _, oc := range cp.Objects {
+			s.restoreObject(oc)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return restoreErr
+}
+
+// restoreObject reconstructs one top-level object with its original ID.
+func (s *Site) restoreObject(oc objCheckpoint) {
+	o := &object{
+		id:   oc.ID,
+		kind: oc.Kind,
+		desc: oc.Desc,
+		site: s,
+	}
+	// The committed value is re-inserted at its original VT so future
+	// reads and checks order correctly against it; a value still at the
+	// zero VT (never overwritten) becomes the base version itself.
+	base := defaultValue(oc.Kind)
+	if oc.ValueVT.IsZero() && oc.Value != nil {
+		base = oc.Value
+	}
+	if err := o.hist.Insert(vtime.Zero, base, history.Committed); err != nil {
+		panic(fmt.Sprintf("engine: restore base insert: %v", err))
+	}
+	if !oc.ValueVT.IsZero() {
+		_ = o.hist.Insert(oc.ValueVT, oc.Value, history.Committed)
+	}
+	if len(oc.Graph.Nodes) > 0 {
+		o.graph = repgraph.FromWire(oc.Graph)
+		o.graphVT = oc.GraphVT
+	} else {
+		o.graph = repgraph.NewGraph(o.id, s.id)
+	}
+	if err := o.graphHist.Insert(o.graphVT, o.graph, history.Committed); err != nil {
+		panic(fmt.Sprintf("engine: restore graph insert: %v", err))
+	}
+	s.objects[o.id] = o
+	s.restoreChildren(o, oc.Children)
+}
+
+// restoreChildren rebuilds composite structure with the original tags.
+func (s *Site) restoreChildren(parent *object, children []childCheckpoint) {
+	for _, cc := range children {
+		link := wire.PathElem{Tag: cc.Tag}
+		if cc.Key != "" {
+			link = wire.PathElem{IsKey: true, Key: cc.Key, Tag: wire.ElemTag{VT: cc.InsertVT}}
+		}
+		decl := wire.ChildDecl{Kind: cc.Kind, Value: cc.Value}
+		child := s.newChildObject(parent, link, decl)
+		if !cc.ValueVT.IsZero() && !child.isComposite() {
+			_ = child.hist.Insert(cc.ValueVT, cc.Value, history.Committed)
+		}
+		switch parent.kind {
+		case KindList:
+			parent.elems = append(parent.elems, listElem{tag: cc.Tag, child: child, insertVT: cc.InsertVT})
+		case KindTuple:
+			parent.entries = append(parent.entries, tupleEntry{key: cc.Key, child: child, insertVT: cc.InsertVT})
+		}
+		// Structural facts are part of the composite's committed history.
+		if !cc.InsertVT.IsZero() {
+			if _, ok := parent.hist.Get(cc.InsertVT); !ok {
+				_ = parent.hist.Insert(cc.InsertVT, []wire.Op(nil), history.Committed)
+			}
+		}
+		s.restoreChildren(child, cc.Children)
+	}
+}
+
+// Objects returns the refs of all top-level objects, for post-restore
+// discovery (sorted by ID).
+func (s *Site) Objects() ([]ObjRef, error) {
+	var out []ObjRef
+	err := s.call(func() {
+		for _, o := range s.objects {
+			if o.parent == nil {
+				out = append(out, ObjRef{o: o})
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID().Less(out[j-1].ID()); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, err
+}

@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"decaf/internal/ids"
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// Options configures a Site.
+type Options struct {
+	// Logger receives engine debug logs; nil disables logging.
+	Logger *slog.Logger
+	// MaxRetries bounds automatic re-execution after concurrency-control
+	// aborts. 0 means DefaultMaxRetries.
+	MaxRetries int
+	// RetryDelay pauses between a conflict abort and re-execution.
+	// The paper re-executes immediately; a small delay can be used to
+	// damp livelock under extreme contention.
+	RetryDelay time.Duration
+	// DisableGC retains full histories and reservations (useful for
+	// tests that inspect them).
+	DisableGC bool
+	// DisableDelegation turns off the delegated-commit optimization of
+	// paper §3.1 (ablation: every transaction then commits via the
+	// origin's summary broadcast, costing remote observers 3t even with
+	// a single remote primary).
+	DisableDelegation bool
+	// DisableEagerConfirm turns off the §5.1.2 eager-confirmation
+	// optimization for pessimistic snapshots (ablation: every snapshot
+	// then pays an explicit CONFIRM-READ round trip to each primary).
+	DisableEagerConfirm bool
+}
+
+// DefaultMaxRetries bounds automatic transaction re-execution.
+const DefaultMaxRetries = 100
+
+// Stats are the site's monotonic event counters, readable via Site.Stats.
+type Stats struct {
+	// Submitted counts transactions submitted at this site.
+	Submitted uint64
+	// Commits counts transactions (originated here) that committed.
+	Commits uint64
+	// ConflictAborts counts concurrency-control aborts of transactions
+	// originated here (each is followed by a retry unless the retry
+	// budget is exhausted).
+	ConflictAborts uint64
+	// ProgrammedAborts counts transactions aborted by user code.
+	ProgrammedAborts uint64
+	// Retries counts automatic re-executions.
+	Retries uint64
+	// MessagesSent counts protocol messages sent by this site.
+	MessagesSent uint64
+	// UpdatesApplied counts remote updates applied at this site.
+	UpdatesApplied uint64
+	// OptNotifications counts optimistic view update notifications.
+	OptNotifications uint64
+	// OptCommits counts optimistic view commit notifications.
+	OptCommits uint64
+	// PessNotifications counts pessimistic view update notifications.
+	PessNotifications uint64
+	// LostUpdates counts straggler updates subsumed by a later optimistic
+	// snapshot (paper §5.1.2 "lost updates").
+	LostUpdates uint64
+	// UpdateInconsistencies counts optimistic notifications that exposed
+	// state later rolled back (paper §5.1.2 "update inconsistencies").
+	UpdateInconsistencies uint64
+	// SnapshotReruns counts optimistic snapshots rerun after an abort.
+	SnapshotReruns uint64
+}
+
+// Site is one collaborating application instance: it hosts model objects,
+// executes transactions, exchanges protocol messages with peer sites, and
+// drives view notifications.
+//
+// All site state is owned by a single event-loop goroutine. Public methods
+// are safe to call from any goroutine.
+type Site struct {
+	id    vtime.SiteID
+	clock *vtime.Clock
+	ep    transport.Endpoint
+	opts  Options
+	log   *slog.Logger
+
+	calls chan func()
+	stop  chan struct{}
+	done  chan struct{}
+
+	// notifier delivers user callbacks (view update/commit, abort
+	// handlers) outside the event loop, in order.
+	notifier     chan func()
+	notifierDone chan struct{}
+
+	// Loop-confined state.
+	objects map[ids.ObjectID]*object
+	nextSeq uint64
+	txns    map[vtime.VT]*txnState
+	// outcomes retains summary outcomes so that late update messages are
+	// treated correctly (paper §3.1).
+	outcomes map[vtime.VT]bool
+	// rcWaiters maps an undecided transaction VT to continuations to run
+	// when its outcome becomes known at this site (RC guesses).
+	rcWaiters map[vtime.VT][]func(committed bool)
+	// confirmWaiters routes Confirm replies for ConfirmRead requests
+	// (view snapshots and join protocol steps) by request ID.
+	confirmWaiters map[uint64]func(wire.Confirm)
+	nextReq        uint64
+	// joins tracks in-flight collaboration joins by request ID.
+	joins map[uint64]*joinState
+	// promotes tracks in-flight direct-propagation promotions (§3.2.2).
+	promotes map[uint64]*promoteState
+	// repairs tracks in-flight graph repairs after site failures.
+	repairs map[vtime.SiteID]*repairState
+	// commitQueries tracks outstanding outcome polls for transactions
+	// orphaned by an originator failure.
+	commitQueries map[vtime.VT]*queryState
+	// parked holds transaction retries deferred until graph repair.
+	parked []parkedRetry
+	// failed records peer sites known to have failed.
+	failed map[vtime.SiteID]bool
+	// authorizer is the site's authorization monitor (nil: allow all).
+	authorizer Authorizer
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// NewSite creates a site attached to the given transport endpoint.
+// Call Start before use. Site ID 0 is reserved (it means "no site" in
+// protocol fields) and is rejected.
+func NewSite(ep transport.Endpoint, opts Options) *Site {
+	if ep.Site() == 0 {
+		panic("engine: site ID 0 is reserved; use IDs >= 1")
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Site{
+		id:             ep.Site(),
+		clock:          vtime.NewClock(ep.Site()),
+		ep:             ep,
+		opts:           opts,
+		log:            logger.With("site", ep.Site().String()),
+		calls:          make(chan func(), 1024),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		notifier:       make(chan func(), 4096),
+		notifierDone:   make(chan struct{}),
+		objects:        map[ids.ObjectID]*object{},
+		txns:           map[vtime.VT]*txnState{},
+		outcomes:       map[vtime.VT]bool{},
+		rcWaiters:      map[vtime.VT][]func(bool){},
+		confirmWaiters: map[uint64]func(wire.Confirm){},
+		joins:          map[uint64]*joinState{},
+		promotes:       map[uint64]*promoteState{},
+		repairs:        map[vtime.SiteID]*repairState{},
+		commitQueries:  map[vtime.VT]*queryState{},
+		failed:         map[vtime.SiteID]bool{},
+	}
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() vtime.SiteID { return s.id }
+
+// Start launches the event loop and the notifier goroutine.
+func (s *Site) Start() {
+	s.startOnce.Do(func() {
+		go s.loop()
+		go s.notifyLoop()
+	})
+}
+
+// Stop shuts the site down and waits for its goroutines to exit.
+// In-flight transactions are abandoned.
+func (s *Site) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	<-s.notifierDone
+}
+
+// Stats returns a copy of the site's counters.
+func (s *Site) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// bumpStat applies fn to the stats under the stats lock.
+func (s *Site) bumpStat(fn func(*Stats)) {
+	s.statsMu.Lock()
+	fn(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// loop is the site's event loop: it owns all site state.
+func (s *Site) loop() {
+	defer close(s.done)
+	events := s.ep.Events()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case fn := <-s.calls:
+			fn()
+		case ev, ok := <-events:
+			if !ok {
+				// Transport killed this site (fail-stop crash in a
+				// simulation, or endpoint closed).
+				return
+			}
+			s.handleEvent(ev)
+		}
+	}
+}
+
+// notifyLoop runs user callbacks in order, outside the event loop.
+func (s *Site) notifyLoop() {
+	defer close(s.notifierDone)
+	for {
+		select {
+		case <-s.stop:
+			// Drain anything already queued so tests observe final
+			// notifications, then exit.
+			for {
+				select {
+				case fn := <-s.notifier:
+					fn()
+				default:
+					return
+				}
+			}
+		case fn := <-s.notifier:
+			fn()
+		}
+	}
+}
+
+// notify queues a user callback.
+func (s *Site) notify(fn func()) {
+	select {
+	case s.notifier <- fn:
+	case <-s.stop:
+	}
+}
+
+// do posts fn into the event loop without waiting.
+func (s *Site) do(fn func()) {
+	select {
+	case s.calls <- fn:
+	case <-s.stop:
+	case <-s.done:
+	}
+}
+
+// call posts fn into the event loop and waits for it to run. It returns
+// an error when the site is stopped.
+func (s *Site) call(fn func()) error {
+	ch := make(chan struct{})
+	wrapped := func() {
+		fn()
+		close(ch)
+	}
+	select {
+	case s.calls <- wrapped:
+	case <-s.stop:
+		return ErrSiteStopped
+	case <-s.done:
+		return ErrSiteStopped
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-s.done:
+		return ErrSiteStopped
+	}
+}
+
+// ErrSiteStopped is returned by API calls on a stopped site.
+var ErrSiteStopped = errors.New("engine: site stopped")
+
+// send stamps and transmits a protocol message.
+func (s *Site) send(to vtime.SiteID, msg wire.Message) {
+	if to == s.id {
+		// Loop back locally without the transport; used by protocol
+		// steps that uniformly address every involved site.
+		s.handleMessage(s.id, msg)
+		return
+	}
+	if s.failed[to] {
+		return
+	}
+	if err := s.ep.Send(to, s.clock.Now(), msg); err != nil {
+		s.log.Debug("send failed", "to", to.String(), "kind", msg.Kind(), "err", err)
+		return
+	}
+	s.bumpStat(func(st *Stats) { st.MessagesSent++ })
+}
+
+// handleEvent dispatches one transport event inside the loop.
+func (s *Site) handleEvent(ev transport.Event) {
+	switch ev.Kind {
+	case transport.EventMessage:
+		s.clock.Observe(ev.SentAt)
+		s.handleMessage(ev.From, ev.Msg)
+	case transport.EventSiteFailed:
+		s.handleSiteFailure(ev.Failed)
+	}
+}
+
+// handleMessage dispatches a protocol message inside the loop.
+func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
+	switch m := msg.(type) {
+	case wire.Write:
+		s.handleWrite(from, m)
+	case wire.ConfirmRead:
+		s.handleConfirmRead(from, m)
+	case wire.Confirm:
+		s.handleConfirm(m)
+	case wire.Outcome:
+		s.handleOutcome(m)
+	case wire.JoinRequest:
+		s.handleJoinRequest(from, m)
+	case wire.PromoteQuery:
+		s.handlePromoteQuery(m)
+	case wire.PromoteReply:
+		s.handlePromoteReply(m)
+	case wire.JoinReply:
+		s.handleJoinReply(m)
+	case wire.CommitQuery:
+		s.handleCommitQuery(from, m)
+	case wire.CommitQueryReply:
+		s.handleCommitQueryReply(m)
+	case wire.RepairPropose:
+		s.handleRepairPropose(m)
+	case wire.RepairAck:
+		s.handleRepairAck(m)
+	case wire.RepairDecide:
+		s.handleRepairDecide(m)
+	default:
+		s.log.Warn("unknown message", "from", from.String(), "type", fmt.Sprintf("%T", msg))
+	}
+}
+
+// newReqID allocates a request ID for ConfirmRead/Join round trips.
+func (s *Site) newReqID() uint64 {
+	s.nextReq++
+	return s.nextReq
+}
+
+// decidedFloor returns the largest VT below which every transaction known
+// at this site is decided; histories and reservations may be pruned below
+// it (subject to outstanding snapshot floors).
+func (s *Site) decidedFloor() vtime.VT {
+	floor := s.clock.Now()
+	for vt, st := range s.txns {
+		if st.status == txnApplied || st.status == txnWaiting || st.status == txnExecuting {
+			if vt.LessEq(floor) {
+				floor = justBelow(vt)
+			}
+		}
+	}
+	return floor
+}
+
+// justBelow returns the largest VT strictly less than v (or Zero).
+func justBelow(v vtime.VT) vtime.VT {
+	if v.Site > 0 {
+		return vtime.VT{Time: v.Time, Site: v.Site - 1}
+	}
+	if v.Time == 0 {
+		return vtime.Zero
+	}
+	return vtime.VT{Time: v.Time - 1, Site: ^vtime.SiteID(0)}
+}
+
+// snapshotFloor returns the minimum VT any outstanding view snapshot may
+// still read, across all proxies at this site.
+func (s *Site) snapshotFloor() vtime.VT {
+	floor := s.clock.Now()
+	for _, o := range s.objects {
+		for _, p := range o.proxies {
+			if f, ok := p.minSnapshotVT(); ok && f.Less(floor) {
+				floor = f
+			}
+		}
+	}
+	return floor
+}
+
+// maybeGC prunes the given object's histories and reservations.
+func (s *Site) maybeGC(o *object) {
+	if s.opts.DisableGC {
+		return
+	}
+	floor := s.decidedFloor()
+	if sf := s.snapshotFloor(); sf.Less(floor) {
+		floor = sf
+	}
+	o.hist.GC(floor)
+	o.graphHist.GC(floor)
+	o.res.GCBelow(floor)
+	o.graphRes.GCBelow(floor)
+}

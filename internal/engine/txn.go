@@ -1,0 +1,901 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"decaf/internal/history"
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// txnStatus is the lifecycle state of a transaction at a site.
+type txnStatus int
+
+const (
+	// txnExecuting: user code is running at the originating site.
+	txnExecuting txnStatus = iota + 1
+	// txnWaiting: the originating site awaits confirmations / RC deps.
+	txnWaiting
+	// txnApplied: a remote site applied the updates; outcome unknown.
+	txnApplied
+	txnCommitted
+	txnAborted
+)
+
+// Txn is a user transaction as seen by the engine: Execute runs atomically
+// against model objects through the Tx context; OnAbort is invoked for
+// programmed aborts (Execute returned an error or panicked), mirroring the
+// paper's handleAbort() (§2.4).
+type Txn struct {
+	Name    string
+	Execute func(tx *Tx) error
+	OnAbort func(err error)
+}
+
+// Result is the final outcome of a submitted transaction.
+type Result struct {
+	Committed bool
+	// Err is non-nil for programmed aborts (wrapping the user error) and
+	// for transactions that exhausted their retry budget.
+	Err error
+	// Retries counts automatic re-executions due to conflicts.
+	Retries int
+	// VT is the virtual time of the (final) execution.
+	VT vtime.VT
+}
+
+// Handle tracks a submitted transaction.
+type Handle struct {
+	applied chan struct{}
+	done    chan Result
+}
+
+func newHandle() *Handle {
+	return &Handle{
+		applied: make(chan struct{}),
+		done:    make(chan Result, 1),
+	}
+}
+
+// Applied is closed when the transaction's updates have been applied
+// locally at the originating site (the moment optimistic views see them).
+func (h *Handle) Applied() <-chan struct{} { return h.applied }
+
+// Done delivers the final Result exactly once.
+func (h *Handle) Done() <-chan Result { return h.done }
+
+// Wait blocks until the final Result.
+func (h *Handle) Wait() Result { return <-h.done }
+
+func (h *Handle) markApplied() {
+	select {
+	case <-h.applied:
+	default:
+		close(h.applied)
+	}
+}
+
+func (h *Handle) finish(r Result) {
+	h.markApplied()
+	select {
+	case h.done <- r:
+	default:
+	}
+}
+
+// Errors reported through Result.Err.
+var (
+	// ErrAborted wraps the user error of a programmed abort.
+	ErrAborted = errors.New("engine: transaction aborted")
+	// ErrTooManyRetries reports an exhausted automatic retry budget.
+	ErrTooManyRetries = errors.New("engine: transaction exceeded retry budget")
+)
+
+// readRec records one model-object read: the read time tR and graph time
+// tG of paper §3.1.
+type readRec struct {
+	obj      *object
+	readVT   vtime.VT // tR: VT at which the read value was written
+	graphVT  vtime.VT // tG: VT at which the object's graph last changed
+	absorbed bool     // the object was subsequently written; check rides the update
+}
+
+// writeRec records one model-object modification.
+type writeRec struct {
+	obj     *object
+	readVT  vtime.VT // tR (equal to the txn VT for blind writes)
+	graphVT vtime.VT
+	ops     []wire.Op
+	// targetGraph, when non-nil, overrides the propagation targets (a
+	// graph update must reach the members of the graph as it was BEFORE
+	// the update — e.g. a leave still informs the site being left).
+	targetGraph *repgraph.Graph
+	// pathOverride, when non-nil, fixes the addressing path captured at
+	// write time (a promotion changes the object's replication root
+	// mid-transaction, which would otherwise change the computed path).
+	pathOverride *wire.Path
+}
+
+// appliedUpdate is one locally applied modification with its undo and
+// (optional) commit action. A nil commit defaults to committing the
+// object's value-history version at the transaction's VT.
+type appliedUpdate struct {
+	obj    *object
+	undo   func()
+	commit func()
+}
+
+// commitApplied finalizes every applied modification.
+func (st *txnState) commitApplied() {
+	for _, a := range st.applied {
+		if a.commit != nil {
+			a.commit()
+			continue
+		}
+		a.obj.hist.Commit(st.vt)
+	}
+}
+
+// txnState is the per-site implementation object of one transaction
+// (paper §3: "transaction implementation objects are created at those
+// sites").
+type txnState struct {
+	vt     vtime.VT
+	origin vtime.SiteID
+	status txnStatus
+
+	// Originating-site state.
+	txn          *Txn
+	handle       *Handle
+	reads        []*readRec
+	writes       []*writeRec
+	rcDeps       map[vtime.VT]bool
+	waitConfirms map[vtime.SiteID]bool
+	involved     map[vtime.SiteID]bool
+	delegatedTo  vtime.SiteID
+	retries      int
+	denied       bool
+	deniedReason string
+	// extraPending counts additional completion predicates used by the
+	// join protocol (paper §3.3) before the transaction may commit.
+	extraPending int
+	// earlyConfirms records confirmations that arrived before the join
+	// reply told us to expect them (site -> verdict).
+	earlyConfirms map[vtime.SiteID]bool
+	// retryFn, when set, re-executes protocol-level transactions (joins)
+	// after a concurrency-control abort, instead of the standard
+	// Txn.Execute path.
+	retryFn func(retries int)
+	// parkOnAbort defers the retry until a graph repair commits (the
+	// transaction depends on a failed primary site).
+	parkOnAbort bool
+	// hasGraphOp marks transactions carrying replication-graph updates;
+	// their commit unparks deferred retries.
+	hasGraphOp bool
+	// graphObjs are the local objects whose graphs this transaction
+	// changed (drives direct-child refresh after commit, §3.2.2).
+	graphObjs []*object
+
+	// State kept at every site that applied updates.
+	applied []appliedUpdate
+	// blockedRemaining counts this transaction's indirect updates still
+	// blocked on unseen structural ops at this site; onUnblocked runs
+	// when the count reaches zero (deferred primary validation).
+	blockedRemaining int
+	onUnblocked      func()
+	// reservedObjs are objects at this site on which this transaction
+	// holds primary-copy reservations (released on abort).
+	reservedObjs []*object
+}
+
+// Tx is the execution context handed to Txn.Execute. Model-object
+// accessors on the facade types funnel through it so reads and writes are
+// recorded for concurrency control. A Tx is only valid during Execute.
+type Tx struct {
+	s  *Site
+	st *txnState
+	// err latches an internal error (e.g. structural misuse) that turns
+	// into a programmed abort when Execute returns.
+	err error
+}
+
+// VT returns the transaction's virtual time.
+func (tx *Tx) VT() vtime.VT { return tx.st.vt }
+
+// Site returns the originating site's identifier.
+func (tx *Tx) Site() vtime.SiteID { return tx.s.id }
+
+// fail latches an internal error.
+func (tx *Tx) fail(err error) {
+	if tx.err == nil {
+		tx.err = err
+	}
+}
+
+// findRead returns the read record for obj, if any.
+func (tx *Tx) findRead(obj *object) *readRec {
+	for _, r := range tx.st.reads {
+		if r.obj == obj {
+			return r
+		}
+	}
+	return nil
+}
+
+// findWrite returns the write record for obj, if any.
+func (tx *Tx) findWrite(obj *object) *writeRec {
+	for _, w := range tx.st.writes {
+		if w.obj == obj {
+			return w
+		}
+	}
+	return nil
+}
+
+// recordRead notes that the transaction read obj's current value,
+// registering tR, tG, and any RC dependencies on uncommitted versions.
+// It returns the version read.
+func (tx *Tx) recordRead(obj *object) history.Version {
+	cur, ok := obj.hist.Current()
+	if !ok {
+		cur = history.Version{VT: vtime.Zero, Value: defaultValue(obj.kind), Status: history.Committed}
+	}
+	if w := tx.findWrite(obj); w != nil {
+		// Read-your-writes: no new read record, no RC dependency (the
+		// version is ours).
+		return cur
+	}
+	if r := tx.findRead(obj); r != nil {
+		return cur
+	}
+	root := obj.replicationRoot()
+	r := &readRec{obj: obj, readVT: cur.VT, graphVT: root.graphVT}
+	tx.st.reads = append(tx.st.reads, r)
+	if cur.Status == history.Pending && cur.VT != tx.st.vt {
+		tx.st.rcDeps[cur.VT] = true
+	}
+	// RC guess on the replication graph value, if it is uncommitted.
+	if gcur, ok := root.graphHist.Current(); ok && gcur.Status == history.Pending && gcur.VT != tx.st.vt {
+		tx.st.rcDeps[gcur.VT] = true
+	}
+	// Path RC guesses (paper §3.2.1): transactions that created the path
+	// components must commit.
+	tx.recordPathDeps(obj)
+	return cur
+}
+
+// recordPathDeps adds RC dependencies on the uncommitted structural
+// transactions that embedded obj's ancestors.
+func (tx *Tx) recordPathDeps(obj *object) {
+	for cur := obj; cur.parent != nil; cur = cur.parent {
+		parent := cur.parent
+		var insertVT vtime.VT
+		if cur.parentLink.IsKey {
+			for i := range parent.entries {
+				if parent.entries[i].child == cur {
+					insertVT = parent.entries[i].insertVT
+				}
+			}
+		} else {
+			if _, le := parent.findChildByTag(cur.parentLink.Tag); le != nil {
+				insertVT = le.insertVT
+			}
+		}
+		if insertVT.IsZero() {
+			continue
+		}
+		if v, ok := parent.hist.Get(insertVT); ok && v.Status == history.Pending && insertVT != tx.st.vt {
+			tx.st.rcDeps[insertVT] = true
+		}
+	}
+}
+
+// ReadScalar returns obj's current value, recording the read.
+func (tx *Tx) ReadScalar(obj *object) any {
+	return tx.recordRead(obj).Value
+}
+
+// WriteScalar overwrites obj's value at the transaction's VT, applying the
+// update locally at once (optimistic execution).
+func (tx *Tx) WriteScalar(obj *object, value any) {
+	vt := tx.st.vt
+	if w := tx.findWrite(obj); w != nil {
+		// Second write by the same transaction: replace in place.
+		if !obj.hist.SetValue(vt, value) {
+			tx.fail(fmt.Errorf("engine: lost own version of %s at %s", obj.id, vt))
+			return
+		}
+		w.ops = []wire.Op{wire.OpSet{Value: value}}
+		return
+	}
+	readVT := vt // blind write: tR = tT (paper §3.1)
+	if r := tx.findRead(obj); r != nil {
+		readVT = r.readVT
+		r.absorbed = true // the RL check rides the update message
+	}
+	root := obj.replicationRoot()
+	w := &writeRec{obj: obj, readVT: readVT, graphVT: root.graphVT, ops: []wire.Op{wire.OpSet{Value: value}}}
+	tx.st.writes = append(tx.st.writes, w)
+	if err := obj.hist.InsertRead(vt, value, history.Pending, readVT); err != nil {
+		tx.fail(fmt.Errorf("engine: apply write: %w", err))
+		return
+	}
+	tx.st.applied = append(tx.st.applied, appliedUpdate{
+		obj:  obj,
+		undo: func() { obj.hist.Abort(vt) },
+	})
+	tx.recordPathDeps(obj)
+}
+
+// Submit schedules txn for execution at this site and returns its handle.
+func (s *Site) Submit(txn *Txn) *Handle {
+	h := newHandle()
+	s.bumpStat(func(st *Stats) { st.Submitted++ })
+	s.do(func() { s.execute(txn, h, 0) })
+	return h
+}
+
+// execute runs one (re-)execution attempt inside the event loop.
+func (s *Site) execute(txn *Txn, h *Handle, retries int) {
+	vt := s.clock.Next()
+	st := &txnState{
+		vt:           vt,
+		origin:       s.id,
+		status:       txnExecuting,
+		txn:          txn,
+		handle:       h,
+		rcDeps:       map[vtime.VT]bool{},
+		waitConfirms: map[vtime.SiteID]bool{},
+		involved:     map[vtime.SiteID]bool{s.id: true},
+		retries:      retries,
+	}
+	s.txns[vt] = st
+
+	tx := &Tx{s: s, st: st}
+	err := runUserExecute(txn, tx)
+	if err == nil {
+		err = tx.err
+	}
+	if err != nil {
+		// Programmed abort: undo, no retry (paper §2.4).
+		s.undoApplied(st)
+		st.status = txnAborted
+		delete(s.txns, vt)
+		s.bumpStat(func(stt *Stats) { stt.ProgrammedAborts++ })
+		if txn.OnAbort != nil {
+			abortErr := err
+			s.notify(func() { txn.OnAbort(abortErr) })
+		}
+		h.finish(Result{Err: fmt.Errorf("%w: %w", ErrAborted, err), Retries: retries, VT: vt})
+		return
+	}
+	s.finishExecution(st)
+}
+
+// runUserExecute invokes user code, converting panics into errors so a
+// faulty transaction cannot crash the site (paper §2.4: "Any uncaught
+// exceptions are turned into transaction aborts").
+func runUserExecute(txn *Txn, tx *Tx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: panic in transaction %q: %v", txn.Name, r)
+		}
+	}()
+	return txn.Execute(tx)
+}
+
+// finishExecution propagates a locally executed transaction: optimistic
+// view notifications, update/check messages, local primary checks, and —
+// when nothing remote is involved — immediate commit.
+func (s *Site) finishExecution(st *txnState) {
+	st.status = txnWaiting
+	st.handle.markApplied()
+
+	// Optimistic views see the update as soon as it executes locally
+	// (paper §4.1).
+	s.scheduleOptimistic(st.appliedObjects())
+
+	s.propagate(st)
+
+	if st.denied {
+		s.abortTxn(st, st.deniedReason)
+		return
+	}
+	s.registerRCDeps(st)
+	s.checkTxnComplete(st)
+}
+
+// appliedObjects returns the distinct objects this transaction modified
+// locally.
+func (st *txnState) appliedObjects() []*object {
+	var out []*object
+	seen := map[*object]bool{}
+	for _, a := range st.applied {
+		if !seen[a.obj] {
+			seen[a.obj] = true
+			out = append(out, a.obj)
+		}
+	}
+	return out
+}
+
+// perSiteMsg accumulates the single message sent to one destination site
+// for this transaction.
+type perSiteMsg struct {
+	updates      []wire.Update
+	checks       []wire.ReadCheck
+	needsConfirm bool
+}
+
+// propagate builds and sends the per-site messages for st and performs
+// the primary-copy checks that fall to this site.
+func (s *Site) propagate(st *txnState) {
+	out := map[vtime.SiteID]*perSiteMsg{}
+	sitemsg := func(site vtime.SiteID) *perSiteMsg {
+		m, ok := out[site]
+		if !ok {
+			m = &perSiteMsg{}
+			out[site] = m
+		}
+		return m
+	}
+
+	for _, w := range st.writes {
+		root := w.obj.replicationRoot()
+		g := root.graph
+		if w.targetGraph != nil {
+			g = w.targetGraph
+		}
+		path := w.obj.pathFromRoot()
+		if w.pathOverride != nil {
+			path = *w.pathOverride
+		}
+		primaryNode, hasPrimary := g.Primary()
+		var primarySite vtime.SiteID
+		if hasPrimary {
+			primarySite, _ = g.SiteOf(primaryNode)
+		} else {
+			primarySite = s.id
+		}
+		for _, node := range g.Nodes() {
+			nodeSite, _ := g.SiteOf(node)
+			if node == root.id {
+				continue // applied during execution
+			}
+			if nodeSite == s.id {
+				// A sibling replica at this very site: apply directly.
+				s.applySiblingWrite(st, node, path, w)
+				continue
+			}
+			m := sitemsg(nodeSite)
+			for _, op := range w.ops {
+				m.updates = append(m.updates, wire.Update{
+					Target:  node,
+					Path:    path,
+					ReadVT:  w.readVT,
+					GraphVT: w.graphVT,
+					Op:      op,
+				})
+			}
+			if nodeSite == primarySite {
+				m.needsConfirm = true
+			}
+		}
+		if primarySite == s.id {
+			// This site hosts the primary copy: validate RL and NC here.
+			if ok, reason := s.checkWriteAtPrimary(root, primaryNode, path, w, st.vt); !ok {
+				st.denied = true
+				st.deniedReason = reason
+			} else {
+				s.rememberReservation(st, root, primaryNode, path)
+			}
+		} else if s.failed[primarySite] {
+			// The primary site failed and its graph is not yet repaired:
+			// abort now, retry after the repair commits (paper §3.4).
+			st.denied = true
+			st.deniedReason = fmt.Sprintf("primary site %s failed", primarySite)
+			st.parkOnAbort = true
+		}
+	}
+
+	for _, r := range st.reads {
+		if r.absorbed {
+			continue
+		}
+		root := r.obj.replicationRoot()
+		g := root.graph
+		if g.NumNodes() <= 1 {
+			continue // unreplicated object: nothing to confirm
+		}
+		path := r.obj.pathFromRoot()
+		primaryNode, _ := g.Primary()
+		primarySite, _ := g.SiteOf(primaryNode)
+		if primarySite == s.id {
+			if ok, reason := s.checkReadAtPrimary(root, primaryNode, path, r, st.vt); !ok {
+				st.denied = true
+				st.deniedReason = reason
+			} else {
+				s.rememberReservation(st, root, primaryNode, path)
+			}
+			continue
+		}
+		m := sitemsg(primarySite)
+		m.checks = append(m.checks, wire.ReadCheck{
+			Target:  primaryNode,
+			Path:    path,
+			ReadVT:  r.readVT,
+			GraphVT: r.graphVT,
+		})
+		m.needsConfirm = true
+	}
+
+	// Record involvement and who must confirm.
+	for site, m := range out {
+		st.involved[site] = true
+		if m.needsConfirm {
+			st.waitConfirms[site] = true
+		}
+	}
+
+	// Delegated commit (paper §3.1): exactly one remote primary site, no
+	// RC guesses, and that site receives updates.
+	var delegate vtime.SiteID
+	if !s.opts.DisableDelegation && len(st.waitConfirms) == 1 && len(st.rcDeps) == 0 && st.extraPending == 0 {
+		for site := range st.waitConfirms {
+			if m := out[site]; len(m.updates) > 0 {
+				delegate = site
+			}
+		}
+	}
+
+	for site, m := range out {
+		if len(m.updates) > 0 {
+			msg := wire.Write{
+				TxnVT:        st.vt,
+				Origin:       s.id,
+				Updates:      m.updates,
+				Checks:       m.checks,
+				NeedsConfirm: m.needsConfirm,
+			}
+			if site == delegate {
+				var others []vtime.SiteID
+				for inv := range st.involved {
+					if inv != site {
+						others = append(others, inv)
+					}
+				}
+				msg.Delegate = &wire.Delegation{Sites: others}
+				st.delegatedTo = site
+				delete(st.waitConfirms, site)
+			}
+			s.send(site, msg)
+		} else if len(m.checks) > 0 {
+			s.send(site, wire.ConfirmRead{TxnVT: st.vt, Origin: s.id, Checks: m.checks})
+		}
+	}
+}
+
+// applySiblingWrite applies a write to another replica hosted at this same
+// site (two joined objects living in one application).
+func (s *Site) applySiblingWrite(st *txnState, node ids.ObjectID, path wire.Path, w *writeRec) {
+	target, ok := s.objects[node]
+	if !ok {
+		s.log.Warn("sibling replica missing", "node", node.String())
+		return
+	}
+	for _, op := range w.ops {
+		s.applyOp(st, target, path, op, history.Pending)
+	}
+}
+
+// rememberReservation records that st holds reservations on the resolved
+// primary object so an abort can release them.
+func (s *Site) rememberReservation(st *txnState, root *object, primaryNode ids.ObjectID, path wire.Path) {
+	if obj := s.resolveCheckTarget(primaryNode, path); obj != nil {
+		st.reservedObjs = append(st.reservedObjs, obj)
+	}
+}
+
+// resolveCheckTarget resolves the object a primary-copy check refers to:
+// the primary node itself, or the child at path below it.
+func (s *Site) resolveCheckTarget(node ids.ObjectID, path wire.Path) *object {
+	o, ok := s.objects[node]
+	if !ok {
+		return nil
+	}
+	if len(path) == 0 {
+		return o
+	}
+	child, _, _ := o.resolvePath(path)
+	return child
+}
+
+// checkWriteAtPrimary performs the RL and NC guess checks for a write at
+// this site's primary copy, reserving the intervals on success.
+func (s *Site) checkWriteAtPrimary(root *object, primaryNode ids.ObjectID, path wire.Path, w *writeRec, vt vtime.VT) (bool, string) {
+	primaryRoot, ok := s.objects[primaryNode]
+	if !ok {
+		return false, fmt.Sprintf("primary node %s unknown at %s", primaryNode, s.id)
+	}
+	if len(w.ops) == 1 {
+		if _, isGraph := w.ops[0].(wire.OpGraph); isGraph {
+			// Graph updates validate against graph history and graph
+			// reservations only.
+			groot := primaryRoot.replicationRoot()
+			iv := vtime.Interval{Lo: w.graphVT, Hi: vt}
+			if groot.graphHist.HasVersionIn(iv, vt) {
+				return false, fmt.Sprintf("RL: graph change in %s for %s", iv, groot.id)
+			}
+			if groot.graphRes.Conflicts(vt, vt) {
+				return false, fmt.Sprintf("NC: graph reservation conflict at %s on %s", vt, groot.id)
+			}
+			groot.graphRes.Reserve(iv, vt)
+			return true, ""
+		}
+	}
+	target := primaryRoot
+	if len(path) > 0 {
+		child, removed, blocked := primaryRoot.resolvePath(path)
+		if removed {
+			return false, fmt.Sprintf("path %s removed at primary", path)
+		}
+		if blocked || child == nil {
+			// The structural op is in this same transaction (write to a
+			// freshly embedded child at the origin): the target is the
+			// local object itself when origin == primary, otherwise the
+			// message path covers it. Fall back to the write's object.
+			target = w.obj
+		} else {
+			target = child
+		}
+	}
+	return s.primaryCheck(target, primaryRoot, w.readVT, w.graphVT, vt, true, false)
+}
+
+// checkReadAtPrimary performs the RL guess check for a read.
+func (s *Site) checkReadAtPrimary(root *object, primaryNode ids.ObjectID, path wire.Path, r *readRec, vt vtime.VT) (bool, string) {
+	primaryRoot, ok := s.objects[primaryNode]
+	if !ok {
+		return false, fmt.Sprintf("primary node %s unknown at %s", primaryNode, s.id)
+	}
+	target := primaryRoot
+	if len(path) > 0 {
+		child, removed, blocked := primaryRoot.resolvePath(path)
+		if removed {
+			return false, fmt.Sprintf("path %s removed at primary", path)
+		}
+		if blocked || child == nil {
+			return false, fmt.Sprintf("path %s not yet present at primary", path)
+		}
+		target = child
+	}
+	return s.primaryCheck(target, primaryRoot, r.readVT, r.graphVT, vt, false, false)
+}
+
+// primaryCheck is the core primary-copy validation (paper §3.1):
+//
+//   - RL: no version other than the transaction's own exists in (tR, tT]
+//     (for committedOnly checks: no committed version in (tR, tT), and a
+//     pending version is a transient denial);
+//   - graph RL: no graph change in (tG, tT];
+//   - NC (writes only): no other transaction reserved an interval
+//     containing tT;
+//   - on success both intervals are reserved write-free.
+//
+// The boolean result is the verdict; the string carries the denial reason
+// ("transient:" prefix marks transient denials).
+func (s *Site) primaryCheck(target, graphHolder *object, readVT, graphVT, vt vtime.VT, isWrite, committedOnly bool) (bool, string) {
+	return s.primaryCheckOpts(target, graphHolder, readVT, graphVT, vt, isWrite, committedOnly, false)
+}
+
+// primaryCheckOpts is primaryCheck with reservation control (noReserve:
+// answer the check without reserving — optimistic view snapshots).
+func (s *Site) primaryCheckOpts(target, graphHolder *object, readVT, graphVT, vt vtime.VT, isWrite, committedOnly, noReserve bool) (bool, string) {
+	valIv := vtime.Interval{Lo: readVT, Hi: vt}
+	if committedOnly {
+		if target.hist.HasCommittedIn(valIv, vt) {
+			return false, fmt.Sprintf("RL: committed update in %s for %s", valIv, target.id)
+		}
+		if target.hist.HasVersionIn(valIv, vt) {
+			return false, fmt.Sprintf("transient: pending update in %s for %s", valIv, target.id)
+		}
+	} else if target.hist.HasVersionIn(valIv, vt) {
+		return false, fmt.Sprintf("RL: update in %s for %s", valIv, target.id)
+	}
+
+	groot := graphHolder.replicationRoot()
+	graphIv := vtime.Interval{Lo: graphVT, Hi: vt}
+	if groot.graphHist.HasVersionIn(graphIv, vt) {
+		return false, fmt.Sprintf("RL: graph change in %s for %s", graphIv, groot.id)
+	}
+	if isWrite {
+		if target.res.Conflicts(vt, vt) {
+			return false, fmt.Sprintf("NC: write at %s conflicts with reservation on %s", vt, target.id)
+		}
+		// Graph reservations are NOT checked here: they assert the
+		// interval free of GRAPH updates, which a value write does not
+		// violate. Graph updates have their own NC check in the OpGraph
+		// validation paths.
+	}
+
+	if !noReserve {
+		target.res.Reserve(valIv, vt)
+		groot.graphRes.Reserve(graphIv, vt)
+	}
+	return true, ""
+}
+
+// registerRCDeps wires the transaction's RC guesses to this site's
+// outcome notifications.
+func (s *Site) registerRCDeps(st *txnState) {
+	for dep := range st.rcDeps {
+		dep := dep
+		if known, ok := s.outcomes[dep]; ok {
+			if known {
+				delete(st.rcDeps, dep)
+			} else {
+				st.denied = true
+				st.deniedReason = fmt.Sprintf("RC: read value of aborted txn %s", dep)
+			}
+			continue
+		}
+		s.rcWaiters[dep] = append(s.rcWaiters[dep], func(committed bool) {
+			if st.status != txnWaiting {
+				return
+			}
+			if committed {
+				delete(st.rcDeps, dep)
+				s.checkTxnComplete(st)
+			} else {
+				s.abortTxn(st, fmt.Sprintf("RC: txn %s aborted", dep))
+			}
+		})
+	}
+	if st.denied {
+		s.abortTxn(st, st.deniedReason)
+	}
+}
+
+// checkTxnComplete commits the transaction once every guess is confirmed.
+func (s *Site) checkTxnComplete(st *txnState) {
+	if st.status != txnWaiting || st.denied {
+		return
+	}
+	if st.delegatedTo != 0 {
+		return // the delegate decides
+	}
+	if len(st.waitConfirms) > 0 || len(st.rcDeps) > 0 || st.extraPending > 0 {
+		return
+	}
+	s.commitTxn(st)
+}
+
+// commitTxn finalizes a transaction at its originating site and broadcasts
+// the summary COMMIT.
+func (s *Site) commitTxn(st *txnState) {
+	st.status = txnCommitted
+	s.outcomes[st.vt] = true
+	st.commitApplied()
+	for site := range st.involved {
+		if site != s.id {
+			s.send(site, wire.Outcome{TxnVT: st.vt, Committed: true})
+		}
+	}
+	s.resolveRC(st.vt, true)
+	s.onLocalCommit(st.appliedObjects(), st.vt)
+	s.bumpStat(func(stt *Stats) { stt.Commits++ })
+	if st.hasGraphOp {
+		s.unparkRetries()
+		s.afterGraphCommit(st)
+	}
+	if st.handle != nil {
+		st.handle.finish(Result{Committed: true, Retries: st.retries, VT: st.vt})
+	}
+}
+
+// afterGraphCommit refreshes direct-propagation children of composites
+// whose replica sets just changed (paper §3.2.2: "The parent node
+// notifies the collaborating embedded node of all changes to its replica
+// graph").
+func (s *Site) afterGraphCommit(st *txnState) {
+	for _, o := range st.graphObjs {
+		if o.isComposite() {
+			s.refreshDirectChildren(o)
+		}
+	}
+}
+
+// abortTxn undoes a transaction at its originating site, broadcasts the
+// summary ABORT, and schedules automatic re-execution (paper §2.4).
+func (s *Site) abortTxn(st *txnState, reason string) {
+	if st.status == txnAborted || st.status == txnCommitted {
+		return
+	}
+	s.log.Debug("abort", "txn", st.vt.String(), "reason", reason)
+	st.status = txnAborted
+	s.outcomes[st.vt] = false
+	s.undoApplied(st)
+	s.releaseReservations(st)
+	for site := range st.involved {
+		if site != s.id {
+			s.send(site, wire.Outcome{TxnVT: st.vt, Committed: false})
+		}
+	}
+	s.resolveRC(st.vt, false)
+	s.onLocalAbort(st.appliedObjects())
+	s.bumpStat(func(stt *Stats) { stt.ConflictAborts++ })
+
+	// Automatic re-execution at the originating site.
+	if st.retryFn != nil {
+		if st.retries+1 > s.opts.MaxRetries {
+			if st.handle != nil {
+				st.handle.finish(Result{Err: fmt.Errorf("%w (%d attempts)", ErrTooManyRetries, st.retries+1), Retries: st.retries, VT: st.vt})
+			}
+			return
+		}
+		s.bumpStat(func(stt *Stats) { stt.Retries++ })
+		retry, attempts := st.retryFn, st.retries+1
+		s.do(func() { retry(attempts) })
+		return
+	}
+	if st.txn == nil {
+		// Protocol-level transactions without a retry path surface the
+		// failure to the caller.
+		if st.handle != nil {
+			st.handle.finish(Result{Err: fmt.Errorf("%w: %s", ErrAborted, reason), Retries: st.retries, VT: st.vt})
+		}
+		return
+	}
+	if st.handle == nil {
+		return
+	}
+	if st.retries+1 > s.opts.MaxRetries {
+		st.handle.finish(Result{Err: fmt.Errorf("%w (%d attempts)", ErrTooManyRetries, st.retries+1), Retries: st.retries, VT: st.vt})
+		return
+	}
+	if st.parkOnAbort {
+		// The transaction depends on a failed primary site: defer the
+		// retry until the graph repair commits (paper §3.4: "it is
+		// retried later after the graph update has committed").
+		s.parked = append(s.parked, parkedRetry{txn: st.txn, handle: st.handle, retries: st.retries + 1})
+		return
+	}
+	s.bumpStat(func(stt *Stats) { stt.Retries++ })
+	txn, h, retries := st.txn, st.handle, st.retries+1
+	if d := s.opts.RetryDelay; d > 0 {
+		time.AfterFunc(d, func() { s.do(func() { s.execute(txn, h, retries) }) })
+	} else {
+		s.do(func() { s.execute(txn, h, retries) })
+	}
+}
+
+// undoApplied rolls back locally applied updates in reverse order.
+func (s *Site) undoApplied(st *txnState) {
+	for i := len(st.applied) - 1; i >= 0; i-- {
+		st.applied[i].undo()
+	}
+	st.applied = nil
+}
+
+// releaseReservations frees primary-copy reservations held by st at this
+// site.
+func (s *Site) releaseReservations(st *txnState) {
+	for _, obj := range st.reservedObjs {
+		obj.res.Release(st.vt)
+		obj.replicationRoot().graphRes.Release(st.vt)
+	}
+	st.reservedObjs = nil
+}
+
+// resolveRC fires the RC continuations waiting on vt's outcome.
+func (s *Site) resolveRC(vt vtime.VT, committed bool) {
+	waiters := s.rcWaiters[vt]
+	delete(s.rcWaiters, vt)
+	for _, w := range waiters {
+		w(committed)
+	}
+}

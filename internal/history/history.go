@@ -1,0 +1,263 @@
+// Package history implements per-object versioned value histories and
+// write-free reservation tables, the data structures behind DECAF's
+// optimistic concurrency control (paper §3).
+//
+// Every model object keeps a History: a set of (value, VT) pairs sorted by
+// virtual time, where the value with the latest VT is the current value.
+// The primary copy of an object additionally keeps a Reservations table of
+// write-free intervals: when it confirms a "read latest" (RL) guess for an
+// interval (tR, tT], it reserves that interval so no conflicting write can
+// later be confirmed inside it; a "no conflict" (NC) guess for a write at
+// tT checks that no other transaction's reservation contains tT.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"decaf/internal/vtime"
+)
+
+// Status is the commit status of a version.
+type Status int
+
+// Version commit states. A version is Pending from the moment the
+// optimistic update is applied until its transaction's summary outcome
+// arrives.
+const (
+	Pending Status = iota + 1
+	Committed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Committed:
+		return "committed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Version is one entry in a value history: the value written by the
+// transaction at virtual time VT, with its current commit status.
+// Aborted versions are removed from the history rather than retained.
+type Version struct {
+	VT     vtime.VT
+	Value  any
+	Status Status
+	// ReadVT is tR of the writing transaction — the VT of the version it
+	// overwrote (zero when unknown; equal to VT for blind writes). The
+	// view engine uses it to tell whether the writer's own RL
+	// reservation covers a snapshot interval (paper §5.1.2).
+	ReadVT vtime.VT
+}
+
+// History is a virtual-time-indexed set of versions of a single model
+// object. The zero value is an empty history ready to use.
+//
+// History is not safe for concurrent use; the engine confines each history
+// to its site's event loop.
+type History struct {
+	// versions is sorted by VT ascending. Aborted versions are deleted.
+	versions []Version
+}
+
+// Len returns the number of retained versions.
+func (h *History) Len() int { return len(h.versions) }
+
+// search returns the index of the first version with VT >= v.
+func (h *History) search(v vtime.VT) int {
+	return sort.Search(len(h.versions), func(i int) bool {
+		return !h.versions[i].VT.Less(v)
+	})
+}
+
+// Insert records a new version written at vt. It returns an error if a
+// version at exactly vt already exists (virtual times are globally unique,
+// so a duplicate indicates a duplicated message).
+func (h *History) Insert(vt vtime.VT, value any, st Status) error {
+	return h.InsertRead(vt, value, st, vtime.Zero)
+}
+
+// InsertRead is Insert carrying the writer's read time tR.
+func (h *History) InsertRead(vt vtime.VT, value any, st Status, readVT vtime.VT) error {
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		return fmt.Errorf("history: duplicate version at %s", vt)
+	}
+	h.versions = append(h.versions, Version{})
+	copy(h.versions[i+1:], h.versions[i:])
+	h.versions[i] = Version{VT: vt, Value: value, Status: st, ReadVT: readVT}
+	return nil
+}
+
+// Current returns the version with the latest virtual time, i.e. the
+// current value of the object. ok is false for an empty history.
+func (h *History) Current() (v Version, ok bool) {
+	if len(h.versions) == 0 {
+		return Version{}, false
+	}
+	return h.versions[len(h.versions)-1], true
+}
+
+// CurrentCommitted returns the latest committed version, skipping any
+// pending versions above it. ok is false when no committed version exists.
+func (h *History) CurrentCommitted() (v Version, ok bool) {
+	for i := len(h.versions) - 1; i >= 0; i-- {
+		if h.versions[i].Status == Committed {
+			return h.versions[i], true
+		}
+	}
+	return Version{}, false
+}
+
+// At returns the version in effect at virtual time vt: the version with the
+// greatest VT less than or equal to vt. ok is false when no version exists
+// at or before vt. This is the read a snapshot at tS = vt performs.
+func (h *History) At(vt vtime.VT) (v Version, ok bool) {
+	i := h.search(vt)
+	// i points at first version >= vt; the version in effect is at i if
+	// exactly equal, else i-1.
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		return h.versions[i], true
+	}
+	if i == 0 {
+		return Version{}, false
+	}
+	return h.versions[i-1], true
+}
+
+// CommittedAt returns the committed version in effect at vt, skipping
+// pending versions.
+func (h *History) CommittedAt(vt vtime.VT) (v Version, ok bool) {
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		i++
+	}
+	for j := i - 1; j >= 0; j-- {
+		if h.versions[j].Status == Committed {
+			return h.versions[j], true
+		}
+	}
+	return Version{}, false
+}
+
+// Get returns the version written at exactly vt.
+func (h *History) Get(vt vtime.VT) (v Version, ok bool) {
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		return h.versions[i], true
+	}
+	return Version{}, false
+}
+
+// SetValue replaces the value of the version written at exactly vt (a
+// transaction overwriting its own earlier write). It reports whether such
+// a version existed.
+func (h *History) SetValue(vt vtime.VT, value any) bool {
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		h.versions[i].Value = value
+		return true
+	}
+	return false
+}
+
+// Commit marks the version written at vt as committed. It reports whether
+// such a version existed.
+func (h *History) Commit(vt vtime.VT) bool {
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		h.versions[i].Status = Committed
+		return true
+	}
+	return false
+}
+
+// Abort removes the version written at vt (rollback of an aborted
+// transaction). It reports whether such a version existed.
+func (h *History) Abort(vt vtime.VT) bool {
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		h.versions = append(h.versions[:i], h.versions[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// HasVersionIn reports whether any version other than one written by
+// `owner` exists in the half-open interval iv. This is the primary copy's
+// RL guess check: the interval (tR, tT] must be write-free.
+func (h *History) HasVersionIn(iv vtime.Interval, owner vtime.VT) bool {
+	for i := h.search(iv.Lo); i < len(h.versions); i++ {
+		v := h.versions[i]
+		if !v.VT.LessEq(iv.Hi) {
+			break
+		}
+		if !iv.Contains(v.VT) {
+			continue
+		}
+		if v.VT != owner {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCommittedIn reports whether any committed version other than one at
+// `owner` lies in iv. Pessimistic view snapshots use this form of the RL
+// check: the interval since lastNotifiedVT must be free of committed
+// updates.
+func (h *History) HasCommittedIn(iv vtime.Interval, owner vtime.VT) bool {
+	for i := h.search(iv.Lo); i < len(h.versions); i++ {
+		v := h.versions[i]
+		if !v.VT.LessEq(iv.Hi) {
+			break
+		}
+		if iv.Contains(v.VT) && v.Status == Committed && v.VT != owner {
+			return true
+		}
+	}
+	return false
+}
+
+// Versions returns a copy of the retained versions in VT order, for
+// inspection and tests.
+func (h *History) Versions() []Version {
+	out := make([]Version, len(h.versions))
+	copy(out, h.versions)
+	return out
+}
+
+// GC discards versions made obsolete by commits (paper §3: "Committal
+// makes old values no longer needed for view snapshots or for rollback
+// after abort"). Specifically it drops every version older than the latest
+// committed version that is itself older than `floor`. Versions at or
+// above floor are retained because a straggling snapshot may still read
+// them; callers pass the minimum VT any outstanding snapshot could use,
+// or the latest committed VT to keep only that.
+//
+// It returns the number of versions discarded. The latest committed
+// version is always retained.
+func (h *History) GC(floor vtime.VT) int {
+	// Find latest committed version at or below floor.
+	keep := -1
+	for i := 0; i < len(h.versions); i++ {
+		v := h.versions[i]
+		if !v.VT.LessEq(floor) {
+			break
+		}
+		if v.Status == Committed {
+			keep = i
+		}
+	}
+	if keep <= 0 {
+		return 0
+	}
+	dropped := keep
+	h.versions = append(h.versions[:0], h.versions[keep:]...)
+	return dropped
+}

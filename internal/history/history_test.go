@@ -1,0 +1,373 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decaf/internal/vtime"
+)
+
+func vt(t uint64) vtime.VT { return vtime.VT{Time: t, Site: 1} }
+
+func mustInsert(t *testing.T, h *History, at uint64, val any, st Status) {
+	t.Helper()
+	if err := h.Insert(vt(at), val, st); err != nil {
+		t.Fatalf("Insert(%d): %v", at, err)
+	}
+}
+
+func TestHistoryInsertAndCurrent(t *testing.T) {
+	var h History
+	if _, ok := h.Current(); ok {
+		t.Fatal("empty history has a current value")
+	}
+	mustInsert(t, &h, 10, "a", Committed)
+	mustInsert(t, &h, 30, "c", Pending)
+	mustInsert(t, &h, 20, "b", Pending) // out-of-order arrival (straggler)
+
+	cur, ok := h.Current()
+	if !ok || cur.Value != "c" || cur.VT != vt(30) {
+		t.Fatalf("Current = %+v, want c@30", cur)
+	}
+	if got := h.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// Versions must come back sorted.
+	vs := h.Versions()
+	for i := 1; i < len(vs); i++ {
+		if !vs[i-1].VT.Less(vs[i].VT) {
+			t.Fatalf("versions not sorted: %v", vs)
+		}
+	}
+}
+
+func TestHistoryDuplicateInsert(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, "a", Pending)
+	if err := h.Insert(vt(10), "dup", Pending); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+}
+
+func TestHistoryAt(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, "a", Committed)
+	mustInsert(t, &h, 20, "b", Committed)
+	mustInsert(t, &h, 30, "c", Pending)
+
+	tests := []struct {
+		at     uint64
+		want   any
+		wantOK bool
+	}{
+		{5, nil, false},
+		{10, "a", true},
+		{15, "a", true},
+		{20, "b", true},
+		{25, "b", true},
+		{30, "c", true},
+		{99, "c", true},
+	}
+	for _, tt := range tests {
+		v, ok := h.At(vt(tt.at))
+		if ok != tt.wantOK || (ok && v.Value != tt.want) {
+			t.Errorf("At(%d) = (%v,%v), want (%v,%v)", tt.at, v.Value, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestHistoryCommittedAt(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, "a", Committed)
+	mustInsert(t, &h, 20, "b", Pending)
+	mustInsert(t, &h, 30, "c", Committed)
+
+	v, ok := h.CommittedAt(vt(25))
+	if !ok || v.Value != "a" {
+		t.Fatalf("CommittedAt(25) = (%v,%v), want a (skipping pending b)", v.Value, ok)
+	}
+	v, ok = h.CommittedAt(vt(30))
+	if !ok || v.Value != "c" {
+		t.Fatalf("CommittedAt(30) = (%v,%v), want c", v.Value, ok)
+	}
+	if _, ok := h.CommittedAt(vt(5)); ok {
+		t.Fatal("CommittedAt before first version should fail")
+	}
+}
+
+func TestHistoryCommitAbort(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, "a", Pending)
+	mustInsert(t, &h, 20, "b", Pending)
+
+	if !h.Commit(vt(10)) {
+		t.Fatal("Commit(10) failed")
+	}
+	if h.Commit(vt(99)) {
+		t.Fatal("Commit of unknown VT succeeded")
+	}
+	v, _ := h.Get(vt(10))
+	if v.Status != Committed {
+		t.Fatalf("status after commit = %v", v.Status)
+	}
+
+	if !h.Abort(vt(20)) {
+		t.Fatal("Abort(20) failed")
+	}
+	if h.Abort(vt(20)) {
+		t.Fatal("double abort succeeded")
+	}
+	cur, ok := h.Current()
+	if !ok || cur.Value != "a" {
+		t.Fatalf("after abort current = %+v, want a", cur)
+	}
+}
+
+func TestCurrentCommitted(t *testing.T) {
+	var h History
+	if _, ok := h.CurrentCommitted(); ok {
+		t.Fatal("empty history has committed value")
+	}
+	mustInsert(t, &h, 10, "a", Committed)
+	mustInsert(t, &h, 20, "b", Pending)
+	v, ok := h.CurrentCommitted()
+	if !ok || v.Value != "a" {
+		t.Fatalf("CurrentCommitted = %+v, want a", v)
+	}
+	h.Commit(vt(20))
+	v, _ = h.CurrentCommitted()
+	if v.Value != "b" {
+		t.Fatalf("CurrentCommitted = %+v, want b", v)
+	}
+}
+
+func TestHasVersionIn(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 60, "x", Committed)
+	mustInsert(t, &h, 90, "y", Pending)
+
+	iv := vtime.Interval{Lo: vt(60), Hi: vt(100)}
+	if !h.HasVersionIn(iv, vtime.Zero) {
+		t.Fatal("interval (60,100] contains y@90")
+	}
+	// The writer's own version does not conflict with itself.
+	if h.HasVersionIn(iv, vt(90)) {
+		t.Fatal("owner's own version at 90 should be excluded")
+	}
+	// (90, 100] is free.
+	if h.HasVersionIn(vtime.Interval{Lo: vt(90), Hi: vt(100)}, vtime.Zero) {
+		t.Fatal("(90,100] should be write-free")
+	}
+	// Lower bound is exclusive: version at 60 not in (60, 80].
+	if h.HasVersionIn(vtime.Interval{Lo: vt(60), Hi: vt(80)}, vtime.Zero) {
+		t.Fatal("(60,80] should be write-free (60 exclusive)")
+	}
+	// Upper bound inclusive: (50, 60] contains the version at 60.
+	if !h.HasVersionIn(vtime.Interval{Lo: vt(50), Hi: vt(60)}, vtime.Zero) {
+		t.Fatal("(50,60] contains x@60")
+	}
+}
+
+func TestHasCommittedIn(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 60, "x", Committed)
+	mustInsert(t, &h, 90, "y", Pending)
+
+	iv := vtime.Interval{Lo: vt(80), Hi: vt(100)}
+	if h.HasCommittedIn(iv, vtime.Zero) {
+		t.Fatal("(80,100] has only a pending version; should not count")
+	}
+	h.Commit(vt(90))
+	if !h.HasCommittedIn(iv, vtime.Zero) {
+		t.Fatal("(80,100] now contains committed y@90")
+	}
+	if h.HasCommittedIn(iv, vt(90)) {
+		t.Fatal("owner exclusion should apply")
+	}
+}
+
+func TestGC(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, "a", Committed)
+	mustInsert(t, &h, 20, "b", Committed)
+	mustInsert(t, &h, 30, "c", Committed)
+	mustInsert(t, &h, 40, "d", Pending)
+
+	// GC with floor 30 keeps c (latest committed <= floor) and d.
+	if dropped := h.GC(vt(30)); dropped != 2 {
+		t.Fatalf("GC dropped %d, want 2", dropped)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len after GC = %d, want 2", h.Len())
+	}
+	cur, _ := h.CurrentCommitted()
+	if cur.Value != "c" {
+		t.Fatalf("after GC latest committed = %v, want c", cur.Value)
+	}
+	// Idempotent.
+	if dropped := h.GC(vt(30)); dropped != 0 {
+		t.Fatalf("second GC dropped %d, want 0", dropped)
+	}
+}
+
+func TestGCNeverDropsCurrentCommitted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h History
+		times := rng.Perm(int(n%16) + 2)
+		for _, ti := range times {
+			st := Pending
+			if rng.Intn(2) == 0 {
+				st = Committed
+			}
+			_ = h.Insert(vt(uint64(ti+1)), ti, st)
+		}
+		before, okBefore := h.CurrentCommitted()
+		floor := vt(uint64(rng.Intn(20)))
+		h.GC(floor)
+		after, okAfter := h.CurrentCommitted()
+		if okBefore != okAfter {
+			return false
+		}
+		return !okBefore || before.VT == after.VT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryCurrentIsMaxVT(t *testing.T) {
+	// Property: Current always returns the version with the maximum VT
+	// regardless of insertion order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h History
+		n := rng.Intn(20) + 1
+		maxT := uint64(0)
+		for _, ti := range rng.Perm(n) {
+			u := uint64(ti + 1)
+			if err := h.Insert(vt(u), u, Pending); err != nil {
+				return false
+			}
+			if u > maxT {
+				maxT = u
+			}
+		}
+		cur, ok := h.Current()
+		return ok && cur.VT == vt(maxT)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservationsConflicts(t *testing.T) {
+	var r Reservations
+	owner := vt(100)
+	r.Reserve(vtime.Interval{Lo: vt(60), Hi: vt(100)}, owner)
+
+	if !r.Conflicts(vt(80), vt(90)) {
+		t.Fatal("write at 80 by stranger should conflict with (60,100]")
+	}
+	if r.Conflicts(vt(80), owner) {
+		t.Fatal("owner's own write must not conflict with its reservation")
+	}
+	if r.Conflicts(vt(60), vt(90)) {
+		t.Fatal("lower bound is exclusive")
+	}
+	if !r.Conflicts(vt(100), vt(90)) {
+		t.Fatal("upper bound is inclusive")
+	}
+	if r.Conflicts(vt(101), vt(90)) {
+		t.Fatal("write above interval should not conflict")
+	}
+}
+
+func TestReservationsEmptyIntervalIgnored(t *testing.T) {
+	var r Reservations
+	r.Reserve(vtime.Interval{Lo: vt(100), Hi: vt(100)}, vt(100)) // blind write
+	if r.Len() != 0 {
+		t.Fatalf("empty interval stored; Len = %d", r.Len())
+	}
+}
+
+func TestReservationsRelease(t *testing.T) {
+	var r Reservations
+	r.Reserve(vtime.Interval{Lo: vt(10), Hi: vt(20)}, vt(20))
+	r.Reserve(vtime.Interval{Lo: vt(10), Hi: vt(30)}, vt(30))
+	r.Reserve(vtime.Interval{Lo: vt(15), Hi: vt(25)}, vt(20))
+
+	if removed := r.Release(vt(20)); removed != 2 {
+		t.Fatalf("Release removed %d, want 2", removed)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if r.Conflicts(vt(18), vt(99)) != true {
+		t.Fatal("remaining reservation (10,30] should still conflict at 18")
+	}
+	if removed := r.Release(vt(20)); removed != 0 {
+		t.Fatal("double release removed reservations")
+	}
+}
+
+func TestReservationsGCBelow(t *testing.T) {
+	var r Reservations
+	r.Reserve(vtime.Interval{Lo: vt(10), Hi: vt(20)}, vt(20))
+	r.Reserve(vtime.Interval{Lo: vt(25), Hi: vt(40)}, vt(40))
+	if removed := r.GCBelow(vt(20)); removed != 1 {
+		t.Fatalf("GCBelow removed %d, want 1", removed)
+	}
+	if r.Len() != 1 || r.All()[0].Owner != vt(40) {
+		t.Fatalf("wrong reservation retained: %+v", r.All())
+	}
+}
+
+func TestReservationsNCRLExclusion(t *testing.T) {
+	// Property linking History and Reservations: for any confirmed read
+	// reservation (tR, tT], a write w conflicts (NC) iff w in (tR, tT];
+	// and had the write been inserted first, the RL check over the same
+	// interval would have caught it. The two checks are two sides of the
+	// same invariant.
+	f := func(lo8, hi8, w8 uint8) bool {
+		lo, hi, w := uint64(lo8%30), uint64(hi8%30), uint64(w8%30)+1
+		if lo >= hi {
+			lo, hi = hi, lo+1
+		}
+		iv := vtime.Interval{Lo: vt(lo), Hi: vt(hi)}
+		owner := vt(hi)
+		var r Reservations
+		r.Reserve(iv, owner)
+		ncConflict := r.Conflicts(vt(w), vt(w))
+
+		var h History
+		_ = h.Insert(vt(w), "w", Pending)
+		rlConflict := h.HasVersionIn(iv, owner)
+
+		inInterval := iv.Contains(vt(w)) && vt(w) != owner
+		return ncConflict == inInterval && rlConflict == inInterval
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertReadCarriesReadVT(t *testing.T) {
+	var h History
+	if err := h.InsertRead(vt(10), "a", Committed, vt(4)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := h.Get(vt(10))
+	if !ok || v.ReadVT != vt(4) {
+		t.Fatalf("ReadVT = %v, want 4", v.ReadVT)
+	}
+	// Plain Insert leaves ReadVT zero (unknown).
+	if err := h.Insert(vt(20), "b", Pending); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = h.Get(vt(20))
+	if !v.ReadVT.IsZero() {
+		t.Fatalf("plain Insert ReadVT = %v, want zero", v.ReadVT)
+	}
+}

@@ -1,0 +1,100 @@
+package history
+
+import (
+	"sort"
+
+	"decaf/internal/vtime"
+)
+
+// Reservation is a write-free interval reserved at a primary copy on
+// behalf of the transaction (or snapshot) with virtual time Owner. While
+// the reservation stands, confirming any other transaction's write inside
+// the interval would invalidate Owner's confirmed read, so the NC check
+// denies such writes.
+type Reservation struct {
+	Interval vtime.Interval
+	Owner    vtime.VT
+}
+
+// Reservations is the write-free reservation table a primary copy keeps
+// for one object (or for its replication graph). The zero value is an
+// empty table ready to use. Not safe for concurrent use.
+type Reservations struct {
+	rs []Reservation // sorted by (Interval.Hi, Owner) for GC convenience
+}
+
+// Len returns the number of reservations held.
+func (r *Reservations) Len() int { return len(r.rs) }
+
+// Reserve records a write-free reservation of iv on behalf of owner.
+// Empty intervals (e.g. a blind write's (tT, tT]) are ignored.
+func (r *Reservations) Reserve(iv vtime.Interval, owner vtime.VT) {
+	if iv.Empty() {
+		return
+	}
+	i := sort.Search(len(r.rs), func(i int) bool {
+		hi := r.rs[i].Interval.Hi
+		if hi != iv.Hi {
+			return iv.Hi.Less(hi)
+		}
+		return owner.LessEq(r.rs[i].Owner)
+	})
+	r.rs = append(r.rs, Reservation{})
+	copy(r.rs[i+1:], r.rs[i:])
+	r.rs[i] = Reservation{Interval: iv, Owner: owner}
+}
+
+// Conflicts reports whether a write at vt by the transaction `writer`
+// falls inside a reservation made by a different owner — the NC ("no
+// conflict") guess check. A transaction never conflicts with its own
+// reservations.
+func (r *Reservations) Conflicts(vt vtime.VT, writer vtime.VT) bool {
+	for _, res := range r.rs {
+		if res.Owner != writer && res.Interval.Contains(vt) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release removes every reservation held by owner (called when the owning
+// transaction aborts: its confirmed reads no longer constrain writers).
+// It returns the number of reservations removed.
+func (r *Reservations) Release(owner vtime.VT) int {
+	kept := r.rs[:0]
+	removed := 0
+	for _, res := range r.rs {
+		if res.Owner == owner {
+			removed++
+			continue
+		}
+		kept = append(kept, res)
+	}
+	r.rs = kept
+	return removed
+}
+
+// GCBelow discards reservations whose entire interval lies at or below
+// floor; no future transaction can be assigned a VT in that region once
+// every transaction at or below floor is decided. It returns the number
+// discarded.
+func (r *Reservations) GCBelow(floor vtime.VT) int {
+	kept := r.rs[:0]
+	removed := 0
+	for _, res := range r.rs {
+		if res.Interval.Hi.LessEq(floor) {
+			removed++
+			continue
+		}
+		kept = append(kept, res)
+	}
+	r.rs = kept
+	return removed
+}
+
+// All returns a copy of the reservations, for inspection and tests.
+func (r *Reservations) All() []Reservation {
+	out := make([]Reservation, len(r.rs))
+	copy(out, r.rs)
+	return out
+}

@@ -1,0 +1,40 @@
+// Package ids defines globally unique identifiers for model objects.
+//
+// Every model object is created at exactly one site and identified by the
+// pair (creating site, per-site sequence number). Replicas at different
+// sites are distinct model objects (the paper's A and A′) joined in a
+// replica relationship; the replication graph's nodes are these object
+// identifiers.
+package ids
+
+import (
+	"fmt"
+
+	"decaf/internal/vtime"
+)
+
+// ObjectID uniquely identifies one model object across the whole
+// collaboration.
+type ObjectID struct {
+	Site vtime.SiteID // the site that created (and hosts) the object
+	Seq  uint64       // per-site creation sequence number
+}
+
+// Less orders ObjectIDs first by site then by sequence. The order is the
+// basis of the deterministic primary-copy function: the primary copy of a
+// replication graph is its minimum node under this order, so every site
+// maps the same graph to the same primary without negotiation (paper §3.3).
+func (o ObjectID) Less(p ObjectID) bool {
+	if o.Site != p.Site {
+		return o.Site < p.Site
+	}
+	return o.Seq < p.Seq
+}
+
+// IsZero reports whether o is the zero ObjectID (no object).
+func (o ObjectID) IsZero() bool { return o == ObjectID{} }
+
+// String implements fmt.Stringer, e.g. "s2/7".
+func (o ObjectID) String() string {
+	return fmt.Sprintf("%s/%d", o.Site, o.Seq)
+}

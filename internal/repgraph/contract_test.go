@@ -1,0 +1,109 @@
+package repgraph
+
+import (
+	"testing"
+
+	"decaf/internal/vtime"
+)
+
+// Tests for contracting removal: replica relationships are symmetric and
+// transitive (paper §2.2), so removing a node must keep the remaining
+// members connected even when every join edge passed through it.
+
+// star builds the graph produced by three joins against one invitee:
+// center s1/1 with leaves at sites 2, 3, 4.
+func star(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(obj(1, 1), 1)
+	for s := uint32(2); s <= 4; s++ {
+		g.AddNode(obj(s, 1), vtime.SiteID(s))
+		if err := g.AddEdge(obj(1, 1), obj(s, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRemoveNodeContractKeepsConnectivity(t *testing.T) {
+	g := star(t)
+	if !g.RemoveNodeContract(obj(1, 1)) {
+		t.Fatal("contract removal failed")
+	}
+	if g.Has(obj(1, 1)) {
+		t.Fatal("node still present")
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatalf("survivors disconnected after contract removal: %v", g)
+	}
+	// Plain removal, by contrast, shatters the star.
+	g2 := star(t)
+	g2.RemoveNode(obj(1, 1))
+	if g2.Connected() {
+		t.Fatal("plain removal should disconnect a star")
+	}
+}
+
+func TestRemoveNodeContractOnLeaf(t *testing.T) {
+	g := star(t)
+	if !g.RemoveNodeContract(obj(3, 1)) {
+		t.Fatal("leaf removal failed")
+	}
+	if !g.Connected() {
+		t.Fatal("removing a leaf must keep the rest connected")
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+}
+
+func TestRemoveNodeContractMissing(t *testing.T) {
+	g := star(t)
+	if g.RemoveNodeContract(obj(9, 9)) {
+		t.Fatal("removal of unknown node reported success")
+	}
+}
+
+func TestRemoveSiteContract(t *testing.T) {
+	// Two nodes at site 2, both bridging other members.
+	g := NewGraph(obj(2, 1), 2)
+	g.AddNode(obj(2, 2), 2)
+	g.AddNode(obj(1, 1), 1)
+	g.AddNode(obj(3, 1), 3)
+	g.AddNode(obj(4, 1), 4)
+	mustEdge := func(a, b uint32, sa, sb uint64) {
+		if err := g.AddEdge(obj(a, sa), obj(b, sb)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(1, 2, 1, 1) // s1/1 - s2/1
+	mustEdge(2, 3, 1, 1) // s2/1 - s3/1
+	mustEdge(2, 4, 2, 1) // s2/2 - s4/1
+	mustEdge(2, 2, 1, 2) // s2/1 - s2/2
+
+	removed := g.RemoveSiteContract(2)
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the two site-2 nodes", removed)
+	}
+	if !g.Connected() {
+		t.Fatalf("survivors disconnected: %v", g)
+	}
+	for _, s := range g.Sites() {
+		if s == 2 {
+			t.Fatal("site 2 still present")
+		}
+	}
+}
+
+func TestContractRemovalPrimaryFallback(t *testing.T) {
+	// Removing the anchor via contract removal falls the primary back to
+	// the minimum surviving node, deterministically.
+	g := star(t) // anchored at s1/1
+	g.RemoveNodeContract(obj(1, 1))
+	p, ok := g.Primary()
+	if !ok || p != obj(2, 1) {
+		t.Fatalf("primary after anchor removal = %v, want s2/1", p)
+	}
+}

@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// tcpEnvelope is the on-the-wire frame for the TCP transport.
+type tcpEnvelope struct {
+	From   vtime.SiteID
+	SentAt vtime.VT
+	Msg    wire.Message
+}
+
+// TCP is a real transport over TCP using gob encoding. Every site listens
+// on its own address and lazily dials peers from a static address book.
+// A connection error to a peer surfaces as an EventSiteFailed for that
+// peer (fail-stop presentation, paper §3.4).
+type TCP struct {
+	site   vtime.SiteID
+	ln     net.Listener
+	peers  map[vtime.SiteID]string
+	events chan Event
+
+	mu      sync.Mutex
+	conns   map[vtime.SiteID]*tcpPeer
+	inbound []net.Conn
+	failed  map[vtime.SiteID]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Endpoint = (*TCP)(nil)
+
+// tcpPeer is an established outbound connection with its gob encoder.
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// ListenTCP starts a TCP endpoint for site on addr. peers maps every other
+// site to its dialable address. The returned endpoint is ready to send and
+// receive.
+func ListenTCP(site vtime.SiteID, addr string, peers map[vtime.SiteID]string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		site:   site,
+		ln:     ln,
+		peers:  peers,
+		events: make(chan Event, 4096),
+		conns:  map[vtime.SiteID]*tcpPeer{},
+		failed: map[vtime.SiteID]bool{},
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0").
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+// Site implements Endpoint.
+func (t *TCP) Site() vtime.SiteID { return t.site }
+
+// Events implements Endpoint.
+func (t *TCP) Events() <-chan Event { return t.events }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound = append(t.inbound, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes envelopes from one inbound connection until error.
+// The first envelope identifies the peer; the connection is then also
+// registered for outbound sends, so a site can reply to peers that are
+// not in its static address book (invitees dial the inviter; replies
+// reuse the same connection).
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var from vtime.SiteID
+	seen := false
+	for {
+		var env tcpEnvelope
+		if err := dec.Decode(&env); err != nil {
+			if seen {
+				t.reportFailure(from)
+			}
+			return
+		}
+		if !seen {
+			from, seen = env.From, true
+			t.adoptInbound(from, conn)
+		}
+		t.deliver(Event{Kind: EventMessage, From: env.From, SentAt: env.SentAt, Msg: env.Msg})
+	}
+}
+
+// adoptInbound registers an inbound connection for outbound use when no
+// connection to that peer exists yet.
+func (t *TCP) adoptInbound(from vtime.SiteID, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.failed[from] {
+		return
+	}
+	if _, ok := t.conns[from]; ok {
+		return
+	}
+	t.conns[from] = &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+}
+
+func (t *TCP) deliver(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	select {
+	case t.events <- ev:
+	default: // receiver stuck; drop as a real network would
+	}
+}
+
+// reportFailure emits a single EventSiteFailed per peer.
+func (t *TCP) reportFailure(site vtime.SiteID) {
+	t.mu.Lock()
+	if t.closed || t.failed[site] {
+		t.mu.Unlock()
+		return
+	}
+	t.failed[site] = true
+	if p, ok := t.conns[site]; ok {
+		delete(t.conns, site)
+		p.conn.Close()
+	}
+	t.mu.Unlock()
+	t.deliver(Event{Kind: EventSiteFailed, Failed: site})
+}
+
+// peer returns (dialing if necessary) the outbound connection to site.
+func (t *TCP) peer(site vtime.SiteID) (*tcpPeer, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrSiteDown
+	}
+	if t.failed[site] {
+		t.mu.Unlock()
+		return nil, ErrSiteDown
+	}
+	if p, ok := t.conns[site]; ok {
+		t.mu.Unlock()
+		return p, nil
+	}
+	addr, ok := t.peers[site]
+	t.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownSite
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.reportFailure(site)
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, errors.Join(ErrSiteDown, err))
+	}
+	p := &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, ErrSiteDown
+	}
+	if existing, ok := t.conns[site]; ok {
+		t.mu.Unlock()
+		conn.Close() // lost a dial race; reuse the winner
+		return existing, nil
+	}
+	t.conns[site] = p
+	t.wg.Add(1)
+	t.mu.Unlock()
+	// Read replies arriving over the outbound connection (peers answer
+	// on the connection the request came in on).
+	go t.readLoop(conn)
+	return p, nil
+}
+
+// Send implements Endpoint.
+func (t *TCP) Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
+	p, err := t.peer(to)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	err = p.enc.Encode(tcpEnvelope{From: t.site, SentAt: sentAt, Msg: msg})
+	p.mu.Unlock()
+	if err != nil {
+		t.reportFailure(to)
+		return fmt.Errorf("transport: send to %s: %w", to, errors.Join(ErrSiteDown, err))
+	}
+	return nil
+}
+
+// Close implements Endpoint: stops the listener, closes all connections,
+// and closes the events channel after all loops exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tcpPeer, 0, len(t.conns))
+	for _, p := range t.conns {
+		conns = append(conns, p)
+	}
+	t.conns = map[vtime.SiteID]*tcpPeer{}
+	inbound := t.inbound
+	t.inbound = nil
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, p := range conns {
+		p.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+
+	t.mu.Lock()
+	close(t.events)
+	t.mu.Unlock()
+	return err
+}

@@ -1,0 +1,443 @@
+// Package transport carries DECAF protocol messages between sites.
+//
+// Two implementations are provided:
+//
+//   - Network, an in-memory simulated network with configurable
+//     point-to-point latency, jitter, partitions, and fail-stop site
+//     failures. The paper's performance analysis is expressed in
+//     multiples of the one-way message latency t (§5.1); the simulated
+//     network injects exactly that parameter, which is how the
+//     experiments reproduce the paper's latency results.
+//
+//   - TCP, a real transport using net + encoding/gob, for running
+//     collaborating applications as separate OS processes.
+//
+// Both present the same Endpoint interface and fail-stop failure
+// notifications (paper §3.4: "the underlying communication infrastructure
+// provides notification of such failures ... as fail-stop failures").
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// EventKind discriminates endpoint events.
+type EventKind int
+
+// Endpoint event kinds.
+const (
+	// EventMessage delivers a protocol message from a peer.
+	EventMessage EventKind = iota + 1
+	// EventSiteFailed notifies that a peer site failed (fail-stop):
+	// no further messages from it will be delivered until it rejoins as
+	// a new member.
+	EventSiteFailed
+)
+
+// Event is something an endpoint receives: a message or a failure
+// notification.
+type Event struct {
+	Kind EventKind
+	// From is the sending site (EventMessage).
+	From vtime.SiteID
+	// SentAt is the sender's Lamport stamp at send time, merged into the
+	// receiver's clock (EventMessage).
+	SentAt vtime.VT
+	// Msg is the protocol message (EventMessage).
+	Msg wire.Message
+	// Failed is the failed site (EventSiteFailed).
+	Failed vtime.SiteID
+}
+
+// Endpoint is one site's attachment to a transport.
+type Endpoint interface {
+	// Site returns the site this endpoint belongs to.
+	Site() vtime.SiteID
+	// Send transmits msg to the destination site. sentAt is the sender's
+	// current Lamport stamp. Sends to failed or unknown sites return an
+	// error; sends lost to partitions are silently dropped (the network
+	// gives no feedback, as on a real LAN).
+	Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error
+	// Events returns the endpoint's delivery channel. The channel is
+	// closed when the endpoint itself is closed or its site is killed.
+	Events() <-chan Event
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// ErrSiteDown is returned by Send when the destination site has failed or
+// closed its endpoint.
+var ErrSiteDown = errors.New("transport: destination site is down")
+
+// ErrUnknownSite is returned by Send when the destination was never
+// registered with the transport.
+var ErrUnknownSite = errors.New("transport: unknown destination site")
+
+// ---------------------------------------------------------------------------
+// In-memory simulated network.
+// ---------------------------------------------------------------------------
+
+// Config parameterizes a simulated Network.
+type Config struct {
+	// Latency is the base one-way point-to-point message latency — the
+	// paper's t. Zero means immediate delivery.
+	Latency time.Duration
+	// Jitter adds a uniformly distributed [0, Jitter) delay per message.
+	// FIFO order per (sender, receiver) pair is preserved regardless.
+	Jitter time.Duration
+	// Seed seeds the jitter source; the default (0) gives a fixed seed
+	// so simulations are reproducible.
+	Seed int64
+	// LatencyFn, when non-nil, overrides Latency per ordered site pair.
+	LatencyFn func(from, to vtime.SiteID) time.Duration
+	// QueueSize is the per-endpoint delivery buffer (default 4096).
+	QueueSize int
+}
+
+// Network is an in-memory simulated network. Endpoints attach with
+// Endpoint; Kill simulates a fail-stop site crash; Partition/Heal simulate
+// connectivity loss.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[vtime.SiteID]*memEndpoint
+	links     map[linkKey]*memLink
+	dead      map[vtime.SiteID]bool
+	blocked   map[linkKey]bool // partitioned ordered pairs
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type linkKey struct {
+	from, to vtime.SiteID
+}
+
+// NewNetwork creates a simulated network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		endpoints: map[vtime.SiteID]*memEndpoint{},
+		links:     map[linkKey]*memLink{},
+		dead:      map[vtime.SiteID]bool{},
+		blocked:   map[linkKey]bool{},
+	}
+}
+
+// Endpoint attaches site to the network and returns its endpoint.
+// Attaching an already attached site returns an error.
+func (n *Network) Endpoint(site vtime.SiteID) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("transport: network closed")
+	}
+	if _, ok := n.endpoints[site]; ok {
+		return nil, fmt.Errorf("transport: site %s already attached", site)
+	}
+	ep := &memEndpoint{
+		net:    n,
+		site:   site,
+		events: make(chan Event, n.cfg.QueueSize),
+	}
+	n.endpoints[site] = ep
+	delete(n.dead, site)
+	return ep, nil
+}
+
+// latency computes the one-way delay for a message from -> to, including
+// jitter.
+func (n *Network) latency(from, to vtime.SiteID) time.Duration {
+	d := n.cfg.Latency
+	if n.cfg.LatencyFn != nil {
+		d = n.cfg.LatencyFn(from, to)
+	}
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+// link returns (creating if needed) the FIFO delivery link from -> to.
+func (n *Network) link(from, to vtime.SiteID) *memLink {
+	key := linkKey{from, to}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := &memLink{
+		net:  n,
+		to:   to,
+		ch:   make(chan queuedEvent, 1024),
+		stop: make(chan struct{}),
+	}
+	n.links[key] = l
+	n.wg.Add(1)
+	go l.run(&n.wg)
+	return l
+}
+
+// deliver hands an event to the destination endpoint if it is alive.
+func (n *Network) deliver(to vtime.SiteID, ev Event) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[to]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ep.deliver(ev)
+}
+
+// send enqueues a message for delivery.
+func (n *Network) send(from, to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
+	n.mu.Lock()
+	if n.dead[from] {
+		n.mu.Unlock()
+		return ErrSiteDown
+	}
+	if n.dead[to] {
+		n.mu.Unlock()
+		return ErrSiteDown
+	}
+	if _, ok := n.endpoints[to]; !ok {
+		n.mu.Unlock()
+		return ErrUnknownSite
+	}
+	if n.blocked[linkKey{from, to}] {
+		// Partitioned: silently dropped, like a real network.
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	ev := Event{Kind: EventMessage, From: from, SentAt: sentAt, Msg: msg}
+	n.link(from, to).enqueue(ev, n.latency(from, to))
+	return nil
+}
+
+// Kill simulates a fail-stop crash of site: its endpoint stops receiving,
+// all its in-flight messages are dropped at delivery time, and every other
+// attached site receives an EventSiteFailed notification after one network
+// latency (the failure detector's report).
+func (n *Network) Kill(site vtime.SiteID) {
+	n.mu.Lock()
+	if n.dead[site] || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.dead[site] = true
+	ep := n.endpoints[site]
+	var others []vtime.SiteID
+	for s := range n.endpoints {
+		if s != site && !n.dead[s] {
+			others = append(others, s)
+		}
+	}
+	n.mu.Unlock()
+
+	if ep != nil {
+		ep.kill()
+	}
+	for _, s := range others {
+		ev := Event{Kind: EventSiteFailed, Failed: site}
+		n.link(site, s).enqueue(ev, n.latency(site, s))
+	}
+}
+
+// Alive reports whether site is attached and not killed.
+func (n *Network) Alive(site vtime.SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.endpoints[site]
+	return ok && !n.dead[site]
+}
+
+// Partition blocks message delivery in both directions between a and b.
+// Unlike Kill, no failure notification is generated (a silent partition).
+func (n *Network) Partition(a, b vtime.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{a, b}] = true
+	n.blocked[linkKey{b, a}] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b vtime.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, linkKey{a, b})
+	delete(n.blocked, linkKey{b, a})
+}
+
+// Close shuts the network down: all links stop, all endpoint channels
+// close. Safe to call once.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*memLink, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	eps := make([]*memEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	for _, l := range links {
+		l.close()
+	}
+	n.wg.Wait()
+	for _, ep := range eps {
+		ep.kill()
+	}
+}
+
+// queuedEvent is an event with its delivery deadline.
+type queuedEvent struct {
+	ev  Event
+	due time.Time
+}
+
+// memLink is a FIFO delivery pipe for one ordered site pair. A dedicated
+// goroutine sleeps until each message's due time, preserving send order
+// even when jitter varies per message.
+type memLink struct {
+	net  *Network
+	to   vtime.SiteID
+	ch   chan queuedEvent
+	stop chan struct{}
+
+	mu      sync.Mutex
+	lastDue time.Time
+	closed  bool
+}
+
+func (l *memLink) enqueue(ev Event, delay time.Duration) {
+	due := time.Now().Add(delay)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	// Clamp to preserve FIFO when jitter would reorder.
+	if due.Before(l.lastDue) {
+		due = l.lastDue
+	}
+	l.lastDue = due
+	l.mu.Unlock()
+
+	select {
+	case l.ch <- queuedEvent{ev: ev, due: due}:
+	case <-l.stop:
+	}
+}
+
+func (l *memLink) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.stop)
+}
+
+func (l *memLink) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case q := <-l.ch:
+			if wait := time.Until(q.due); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-l.stop:
+					return
+				}
+			}
+			l.net.deliver(l.to, q.ev)
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// memEndpoint is a site's attachment to a Network.
+type memEndpoint struct {
+	net    *Network
+	site   vtime.SiteID
+	events chan Event
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (ep *memEndpoint) Site() vtime.SiteID { return ep.site }
+
+func (ep *memEndpoint) Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrSiteDown
+	}
+	ep.mu.Unlock()
+	return ep.net.send(ep.site, to, sentAt, msg)
+}
+
+func (ep *memEndpoint) Events() <-chan Event { return ep.events }
+
+func (ep *memEndpoint) deliver(ev Event) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	// Blocking send under the lock would deadlock with kill(); the
+	// buffer is large and the engine drains continuously, so a full
+	// buffer indicates a stuck site — drop, as a real network would.
+	select {
+	case ep.events <- ev:
+	default:
+	}
+}
+
+func (ep *memEndpoint) kill() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	ep.closed = true
+	close(ep.events)
+}
+
+func (ep *memEndpoint) Close() error {
+	ep.net.Kill(ep.site)
+	return nil
+}

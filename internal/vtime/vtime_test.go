@@ -1,0 +1,265 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestVTLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VT
+		want bool
+	}{
+		{"zero before anything", Zero, VT{1, 0}, true},
+		{"time dominates", VT{1, 9}, VT{2, 0}, true},
+		{"site breaks ties", VT{5, 1}, VT{5, 2}, true},
+		{"equal not less", VT{5, 1}, VT{5, 1}, false},
+		{"reverse time", VT{3, 0}, VT{2, 9}, false},
+		{"reverse site", VT{5, 2}, VT{5, 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVTCompareConsistentWithLess(t *testing.T) {
+	f := func(at, bt uint16, as, bs uint8) bool {
+		a := VT{Time: uint64(at), Site: SiteID(as)}
+		b := VT{Time: uint64(bt), Site: SiteID(bs)}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b) && !b.Less(a)
+		case 1:
+			return b.Less(a) && !a.Less(b)
+		default:
+			return a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTTotalOrderProperties(t *testing.T) {
+	// Antisymmetry, transitivity, totality over random triples.
+	f := func(at, bt, ct uint8, as, bs, cs uint8) bool {
+		a := VT{uint64(at), SiteID(as)}
+		b := VT{uint64(bt), SiteID(bs)}
+		c := VT{uint64(ct), SiteID(cs)}
+		// Totality: exactly one of a<b, b<a, a==b.
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		if n != 1 {
+			return false
+		}
+		// Transitivity.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTMax(t *testing.T) {
+	a, b := VT{3, 1}, VT{3, 2}
+	if got := a.Max(b); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	if got := b.Max(a); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	if got := a.Max(a); got != a {
+		t.Errorf("Max = %v, want %v", got, a)
+	}
+}
+
+func TestVTString(t *testing.T) {
+	if got := Zero.String(); got != "0" {
+		t.Errorf("Zero.String() = %q", got)
+	}
+	if got := (VT{42, 7}).String(); got != "42@s7" {
+		t.Errorf("String() = %q, want 42@s7", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock(3)
+	prev := Zero
+	for i := 0; i < 100; i++ {
+		v := c.Next()
+		if !prev.Less(v) {
+			t.Fatalf("clock not monotonic: %v then %v", prev, v)
+		}
+		if v.Site != 3 {
+			t.Fatalf("wrong site: %v", v)
+		}
+		prev = v
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	c := NewClock(1)
+	c.Observe(VT{100, 2})
+	v := c.Next()
+	if !(VT{100, 2}).Less(v) {
+		t.Fatalf("Next after Observe(100@s2) = %v, want > 100@s2", v)
+	}
+	// Observing an older time must not move the clock backwards.
+	c.Observe(VT{5, 9})
+	w := c.Next()
+	if !v.Less(w) {
+		t.Fatalf("clock went backwards: %v then %v", v, w)
+	}
+}
+
+func TestClockConcurrentUniqueness(t *testing.T) {
+	c := NewClock(1)
+	const goroutines, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[VT]bool, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]VT, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, c.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				if seen[v] {
+					t.Errorf("duplicate VT %v", v)
+				}
+				seen[v] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d unique VTs, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestTwoClocksNeverCollide(t *testing.T) {
+	// Different sites can produce the same Lamport time but the full VTs
+	// must differ.
+	a, b := NewClock(1), NewClock(2)
+	seen := make(map[VT]bool)
+	for i := 0; i < 50; i++ {
+		for _, v := range []VT{a.Next(), b.Next()} {
+			if seen[v] {
+				t.Fatalf("VT collision: %v", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: VT{10, 0}, Hi: VT{20, 0}}
+	tests := []struct {
+		v    VT
+		want bool
+	}{
+		{VT{10, 0}, false}, // exclusive lower bound
+		{VT{10, 1}, true},  // just above Lo
+		{VT{15, 0}, true},
+		{VT{20, 0}, true},  // inclusive upper bound
+		{VT{20, 1}, false}, // just above Hi
+		{VT{5, 0}, false},
+		{Zero, false},
+	}
+	for _, tt := range tests {
+		if got := iv.Contains(tt.v); got != tt.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", iv, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if !(Interval{Lo: VT{5, 0}, Hi: VT{5, 0}}).Empty() {
+		t.Error("point interval should be empty")
+	}
+	if !(Interval{Lo: VT{6, 0}, Hi: VT{5, 0}}).Empty() {
+		t.Error("inverted interval should be empty")
+	}
+	if (Interval{Lo: VT{5, 0}, Hi: VT{5, 1}}).Empty() {
+		t.Error("(5@s0, 5@s1] contains 5@s1; not empty")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	mk := func(lo, hi uint64) Interval {
+		return Interval{Lo: VT{lo, 0}, Hi: VT{hi, 0}}
+	}
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"disjoint", mk(0, 5), mk(5, 10), false}, // (0,5] and (5,10] share nothing
+		{"touching overlap", mk(0, 6), mk(5, 10), true},
+		{"nested", mk(0, 10), mk(3, 4), true},
+		{"identical", mk(2, 8), mk(2, 8), true},
+		{"empty never overlaps", mk(5, 5), mk(0, 10), false},
+		{"far apart", mk(0, 2), mk(8, 9), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlaps(tt.b); got != tt.want {
+				t.Errorf("%v.Overlaps(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Overlaps(tt.a); got != tt.want {
+				t.Errorf("overlap not symmetric for %v, %v", tt.a, tt.b)
+			}
+		})
+	}
+}
+
+func TestIntervalOverlapsProperty(t *testing.T) {
+	// Two intervals overlap iff some point (drawn from a small domain) is
+	// in both. Small domain makes the exhaustive check cheap and exact.
+	rng := rand.New(rand.NewSource(1))
+	points := make([]VT, 0, 64)
+	for ti := uint64(0); ti < 8; ti++ {
+		for s := SiteID(0); s < 4; s++ {
+			points = append(points, VT{ti, s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Less(points[j]) })
+	for n := 0; n < 500; n++ {
+		a := Interval{points[rng.Intn(len(points))], points[rng.Intn(len(points))]}
+		b := Interval{points[rng.Intn(len(points))], points[rng.Intn(len(points))]}
+		shared := false
+		for _, p := range points {
+			if a.Contains(p) && b.Contains(p) {
+				shared = true
+				break
+			}
+		}
+		if got := a.Overlaps(b); got != shared {
+			t.Fatalf("Overlaps(%v, %v) = %v, want %v", a, b, got, shared)
+		}
+	}
+}

@@ -1,0 +1,585 @@
+// Package wire defines the message protocol spoken between DECAF sites:
+// update propagation (WRITE), guess confirmation (CONFIRM-READ / CONFIRM),
+// summary transaction outcomes (COMMIT / ABORT), the collaboration-join
+// protocol, and the failure-handling messages of paper §3.4.
+//
+// All messages are gob-encodable so the same protocol runs over the
+// in-memory simulated network and the TCP transport.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+)
+
+// Message is implemented by every DECAF protocol message.
+type Message interface {
+	isMessage()
+	// Kind returns a short human-readable message kind for logs.
+	Kind() string
+}
+
+// ---------------------------------------------------------------------------
+// Operations: the state-update payloads carried by WRITE messages.
+// ---------------------------------------------------------------------------
+
+// Op is a state-update operation applied to a model object. For scalar
+// objects the final value is distributed; for composite objects the change
+// is distributed as an incremental operation (paper §3.1 footnote).
+type Op interface {
+	isOp()
+	// Describe returns a short human-readable description for logs.
+	Describe() string
+}
+
+// OpSet replaces a scalar object's value.
+type OpSet struct {
+	Value any
+}
+
+func (OpSet) isOp()              {}
+func (o OpSet) Describe() string { return fmt.Sprintf("set(%v)", o.Value) }
+
+// ChildKind enumerates the kinds of model objects that can be embedded in
+// composites or created standalone.
+type ChildKind int
+
+// Model-object kinds.
+const (
+	KindInt ChildKind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+	KindList
+	KindTuple
+	KindAssociation
+)
+
+// String implements fmt.Stringer.
+func (k ChildKind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindList:
+		return "list"
+	case KindTuple:
+		return "tuple"
+	case KindAssociation:
+		return "association"
+	default:
+		return fmt.Sprintf("ChildKind(%d)", int(k))
+	}
+}
+
+// ChildDecl describes a child object being embedded into a composite, so
+// that remote replicas can instantiate an equivalent replica child.
+type ChildDecl struct {
+	Kind  ChildKind
+	Value any // initial scalar value; nil for composites
+}
+
+// OpListInsert inserts a new child into a list object. Tag is the unique
+// element tag (the inserting transaction's VT plus an ordinal for multiple
+// inserts by one transaction); Index is the position at the originating
+// site, disambiguated at receivers by the tags of preceding elements.
+type OpListInsert struct {
+	Tag   ElemTag
+	Index int
+	Child ChildDecl
+	// After identifies the element the insert follows (zero tag = list
+	// head). Receivers position by After rather than raw index when
+	// concurrent structural updates reordered indices.
+	After ElemTag
+}
+
+func (OpListInsert) isOp() {}
+
+// Describe implements Op.
+func (o OpListInsert) Describe() string {
+	return fmt.Sprintf("list-insert(%v@%d)", o.Tag, o.Index)
+}
+
+// OpListRemove removes the element with the given tag from a list.
+type OpListRemove struct {
+	Tag ElemTag
+}
+
+func (OpListRemove) isOp() {}
+
+// Describe implements Op.
+func (o OpListRemove) Describe() string { return fmt.Sprintf("list-remove(%v)", o.Tag) }
+
+// OpTupleSet embeds (or replaces) the child under Key in a tuple object.
+// At, when nonzero, pins the entry's insert identity (used when a join
+// ships an existing structure: the joiner's copy must carry the ORIGINAL
+// insert VT so paths pinned to it resolve at the new replica).
+type OpTupleSet struct {
+	Key   string
+	Child ChildDecl
+	At    vtime.VT
+}
+
+func (OpTupleSet) isOp() {}
+
+// Describe implements Op.
+func (o OpTupleSet) Describe() string { return fmt.Sprintf("tuple-set(%s)", o.Key) }
+
+// OpTupleRemove removes one specific child under Key from a tuple
+// object. Of is the insert VT of the entry being removed, so concurrent
+// re-sets of the same key are not clobbered by a remove that targeted
+// their predecessor (add-wins), and all replicas remove the same entry.
+type OpTupleRemove struct {
+	Key string
+	Of  vtime.VT
+}
+
+func (OpTupleRemove) isOp() {}
+
+// Describe implements Op.
+func (o OpTupleRemove) Describe() string { return fmt.Sprintf("tuple-remove(%s)", o.Key) }
+
+// OpGraph replaces a model object's replication graph (join, leave, site
+// failure repair). Graph updates flow through the same concurrency-control
+// machinery as value updates, validated against the graph's own
+// reservation table at the graph's primary.
+type OpGraph struct {
+	Graph repgraph.Wire
+}
+
+func (OpGraph) isOp() {}
+
+// Describe implements Op.
+func (o OpGraph) Describe() string { return fmt.Sprintf("graph(%d nodes)", len(o.Graph.Nodes)) }
+
+// OpAssoc updates an association object's value: the set of replica
+// relationships bundled for an application purpose (paper §2.1, §2.6).
+type OpAssoc struct {
+	Relationships []Relationship
+}
+
+func (OpAssoc) isOp() {}
+
+// Describe implements Op.
+func (o OpAssoc) Describe() string { return fmt.Sprintf("assoc(%d rels)", len(o.Relationships)) }
+
+// Relationship names one replica relationship within an association: the
+// set of member objects with their sites.
+type Relationship struct {
+	Name    string
+	Members []Member
+}
+
+// Member is one model object participating in a replica relationship.
+type Member struct {
+	Site vtime.SiteID
+	Obj  ids.ObjectID
+	// Desc is the human-readable object description published in the
+	// association (paper §2.1: "together with their sites and object
+	// descriptions").
+	Desc string
+}
+
+// ---------------------------------------------------------------------------
+// Paths for indirect propagation through composites (paper §3.2).
+// ---------------------------------------------------------------------------
+
+// ElemTag uniquely identifies a list element: the VT of the inserting
+// transaction plus an ordinal distinguishing multiple inserts by the same
+// transaction into the same list. This is the paper's "VT used as a tag to
+// the index", making path names robust against concurrent reordering.
+type ElemTag struct {
+	VT vtime.VT
+	N  uint32
+}
+
+// IsZero reports whether the tag is the zero tag (used for "list head").
+func (t ElemTag) IsZero() bool { return t == ElemTag{} }
+
+// String implements fmt.Stringer.
+func (t ElemTag) String() string { return fmt.Sprintf("%s#%d", t.VT, t.N) }
+
+// PathElem is one step of a composite path: either a tagged list element
+// or a tuple key.
+type PathElem struct {
+	// IsKey selects between tuple (key) and list (tag) addressing.
+	IsKey bool
+	Key   string
+	Tag   ElemTag
+}
+
+// String implements fmt.Stringer.
+func (p PathElem) String() string {
+	if p.IsKey {
+		return "[" + p.Key + "]"
+	}
+	return "[" + p.Tag.String() + "]"
+}
+
+// Path addresses an object embedded within a composite, from the root down.
+type Path []PathElem
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	s := ""
+	for _, e := range p {
+		s += e.String()
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Transaction propagation messages (paper §3.1).
+// ---------------------------------------------------------------------------
+
+// Update is one object modification carried by a Write message. Target is
+// the destination site's replica object; for indirect propagation Target
+// is the composite root there and Path walks down to the modified child.
+type Update struct {
+	Target ids.ObjectID
+	Path   Path // empty for direct updates to Target itself
+	// ReadVT is tR: the VT of the value the transaction read before
+	// writing (equal to the transaction VT for blind writes).
+	ReadVT vtime.VT
+	// GraphVT is tG: the VT at which the object's replication graph was
+	// last changed, as known to the originating site.
+	GraphVT vtime.VT
+	Op      Op
+}
+
+// ReadCheck asks a primary copy to validate an RL guess: that the interval
+// (ReadVT, tT] was write-free for Target (and (GraphVT, tT] free of graph
+// changes).
+type ReadCheck struct {
+	Target  ids.ObjectID
+	Path    Path
+	ReadVT  vtime.VT
+	GraphVT vtime.VT
+	// CommittedOnly restricts the check to committed versions — the
+	// pessimistic-view form of the RL guess (paper §4.2). The endpoint
+	// tT itself is excluded from the check for committed-only checks.
+	CommittedOnly bool
+	// NoReserve answers the check without reserving the interval:
+	// optimistic view snapshots tolerate stragglers (a superseding
+	// notification repairs them, §4.1) and must not abort writers.
+	NoReserve bool
+}
+
+// Delegation requests the single remote primary site to commit the whole
+// transaction on the origin's behalf (paper §3.1 optimization): the
+// message carries the identifiers of all sites affected by the
+// transaction so the delegate can send the summary outcome everywhere.
+type Delegation struct {
+	// Sites to which the delegate must send the Outcome (excluding the
+	// delegate itself; including the origin).
+	Sites []vtime.SiteID
+}
+
+// Write propagates a transaction's modifications to a replica site. The
+// primary site additionally performs the RL and NC guess checks and
+// responds with a Confirm (paper §3.1). Non-primary sites simply apply.
+type Write struct {
+	TxnVT   vtime.VT
+	Origin  vtime.SiteID
+	Updates []Update
+	// Checks carries RL read-checks for objects this site is primary
+	// for; piggybacked on the Write when the site receives updates too.
+	Checks []ReadCheck
+	// NeedsConfirm is set when the destination is a primary site that
+	// must validate and reply with Confirm.
+	NeedsConfirm bool
+	// Delegate, when non-nil, transfers commit responsibility to the
+	// destination (which must be the single remote primary site).
+	Delegate *Delegation
+}
+
+func (Write) isMessage() {}
+
+// Kind implements Message.
+func (Write) Kind() string { return "WRITE" }
+
+// ConfirmRead asks a primary site to validate RL guesses for objects that
+// were read but not written — by a transaction (paper §3.1) or by a view
+// snapshot (paper §4). ReqID routes the Confirm back to the right waiter.
+type ConfirmRead struct {
+	TxnVT  vtime.VT
+	Origin vtime.SiteID
+	ReqID  uint64
+	Checks []ReadCheck
+}
+
+func (ConfirmRead) isMessage() {}
+
+// Kind implements Message.
+func (ConfirmRead) Kind() string { return "CONFIRM-READ" }
+
+// Confirm is a primary site's verdict on the guesses in a Write or
+// ConfirmRead.
+type Confirm struct {
+	TxnVT vtime.VT
+	ReqID uint64 // echoes ConfirmRead.ReqID; 0 for Write confirmations
+	From  vtime.SiteID
+	OK    bool
+	// Transient marks a denial that may succeed after in-flight
+	// transactions settle (a pending version in a committed-only check
+	// interval); the requester should retry rather than abort.
+	Transient bool
+	Reason    string
+}
+
+func (Confirm) isMessage() {}
+
+// Kind implements Message.
+func (Confirm) Kind() string { return "CONFIRM" }
+
+// Outcome is the summary commit/abort for a transaction, broadcast by the
+// originating site (or its delegate) to every involved site.
+type Outcome struct {
+	TxnVT     vtime.VT
+	Committed bool
+}
+
+func (Outcome) isMessage() {}
+
+// Kind implements Message.
+func (o Outcome) Kind() string {
+	if o.Committed {
+		return "COMMIT"
+	}
+	return "ABORT"
+}
+
+// ---------------------------------------------------------------------------
+// Collaboration establishment (paper §3.3).
+// ---------------------------------------------------------------------------
+
+// JoinRequest is A's remote call to B: "object AObj (graph GraphA) wants
+// to join BObj's replica relationship".
+type JoinRequest struct {
+	TxnVT  vtime.VT
+	Origin vtime.SiteID
+	ReqID  uint64
+	AObj   ids.ObjectID
+	BObj   ids.ObjectID
+	GraphA repgraph.Wire
+}
+
+func (JoinRequest) isMessage() {}
+
+// Kind implements Message.
+func (JoinRequest) Kind() string { return "JOIN-REQUEST" }
+
+// JoinReply returns B's value and replication graph(s) to A. If B's
+// current graph value is uncommitted, PendingGraphTxn carries the
+// transaction A must additionally wait for (an RC guess).
+type JoinReply struct {
+	TxnVT  vtime.VT
+	ReqID  uint64
+	From   vtime.SiteID
+	OK     bool
+	Reason string
+	// Retryable marks a denial caused by a transient concurrency-control
+	// conflict; the joiner re-executes with a fresh virtual time, like
+	// any other conflicted transaction.
+	Retryable bool
+	BObj      ids.ObjectID
+	// BValue is B's current value, shipped so A's replica starts
+	// mirrored. For composites this is a structured snapshot.
+	BValue any
+	GraphB repgraph.Wire
+	// PendingGraphTxn, when nonzero, is the uncommitted transaction that
+	// wrote gB; A must wait for it to commit (RC guess).
+	PendingGraphTxn vtime.VT
+	// ConfirmSites lists primary sites whose confirmations B requested on
+	// A's behalf; A must wait for a Confirm from each before committing.
+	ConfirmSites []vtime.SiteID
+}
+
+func (JoinReply) isMessage() {}
+
+// Kind implements Message.
+func (JoinReply) Kind() string { return "JOIN-REPLY" }
+
+// ---------------------------------------------------------------------------
+// Direct propagation for embedded objects (paper §3.2.2).
+// ---------------------------------------------------------------------------
+
+// PromoteQuery asks a site hosting a replica of a composite to reveal the
+// object ID of the child at Path below Target. Switching an embedded
+// object to direct propagation requires a propagation graph over the
+// child's counterparts at every replica site, whose IDs are local to each
+// site (paper §3.2.2: "that node switches to direct propagation, and a
+// propagation graph is sent to all replicas").
+type PromoteQuery struct {
+	ReqID  uint64
+	Origin vtime.SiteID
+	Target ids.ObjectID
+	Path   Path
+}
+
+func (PromoteQuery) isMessage() {}
+
+// Kind implements Message.
+func (PromoteQuery) Kind() string { return "PROMOTE-QUERY" }
+
+// PromoteReply carries the counterpart child's identity.
+type PromoteReply struct {
+	ReqID uint64
+	From  vtime.SiteID
+	OK    bool
+	Child ids.ObjectID
+}
+
+func (PromoteReply) isMessage() {}
+
+// Kind implements Message.
+func (PromoteReply) Kind() string { return "PROMOTE-REPLY" }
+
+// ---------------------------------------------------------------------------
+// Failure handling (paper §3.4).
+// ---------------------------------------------------------------------------
+
+// CommitQuery asks whether the receiver knows the outcome of a transaction
+// whose originating site failed before broadcasting a summary outcome.
+type CommitQuery struct {
+	TxnVT vtime.VT
+	From  vtime.SiteID
+}
+
+func (CommitQuery) isMessage() {}
+
+// Kind implements Message.
+func (CommitQuery) Kind() string { return "COMMIT-QUERY" }
+
+// CommitQueryReply reports what the receiver knows about the transaction.
+type CommitQueryReply struct {
+	TxnVT vtime.VT
+	From  vtime.SiteID
+	// Known is true when the receiver saw a summary outcome for TxnVT.
+	Known     bool
+	Committed bool
+}
+
+func (CommitQueryReply) isMessage() {}
+
+// Kind implements Message.
+func (CommitQueryReply) Kind() string { return "COMMIT-QUERY-REPLY" }
+
+// RepairPropose starts (or restarts, with a higher Epoch) the survivor
+// consensus that commits a replication-graph update after the graph's
+// primary site failed (paper §3.4). The coordinator is the lowest
+// surviving site; survivors respond with RepairAck.
+type RepairPropose struct {
+	Epoch      uint64
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	// GraphVT is the common virtual time at which the repaired graphs
+	// will be applied.
+	GraphVT vtime.VT
+	// Survivors lists the sites participating in this repair round.
+	Survivors []vtime.SiteID
+}
+
+func (RepairPropose) isMessage() {}
+
+// Kind implements Message.
+func (RepairPropose) Kind() string { return "REPAIR-PROPOSE" }
+
+// RepairAck is a survivor's acknowledgement, carrying the outcomes it
+// knows for transactions that conflict with the repair.
+type RepairAck struct {
+	EpochN     uint64
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	// KnownCommitted lists in-flight transactions this site knows to
+	// have committed.
+	KnownCommitted []vtime.VT
+}
+
+func (RepairAck) isMessage() {}
+
+// Kind implements Message.
+func (RepairAck) Kind() string { return "REPAIR-ACK" }
+
+// RepairDecide completes the repair: every survivor commits the listed
+// transactions, aborts every other in-flight transaction involving the
+// failed site, and applies the graph update at GraphVT.
+type RepairDecide struct {
+	EpochN     uint64
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	GraphVT    vtime.VT
+	Commit     []vtime.VT
+}
+
+func (RepairDecide) isMessage() {}
+
+// Kind implements Message.
+func (RepairDecide) Kind() string { return "REPAIR-DECIDE" }
+
+// ---------------------------------------------------------------------------
+// Gob registration.
+// ---------------------------------------------------------------------------
+
+// RegisterGob registers every message and operation type with
+// encoding/gob. Safe to call more than once (gob.Register panics only on
+// inconsistent re-registration).
+func RegisterGob() {
+	gob.Register(Write{})
+	gob.Register(ConfirmRead{})
+	gob.Register(Confirm{})
+	gob.Register(Outcome{})
+	gob.Register(JoinRequest{})
+	gob.Register(JoinReply{})
+	gob.Register(CommitQuery{})
+	gob.Register(CommitQueryReply{})
+	gob.Register(PromoteQuery{})
+	gob.Register(PromoteReply{})
+	gob.Register(RepairPropose{})
+	gob.Register(RepairAck{})
+	gob.Register(RepairDecide{})
+
+	gob.Register(OpSet{})
+	gob.Register(OpListInsert{})
+	gob.Register(OpListRemove{})
+	gob.Register(OpTupleSet{})
+	gob.Register(OpTupleRemove{})
+	gob.Register(OpGraph{})
+	gob.Register(OpAssoc{})
+
+	// Scalar value payloads.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(CompositeSnapshot{})
+	gob.Register([]Relationship(nil))
+}
+
+func init() { RegisterGob() }
+
+// CompositeSnapshot is the structured value of a composite object shipped
+// in JoinReply: enough to reconstruct the composite and its children.
+type CompositeSnapshot struct {
+	Kind     ChildKind
+	Elems    []SnapshotElem // list elements in order, or tuple entries
+	IsSorted bool           // tuples ship entries sorted by key
+}
+
+// SnapshotElem is one child in a CompositeSnapshot.
+type SnapshotElem struct {
+	Tag   ElemTag // list element tag
+	Key   string  // tuple key
+	Child ChildDecl
+	// Nested holds the snapshot of a composite child.
+	Nested *CompositeSnapshot
+}

@@ -1,0 +1,205 @@
+package decaf
+
+import (
+	"decaf/internal/engine"
+	"decaf/internal/ids"
+)
+
+// Object is implemented by every typed model object. Model objects hold
+// application state, can join replica relationships with objects at other
+// sites, and can have views attached (paper §2.1).
+type Object interface {
+	// Ref returns the object's engine handle (used to attach views and
+	// establish collaborations).
+	Ref() engine.ObjRef
+	// Site returns the hosting site.
+	Site() *Site
+}
+
+// base carries the common state of all typed model objects.
+type base struct {
+	site *Site
+	ref  engine.ObjRef
+}
+
+// Ref implements Object.
+func (b *base) Ref() engine.ObjRef { return b.ref }
+
+// Site implements Object.
+func (b *base) Site() *Site { return b.site }
+
+// ID returns the object's globally unique identifier.
+func (b *base) ID() ids.ObjectID { return b.ref.ID() }
+
+// ReplicaSites returns the sites currently holding replicas (including
+// this one).
+func (b *base) ReplicaSites() []SiteID {
+	sites, _ := b.site.eng.ReplicaSites(b.ref)
+	return sites
+}
+
+// PrimarySite returns the site of the object's primary copy.
+func (b *base) PrimarySite() SiteID {
+	p, _ := b.site.eng.PrimarySite(b.ref)
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Scalar model objects.
+// ---------------------------------------------------------------------------
+
+// Int is an integer model object.
+type Int struct{ base }
+
+// NewInt creates an integer model object with initial value 0.
+func (s *Site) NewInt(name string) (*Int, error) {
+	ref, err := s.eng.CreateObject(engine.KindInt, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Int{base{s, ref}}, nil
+}
+
+// Value reads the current value inside a transaction.
+func (i *Int) Value(tx *Tx) int64 {
+	v, err := tx.inner.Read(i.ref)
+	if err != nil {
+		return 0
+	}
+	n, _ := v.(int64)
+	return n
+}
+
+// Set writes the value inside a transaction.
+func (i *Int) Set(tx *Tx, v int64) { _ = tx.inner.Write(i.ref, v) }
+
+// Committed reads the latest committed value outside any transaction.
+func (i *Int) Committed() int64 {
+	v, _ := i.site.eng.ReadCommitted(i.ref)
+	n, _ := v.(int64)
+	return n
+}
+
+// Current reads the current (possibly uncommitted) value.
+func (i *Int) Current() int64 {
+	v, _ := i.site.eng.ReadCurrent(i.ref)
+	n, _ := v.(int64)
+	return n
+}
+
+// Float is a real-number model object.
+type Float struct{ base }
+
+// NewFloat creates a float model object with initial value 0.
+func (s *Site) NewFloat(name string) (*Float, error) {
+	ref, err := s.eng.CreateObject(engine.KindFloat, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Float{base{s, ref}}, nil
+}
+
+// Value reads the current value inside a transaction.
+func (f *Float) Value(tx *Tx) float64 {
+	v, err := tx.inner.Read(f.ref)
+	if err != nil {
+		return 0
+	}
+	n, _ := v.(float64)
+	return n
+}
+
+// Set writes the value inside a transaction.
+func (f *Float) Set(tx *Tx, v float64) { _ = tx.inner.Write(f.ref, v) }
+
+// Committed reads the latest committed value.
+func (f *Float) Committed() float64 {
+	v, _ := f.site.eng.ReadCommitted(f.ref)
+	n, _ := v.(float64)
+	return n
+}
+
+// Current reads the current (possibly uncommitted) value.
+func (f *Float) Current() float64 {
+	v, _ := f.site.eng.ReadCurrent(f.ref)
+	n, _ := v.(float64)
+	return n
+}
+
+// String is a string model object.
+type String struct{ base }
+
+// NewString creates a string model object with initial value "".
+func (s *Site) NewString(name string) (*String, error) {
+	ref, err := s.eng.CreateObject(engine.KindString, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &String{base{s, ref}}, nil
+}
+
+// Value reads the current value inside a transaction.
+func (o *String) Value(tx *Tx) string {
+	v, err := tx.inner.Read(o.ref)
+	if err != nil {
+		return ""
+	}
+	n, _ := v.(string)
+	return n
+}
+
+// Set writes the value inside a transaction.
+func (o *String) Set(tx *Tx, v string) { _ = tx.inner.Write(o.ref, v) }
+
+// Committed reads the latest committed value.
+func (o *String) Committed() string {
+	v, _ := o.site.eng.ReadCommitted(o.ref)
+	n, _ := v.(string)
+	return n
+}
+
+// Current reads the current (possibly uncommitted) value.
+func (o *String) Current() string {
+	v, _ := o.site.eng.ReadCurrent(o.ref)
+	n, _ := v.(string)
+	return n
+}
+
+// Bool is a boolean model object.
+type Bool struct{ base }
+
+// NewBool creates a boolean model object with initial value false.
+func (s *Site) NewBool(name string) (*Bool, error) {
+	ref, err := s.eng.CreateObject(engine.KindBool, name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Bool{base{s, ref}}, nil
+}
+
+// Value reads the current value inside a transaction.
+func (o *Bool) Value(tx *Tx) bool {
+	v, err := tx.inner.Read(o.ref)
+	if err != nil {
+		return false
+	}
+	n, _ := v.(bool)
+	return n
+}
+
+// Set writes the value inside a transaction.
+func (o *Bool) Set(tx *Tx, v bool) { _ = tx.inner.Write(o.ref, v) }
+
+// Committed reads the latest committed value.
+func (o *Bool) Committed() bool {
+	v, _ := o.site.eng.ReadCommitted(o.ref)
+	n, _ := v.(bool)
+	return n
+}
+
+// Current reads the current (possibly uncommitted) value.
+func (o *Bool) Current() bool {
+	v, _ := o.site.eng.ReadCurrent(o.ref)
+	n, _ := v.(bool)
+	return n
+}

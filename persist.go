@@ -1,0 +1,106 @@
+package decaf
+
+import (
+	"io"
+	"os"
+
+	"decaf/internal/engine"
+)
+
+// Persistence and authorization: the paper's §5.3 persistence store and
+// the §1 authorization monitors, surfaced on the public API.
+
+// AuthKind classifies a remote access vetted by an authorization monitor.
+type AuthKind = engine.AuthKind
+
+// Remote access kinds.
+const (
+	// AuthJoin is a remote request to join a local object's replica
+	// relationship.
+	AuthJoin = engine.AuthJoin
+	// AuthWrite is a remote transaction updating a local object whose
+	// primary copy lives at this site.
+	AuthWrite = engine.AuthWrite
+	// AuthRead is a remote read (transaction or view snapshot) confirmed
+	// by this site's primary copy.
+	AuthRead = engine.AuthRead
+)
+
+// AuthRequest describes one remote access.
+type AuthRequest = engine.AuthRequest
+
+// ErrUnauthorized wraps authorization denials.
+var ErrUnauthorized = engine.ErrUnauthorized
+
+// SetAuthorizer installs an authorization monitor: a policy hook invoked
+// for every remote join, and for every remote write or read validated by
+// this site's primary copies (paper §1: "users may also code
+// authorization monitors to restrict access to sensitive objects").
+// A nil monitor allows everything.
+func (s *Site) SetAuthorizer(fn func(req AuthRequest) error) {
+	if fn == nil {
+		s.eng.SetAuthorizer(nil)
+		return
+	}
+	s.eng.SetAuthorizer(engine.Authorizer(fn))
+}
+
+// Checkpoint writes the site's committed state — objects, values,
+// composite structure (with its global element tags), and replication
+// graphs — to w (paper §5.3's persistence store).
+func (s *Site) Checkpoint(w io.Writer) error { return s.eng.Checkpoint(w) }
+
+// CheckpointFile is Checkpoint to a file path.
+func (s *Site) CheckpointFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Checkpoint(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Restore loads a checkpoint into this fresh site (same site ID, no
+// objects created yet). Restored objects keep their original IDs, so
+// peers restored from mutually consistent checkpoints resume their
+// replica relationships in place.
+func (s *Site) Restore(r io.Reader) error { return s.eng.Restore(r) }
+
+// RestoreFile is Restore from a file path.
+func (s *Site) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restore(f)
+}
+
+// Promote switches an embedded model object (a composite child) to
+// direct propagation (paper §3.2.2): it receives its own replication
+// graph over its counterparts at every replica of the enclosing tree and
+// can then join external objects independently of the tree. JoinObject
+// promotes automatically when needed; call Promote explicitly to pay the
+// switching cost up front.
+func (s *Site) Promote(obj Object) *Pending {
+	return &Pending{h: s.eng.Promote(obj.Ref())}
+}
+
+// Objects lists the site's top-level model objects (useful after
+// Restore), wrapped in their typed facades.
+func (s *Site) Objects() ([]Object, error) {
+	refs, err := s.eng.Objects()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Object, 0, len(refs))
+	for _, r := range refs {
+		if o := wrapRef(s, r); o != nil {
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}
