@@ -15,6 +15,10 @@
 //	e6  commit latency vs network size: DECAF vs GVT sweep (§5.1.3)
 //	e7  responsiveness: replicated vs centralized architecture (§1)
 //	e8  ablations: delegated commit (§3.1) and eager confirmation (§5.1.2)
+//	e9  transport hot path: binary codec vs gob, batched vs legacy TCP
+//
+// e9 additionally writes its results to -transport-out (default
+// BENCH_transport.json) so the numbers are diffable across revisions.
 package main
 
 import (
@@ -29,16 +33,17 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiments (e1..e7) or 'all'")
-		lat   = flag.Duration("t", 10*time.Millisecond, "base one-way network latency t")
-		quick = flag.Bool("quick", false, "smaller sweeps and fewer trials")
-		seed  = flag.Int64("seed", 1, "workload random seed")
+		exp          = flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
+		lat          = flag.Duration("t", 10*time.Millisecond, "base one-way network latency t")
+		quick        = flag.Bool("quick", false, "smaller sweeps and fewer trials")
+		seed         = flag.Int64("seed", 1, "workload random seed")
+		transportOut = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
 	)
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
 			selected[e] = true
 		}
 	} else {
@@ -76,6 +81,26 @@ func main() {
 		{"e6", func() (*bench.Table, error) { return bench.E6Scalability(scaleCfg) }},
 		{"e7", func() (*bench.Table, error) { return bench.E7Responsiveness(latCfg) }},
 		{"e8", func() (*bench.Table, error) { return bench.E8Ablations(latCfg) }},
+		{"e9", func() (*bench.Table, error) {
+			rounds, window := 20000, 2*time.Second
+			if *quick {
+				rounds, window = 2000, 500*time.Millisecond
+			}
+			codec, err := bench.MeasureCodec(rounds)
+			if err != nil {
+				return nil, err
+			}
+			tput, err := bench.MeasureTCPThroughput(window, 8)
+			if err != nil {
+				return nil, err
+			}
+			if *transportOut != "" {
+				if err := bench.WriteTransportJSON(*transportOut, codec, tput); err != nil {
+					return nil, err
+				}
+			}
+			return bench.TransportTable(codec, tput), nil
+		}},
 	}
 
 	fmt.Println("DECAF evaluation harness — reproducing Strom et al., \"Concurrency Control and")

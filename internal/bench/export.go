@@ -1,6 +1,10 @@
 package bench
 
-import "time"
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
 
 // Thin exported wrappers so the repository-root `go test -bench` harness
 // can reuse the experiment bodies without duplicating them.
@@ -27,4 +31,20 @@ func RunE7DecafForBench(t time.Duration, trials int) (time.Duration, error) {
 // centralized architecture.
 func RunE7CentralizedForBench(t time.Duration, trials int) (time.Duration, error) {
 	return runE7Centralized(t, trials)
+}
+
+// TransportReport is the persisted form of the transport benchmarks
+// (BENCH_transport.json at the repo root).
+type TransportReport struct {
+	Codec      CodecResult      `json:"codec"`
+	Throughput ThroughputResult `json:"tcp_loopback"`
+}
+
+// WriteTransportJSON writes the transport benchmark report to path.
+func WriteTransportJSON(path string, c CodecResult, t ThroughputResult) error {
+	data, err := json.MarshalIndent(TransportReport{Codec: c, Throughput: t}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

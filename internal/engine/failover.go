@@ -380,7 +380,7 @@ func (s *Site) unparkRetries() {
 	s.parked = nil
 	for _, p := range parked {
 		p := p
-		s.bumpStat(func(st *Stats) { st.Retries++ })
+		s.stats.Retries.Add(1)
 		s.do(func() { s.execute(p.txn, p.handle, p.retries) })
 	}
 }

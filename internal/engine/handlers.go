@@ -43,7 +43,7 @@ func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
 		upd := upd
 		ok := s.applyUpdate(st, upd, status)
 		if ok {
-			s.bumpStat(func(stt *Stats) { stt.UpdatesApplied++ })
+			s.stats.UpdatesApplied.Add(1)
 		}
 		if !ok {
 			blocked++
@@ -368,7 +368,7 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			st.commitApplied()
 			s.resolveRC(m.TxnVT, true)
 			s.onLocalCommit(st.appliedObjects(), m.TxnVT)
-			s.bumpStat(func(stt *Stats) { stt.Commits++ })
+			s.stats.Commits.Add(1)
 			if st.handle != nil {
 				st.handle.finish(Result{Committed: true, Retries: st.retries, VT: st.vt})
 			}
@@ -382,7 +382,7 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			st.status = txnAborted
 			s.resolveRC(m.TxnVT, false)
 			s.onLocalAbort(objs)
-			s.bumpStat(func(stt *Stats) { stt.ConflictAborts++ })
+			s.stats.ConflictAborts.Add(1)
 			if st.txn == nil || st.handle == nil {
 				return
 			}
@@ -390,7 +390,7 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 				st.handle.finish(Result{Err: fmt.Errorf("%w (%d attempts)", ErrTooManyRetries, st.retries+1), Retries: st.retries, VT: st.vt})
 				return
 			}
-			s.bumpStat(func(stt *Stats) { stt.Retries++ })
+			s.stats.Retries.Add(1)
 			txn, h, retries := st.txn, st.handle, st.retries+1
 			s.do(func() { s.execute(txn, h, retries) })
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decaf/internal/ids"
@@ -127,11 +128,30 @@ type Site struct {
 	// authorizer is the site's authorization monitor (nil: allow all).
 	authorizer Authorizer
 
-	statsMu sync.Mutex
-	stats   Stats
+	// stats are lock-free atomic counters: bumps happen on every message
+	// send and apply, so they must not contend with the event loop.
+	stats statCounters
 
 	startOnce sync.Once
 	stopOnce  sync.Once
+}
+
+// statCounters mirrors Stats with atomic counters. Site.Stats assembles a
+// plain snapshot from it.
+type statCounters struct {
+	Submitted             atomic.Uint64
+	Commits               atomic.Uint64
+	ConflictAborts        atomic.Uint64
+	ProgrammedAborts      atomic.Uint64
+	Retries               atomic.Uint64
+	MessagesSent          atomic.Uint64
+	UpdatesApplied        atomic.Uint64
+	OptNotifications      atomic.Uint64
+	OptCommits            atomic.Uint64
+	PessNotifications     atomic.Uint64
+	LostUpdates           atomic.Uint64
+	UpdateInconsistencies atomic.Uint64
+	SnapshotReruns        atomic.Uint64
 }
 
 // NewSite creates a site attached to the given transport endpoint.
@@ -191,18 +211,23 @@ func (s *Site) Stop() {
 	<-s.notifierDone
 }
 
-// Stats returns a copy of the site's counters.
+// Stats returns a snapshot of the site's counters.
 func (s *Site) Stats() Stats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
-}
-
-// bumpStat applies fn to the stats under the stats lock.
-func (s *Site) bumpStat(fn func(*Stats)) {
-	s.statsMu.Lock()
-	fn(&s.stats)
-	s.statsMu.Unlock()
+	return Stats{
+		Submitted:             s.stats.Submitted.Load(),
+		Commits:               s.stats.Commits.Load(),
+		ConflictAborts:        s.stats.ConflictAborts.Load(),
+		ProgrammedAborts:      s.stats.ProgrammedAborts.Load(),
+		Retries:               s.stats.Retries.Load(),
+		MessagesSent:          s.stats.MessagesSent.Load(),
+		UpdatesApplied:        s.stats.UpdatesApplied.Load(),
+		OptNotifications:      s.stats.OptNotifications.Load(),
+		OptCommits:            s.stats.OptCommits.Load(),
+		PessNotifications:     s.stats.PessNotifications.Load(),
+		LostUpdates:           s.stats.LostUpdates.Load(),
+		UpdateInconsistencies: s.stats.UpdateInconsistencies.Load(),
+		SnapshotReruns:        s.stats.SnapshotReruns.Load(),
+	}
 }
 
 // loop is the site's event loop: it owns all site state.
@@ -306,7 +331,7 @@ func (s *Site) send(to vtime.SiteID, msg wire.Message) {
 		s.log.Debug("send failed", "to", to.String(), "kind", msg.Kind(), "err", err)
 		return
 	}
-	s.bumpStat(func(st *Stats) { st.MessagesSent++ })
+	s.stats.MessagesSent.Add(1)
 }
 
 // handleEvent dispatches one transport event inside the loop.

@@ -334,7 +334,7 @@ func (tx *Tx) WriteScalar(obj *object, value any) {
 // Submit schedules txn for execution at this site and returns its handle.
 func (s *Site) Submit(txn *Txn) *Handle {
 	h := newHandle()
-	s.bumpStat(func(st *Stats) { st.Submitted++ })
+	s.stats.Submitted.Add(1)
 	s.do(func() { s.execute(txn, h, 0) })
 	return h
 }
@@ -365,7 +365,7 @@ func (s *Site) execute(txn *Txn, h *Handle, retries int) {
 		s.undoApplied(st)
 		st.status = txnAborted
 		delete(s.txns, vt)
-		s.bumpStat(func(stt *Stats) { stt.ProgrammedAborts++ })
+		s.stats.ProgrammedAborts.Add(1)
 		if txn.OnAbort != nil {
 			abortErr := err
 			s.notify(func() { txn.OnAbort(abortErr) })
@@ -787,7 +787,7 @@ func (s *Site) commitTxn(st *txnState) {
 	}
 	s.resolveRC(st.vt, true)
 	s.onLocalCommit(st.appliedObjects(), st.vt)
-	s.bumpStat(func(stt *Stats) { stt.Commits++ })
+	s.stats.Commits.Add(1)
 	if st.hasGraphOp {
 		s.unparkRetries()
 		s.afterGraphCommit(st)
@@ -827,7 +827,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 	}
 	s.resolveRC(st.vt, false)
 	s.onLocalAbort(st.appliedObjects())
-	s.bumpStat(func(stt *Stats) { stt.ConflictAborts++ })
+	s.stats.ConflictAborts.Add(1)
 
 	// Automatic re-execution at the originating site.
 	if st.retryFn != nil {
@@ -837,7 +837,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 			}
 			return
 		}
-		s.bumpStat(func(stt *Stats) { stt.Retries++ })
+		s.stats.Retries.Add(1)
 		retry, attempts := st.retryFn, st.retries+1
 		s.do(func() { retry(attempts) })
 		return
@@ -864,7 +864,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 		s.parked = append(s.parked, parkedRetry{txn: st.txn, handle: st.handle, retries: st.retries + 1})
 		return
 	}
-	s.bumpStat(func(stt *Stats) { stt.Retries++ })
+	s.stats.Retries.Add(1)
 	txn, h, retries := st.txn, st.handle, st.retries+1
 	if d := s.opts.RetryDelay; d > 0 {
 		time.AfterFunc(d, func() { s.do(func() { s.execute(txn, h, retries) }) })

@@ -350,7 +350,7 @@ func (p *viewProxy) runOptimistic() {
 		// straggler older than the current snapshot — a lost update
 		// (paper §5.1.2) — or a redundant trigger.
 		if p.everNotified {
-			p.site.bumpStat(func(st *Stats) { st.LostUpdates++ })
+			p.site.stats.LostUpdates.Add(1)
 		}
 		return
 	}
@@ -369,7 +369,7 @@ func (p *viewProxy) runOptimistic() {
 
 	data := snap.data(false)
 	gen := snap.gen
-	p.site.bumpStat(func(st *Stats) { st.OptNotifications++ })
+	p.site.stats.OptNotifications.Add(1)
 	p.site.notify(func() {
 		// Lossy delivery: only the newest queued snapshot reaches the
 		// view (paper §4.1: "optimistic views are only notified of the
@@ -423,7 +423,7 @@ func (p *viewProxy) requestOptimisticGuesses(snap *snapshot) {
 			} else {
 				// The snapshot exposed rolled-back state (an update
 				// inconsistency); onLocalAbort triggers the rerun.
-				s.bumpStat(func(st *Stats) { st.UpdateInconsistencies++ })
+				s.stats.UpdateInconsistencies.Add(1)
 			}
 		})
 	}
@@ -487,7 +487,7 @@ func (p *viewProxy) checkOptimisticCommit(snap *snapshot) {
 	}
 	snap.confirmed = true
 	snap.notifiedCommit = true
-	p.site.bumpStat(func(st *Stats) { st.OptCommits++ })
+	p.site.stats.OptCommits.Add(1)
 	if p.fns.Commit == nil {
 		return
 	}
@@ -507,7 +507,7 @@ func (p *viewProxy) rerunAfterAbort() {
 		p.runOptimistic()
 		return
 	}
-	p.site.bumpStat(func(st *Stats) { st.SnapshotReruns++ })
+	p.site.stats.SnapshotReruns.Add(1)
 	p.runOptimistic()
 }
 
@@ -718,6 +718,6 @@ func (p *viewProxy) deliverPessimistic(snap *snapshot) {
 	p.everNotified = true
 	p.lastNotifiedVT = snap.ts
 	data := snap.data(true)
-	p.site.bumpStat(func(st *Stats) { st.PessNotifications++ })
+	p.site.stats.PessNotifications.Add(1)
 	p.site.notify(func() { p.fns.Update(data) })
 }

@@ -1,32 +1,95 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
 )
 
-// tcpEnvelope is the on-the-wire frame for the TCP transport.
+// The TCP transport frames the binary wire codec:
+//
+//	frame   := u32 big-endian payload length | payload
+//	payload := envelope+                      (one flush = one batch)
+//	envelope:= from uvarint | sentAt.Time uvarint | sentAt.Site uvarint
+//	           | message (self-delimiting, wire.AppendMessage)
+//
+// Each peer has a bounded outbound queue drained by a dedicated writer
+// goroutine: Send never blocks on a socket write, and every envelope
+// queued while a flush was in progress rides the next frame, so N queued
+// protocol messages cost one syscall. The queue-overflow policy matches
+// the simulated network's bounded delivery buffer: overflow on a live
+// peer drops the message silently (as a congested network would);
+// overflow on a failed peer reports ErrSiteDown.
+
+// maxFrame bounds a frame payload: a corrupt or hostile length prefix
+// must not provoke an unbounded allocation.
+const maxFrame = 64 << 20
+
+// defaultQueueSize is the per-peer outbound queue bound, mirroring the
+// simulated network's default QueueSize.
+const defaultQueueSize = 4096
+
+// defaultMaxBatch bounds how many envelopes coalesce into one frame.
+const defaultMaxBatch = 512
+
+// dialTimeout bounds the writer goroutine's connection attempt.
+const dialTimeout = 10 * time.Second
+
+// TCPOptions tune a TCP endpoint. The zero value gives the defaults.
+type TCPOptions struct {
+	// QueueSize bounds each peer's outbound queue (default 4096).
+	QueueSize int
+	// MaxBatch bounds envelopes per flushed frame (default 512).
+	MaxBatch int
+	// Legacy selects the pre-batching protocol: gob encoding with a
+	// synchronous blocking write per Send under a per-peer mutex. It is
+	// retained as a measurement baseline and differential oracle for the
+	// benchmarks; both ends of a connection must agree on the mode.
+	Legacy bool
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.QueueSize <= 0 {
+		o.QueueSize = defaultQueueSize
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = defaultMaxBatch
+	}
+	return o
+}
+
+// tcpEnvelope is the legacy gob-framed envelope.
 type tcpEnvelope struct {
 	From   vtime.SiteID
 	SentAt vtime.VT
 	Msg    wire.Message
 }
 
-// TCP is a real transport over TCP using gob encoding. Every site listens
-// on its own address and lazily dials peers from a static address book.
-// A connection error to a peer surfaces as an EventSiteFailed for that
-// peer (fail-stop presentation, paper §3.4).
+// tcpOut is one queued outbound message.
+type tcpOut struct {
+	sentAt vtime.VT
+	msg    wire.Message
+}
+
+// TCP is a real transport over TCP. Every site listens on its own address
+// and lazily dials peers from a static address book. A connection error
+// to a peer surfaces as an EventSiteFailed for that peer (fail-stop
+// presentation, paper §3.4).
 type TCP struct {
 	site   vtime.SiteID
 	ln     net.Listener
 	peers  map[vtime.SiteID]string
 	events chan Event
+	opts   TCPOptions
 
 	mu      sync.Mutex
 	conns   map[vtime.SiteID]*tcpPeer
@@ -38,17 +101,32 @@ type TCP struct {
 
 var _ Endpoint = (*TCP)(nil)
 
-// tcpPeer is an established outbound connection with its gob encoder.
+// tcpPeer is the outbound side of one peer: a bounded queue drained by a
+// writer goroutine (batched mode), or a mutex-guarded gob encoder
+// (legacy mode).
 type tcpPeer struct {
+	t    *TCP
+	site vtime.SiteID
+	addr string // dial address; empty when adopted from an inbound conn
+
+	queue    chan tcpOut
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	enc  *gob.Encoder // legacy mode only
 }
 
-// ListenTCP starts a TCP endpoint for site on addr. peers maps every other
-// site to its dialable address. The returned endpoint is ready to send and
-// receive.
+// ListenTCP starts a TCP endpoint for site on addr with default options.
+// peers maps every other site to its dialable address. The returned
+// endpoint is ready to send and receive.
 func ListenTCP(site vtime.SiteID, addr string, peers map[vtime.SiteID]string) (*TCP, error) {
+	return ListenTCPOptions(site, addr, peers, TCPOptions{})
+}
+
+// ListenTCPOptions is ListenTCP with explicit options.
+func ListenTCPOptions(site vtime.SiteID, addr string, peers map[vtime.SiteID]string, opts TCPOptions) (*TCP, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -58,6 +136,7 @@ func ListenTCP(site vtime.SiteID, addr string, peers map[vtime.SiteID]string) (*
 		ln:     ln,
 		peers:  peers,
 		events: make(chan Event, 4096),
+		opts:   opts.withDefaults(),
 		conns:  map[vtime.SiteID]*tcpPeer{},
 		failed: map[vtime.SiteID]bool{},
 	}
@@ -89,41 +168,129 @@ func (t *TCP) acceptLoop() {
 			return
 		}
 		t.inbound = append(t.inbound, conn)
-		t.mu.Unlock()
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
 
-// readLoop decodes envelopes from one inbound connection until error.
-// The first envelope identifies the peer; the connection is then also
-// registered for outbound sends, so a site can reply to peers that are
-// not in its static address book (invitees dial the inviter; replies
-// reuse the same connection).
+// framePool recycles frame payload buffers across writer goroutines and
+// read loops.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// readLoop decodes frames from one connection until error. The first
+// envelope identifies the peer; the connection is then also registered
+// for outbound sends, so a site can reply to peers that are not in its
+// static address book (invitees dial the inviter; replies reuse the same
+// connection).
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
 	var from vtime.SiteID
 	seen := false
-	for {
-		var env tcpEnvelope
-		if err := dec.Decode(&env); err != nil {
-			if seen {
-				t.reportFailure(from)
+	fail := func() {
+		if seen {
+			t.reportFailure(from)
+		}
+	}
+	if t.opts.Legacy {
+		dec := gob.NewDecoder(conn)
+		for {
+			var env tcpEnvelope
+			if err := dec.Decode(&env); err != nil {
+				fail()
+				return
 			}
+			if !seen {
+				from, seen = env.From, true
+				t.adoptInbound(from, conn)
+			}
+			t.deliver(Event{Kind: EventMessage, From: env.From, SentAt: env.SentAt, Msg: env.Msg})
+		}
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var hdr [4]byte
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			fail()
 			return
 		}
-		if !seen {
-			from, seen = env.From, true
-			t.adoptInbound(from, conn)
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			fail()
+			return
 		}
-		t.deliver(Event{Kind: EventMessage, From: env.From, SentAt: env.SentAt, Msg: env.Msg})
+		if cap(*bufp) < int(n) {
+			*bufp = make([]byte, n)
+		}
+		payload := (*bufp)[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			fail()
+			return
+		}
+		rest := payload
+		for len(rest) > 0 {
+			envFrom, sentAt, msg, used, err := decodeEnvelope(rest)
+			if err != nil {
+				fail()
+				return
+			}
+			rest = rest[used:]
+			if !seen {
+				from, seen = envFrom, true
+				t.adoptInbound(from, conn)
+			}
+			t.deliver(Event{Kind: EventMessage, From: envFrom, SentAt: sentAt, Msg: msg})
+		}
 	}
 }
 
+// appendEnvelope encodes one envelope onto the frame buffer.
+func appendEnvelope(b []byte, from vtime.SiteID, sentAt vtime.VT, msg wire.Message) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(from))
+	b = binary.AppendUvarint(b, sentAt.Time)
+	b = binary.AppendUvarint(b, uint64(sentAt.Site))
+	return wire.AppendMessage(b, msg)
+}
+
+// decodeEnvelope decodes one envelope from the front of b.
+func decodeEnvelope(b []byte) (from vtime.SiteID, sentAt vtime.VT, msg wire.Message, used int, err error) {
+	off := 0
+	next := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			err = errors.New("transport: truncated envelope")
+			return 0
+		}
+		off += n
+		return v
+	}
+	from = vtime.SiteID(next())
+	sentAt.Time = next()
+	sentAt.Site = vtime.SiteID(next())
+	if err != nil {
+		return 0, vtime.VT{}, nil, 0, err
+	}
+	msg, n, err := wire.DecodeMessage(b[off:])
+	if err != nil {
+		return 0, vtime.VT{}, nil, 0, err
+	}
+	return from, sentAt, msg, off + n, nil
+}
+
 // adoptInbound registers an inbound connection for outbound use when no
-// connection to that peer exists yet.
+// peer record exists yet.
 func (t *TCP) adoptInbound(from vtime.SiteID, conn net.Conn) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -133,7 +300,26 @@ func (t *TCP) adoptInbound(from vtime.SiteID, conn net.Conn) {
 	if _, ok := t.conns[from]; ok {
 		return
 	}
-	t.conns[from] = &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
+	p := t.newPeer(from, "")
+	p.conn = conn
+	if t.opts.Legacy {
+		p.enc = gob.NewEncoder(conn)
+	}
+	t.conns[from] = p
+	if !t.opts.Legacy {
+		t.wg.Add(1)
+		go p.writeLoop()
+	}
+}
+
+func (t *TCP) newPeer(site vtime.SiteID, addr string) *tcpPeer {
+	return &tcpPeer{
+		t:     t,
+		site:  site,
+		addr:  addr,
+		queue: make(chan tcpOut, t.opts.QueueSize),
+		stop:  make(chan struct{}),
+	}
 }
 
 func (t *TCP) deliver(ev Event) {
@@ -148,7 +334,8 @@ func (t *TCP) deliver(ev Event) {
 	}
 }
 
-// reportFailure emits a single EventSiteFailed per peer.
+// reportFailure emits a single EventSiteFailed per peer and tears down
+// its sender.
 func (t *TCP) reportFailure(site vtime.SiteID) {
 	t.mu.Lock()
 	if t.closed || t.failed[site] {
@@ -156,76 +343,220 @@ func (t *TCP) reportFailure(site vtime.SiteID) {
 		return
 	}
 	t.failed[site] = true
-	if p, ok := t.conns[site]; ok {
+	p, ok := t.conns[site]
+	if ok {
 		delete(t.conns, site)
-		p.conn.Close()
 	}
 	t.mu.Unlock()
+	if ok {
+		p.shutdown()
+	}
 	t.deliver(Event{Kind: EventSiteFailed, Failed: site})
 }
 
-// peer returns (dialing if necessary) the outbound connection to site.
-func (t *TCP) peer(site vtime.SiteID) (*tcpPeer, error) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, ErrSiteDown
+// shutdown stops the peer's writer and closes its connection.
+func (p *tcpPeer) shutdown() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
 	}
-	if t.failed[site] {
-		t.mu.Unlock()
+}
+
+// peerFor returns (creating if necessary) the sender record for site.
+// No dialing happens on the caller's goroutine; the writer goroutine
+// establishes the connection.
+func (t *TCP) peerFor(site vtime.SiteID) (*tcpPeer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.failed[site] {
 		return nil, ErrSiteDown
 	}
 	if p, ok := t.conns[site]; ok {
-		t.mu.Unlock()
 		return p, nil
 	}
 	addr, ok := t.peers[site]
-	t.mu.Unlock()
 	if !ok {
 		return nil, ErrUnknownSite
 	}
-
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.reportFailure(site)
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, errors.Join(ErrSiteDown, err))
-	}
-	p := &tcpPeer{conn: conn, enc: gob.NewEncoder(conn)}
-
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		conn.Close()
-		return nil, ErrSiteDown
-	}
-	if existing, ok := t.conns[site]; ok {
-		t.mu.Unlock()
-		conn.Close() // lost a dial race; reuse the winner
-		return existing, nil
-	}
+	p := t.newPeer(site, addr)
 	t.conns[site] = p
-	t.wg.Add(1)
-	t.mu.Unlock()
-	// Read replies arriving over the outbound connection (peers answer
-	// on the connection the request came in on).
-	go t.readLoop(conn)
+	if !t.opts.Legacy {
+		t.wg.Add(1)
+		go p.writeLoop()
+	}
 	return p, nil
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint. In batched mode it only enqueues: the
+// caller's goroutine never blocks on a dial or a socket write.
 func (t *TCP) Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
-	p, err := t.peer(to)
+	p, err := t.peerFor(to)
 	if err != nil {
 		return err
 	}
+	if t.opts.Legacy {
+		return t.sendLegacy(p, to, sentAt, msg)
+	}
+	select {
+	case <-p.stop:
+		return ErrSiteDown
+	case p.queue <- tcpOut{sentAt: sentAt, msg: msg}:
+		return nil
+	default:
+	}
+	// Queue full. A dead peer (writer already stopped) is an error; a
+	// live but congested one drops silently, matching the simulated
+	// network's bounded-buffer semantics.
+	select {
+	case <-p.stop:
+		return ErrSiteDown
+	default:
+		return nil
+	}
+}
+
+// sendLegacy is the pre-batching path: dial if needed, then a blocking
+// gob encode straight onto the socket under the peer mutex.
+func (t *TCP) sendLegacy(p *tcpPeer, to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
 	p.mu.Lock()
-	err = p.enc.Encode(tcpEnvelope{From: t.site, SentAt: sentAt, Msg: msg})
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+		if err != nil {
+			p.mu.Unlock()
+			t.reportFailure(to)
+			return fmt.Errorf("transport: dial %s: %w", p.addr, errors.Join(ErrSiteDown, err))
+		}
+		p.conn = conn
+		p.enc = gob.NewEncoder(conn)
+		t.mu.Lock()
+		closed := t.closed
+		if !closed {
+			t.wg.Add(1)
+		}
+		t.mu.Unlock()
+		if closed {
+			p.mu.Unlock()
+			conn.Close()
+			return ErrSiteDown
+		}
+		go t.readLoop(conn)
+	}
+	err := p.enc.Encode(tcpEnvelope{From: t.site, SentAt: sentAt, Msg: msg})
 	p.mu.Unlock()
 	if err != nil {
 		t.reportFailure(to)
 		return fmt.Errorf("transport: send to %s: %w", to, errors.Join(ErrSiteDown, err))
 	}
 	return nil
+}
+
+// resolveConn returns the peer's connection, dialing it if the record was
+// created by Send rather than adopted from an inbound connection. Returns
+// nil after reporting failure when no connection can be established.
+func (p *tcpPeer) resolveConn() net.Conn {
+	p.mu.Lock()
+	if c := p.conn; c != nil {
+		p.mu.Unlock()
+		return c
+	}
+	addr := p.addr
+	p.mu.Unlock()
+	if addr == "" {
+		p.t.reportFailure(p.site)
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		p.t.reportFailure(p.site)
+		return nil
+	}
+	p.mu.Lock()
+	select {
+	case <-p.stop:
+		p.mu.Unlock()
+		conn.Close()
+		return nil
+	default:
+	}
+	p.conn = conn
+	p.mu.Unlock()
+
+	p.t.mu.Lock()
+	closed := p.t.closed
+	if !closed {
+		p.t.wg.Add(1)
+	}
+	p.t.mu.Unlock()
+	if closed {
+		conn.Close()
+		return nil
+	}
+	// Read replies arriving over the outbound connection (peers answer
+	// on the connection the request came in on).
+	go p.t.readLoop(conn)
+	return conn
+}
+
+// writeLoop drains the peer queue into batched frames: every envelope
+// queued while a flush was in progress is coalesced into the next frame.
+func (p *tcpPeer) writeLoop() {
+	defer p.t.wg.Done()
+	conn := p.resolveConn()
+	if conn == nil {
+		return
+	}
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	var hdr [4]byte
+	for {
+		var first tcpOut
+		select {
+		case first = <-p.queue:
+		case <-p.stop:
+			return
+		}
+		frame := (*bufp)[:0]
+		frame, err := appendEnvelope(frame, p.t.site, first.sentAt, first.msg)
+		if err != nil {
+			// Unencodable message: drop it, keep the link up.
+			frame = frame[:0]
+		}
+		n := 1
+	batch:
+		for n < p.t.opts.MaxBatch {
+			select {
+			case e := <-p.queue:
+				next, err := appendEnvelope(frame, p.t.site, e.sentAt, e.msg)
+				if err == nil {
+					frame = next
+				}
+				n++
+			default:
+				break batch
+			}
+		}
+		*bufp = frame[:0] // retain any growth for reuse
+		if len(frame) == 0 {
+			continue
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			p.t.reportFailure(p.site)
+			return
+		}
+		if _, err := bw.Write(frame); err != nil {
+			p.t.reportFailure(p.site)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			p.t.reportFailure(p.site)
+			return
+		}
+	}
 }
 
 // Close implements Endpoint: stops the listener, closes all connections,
@@ -248,7 +579,7 @@ func (t *TCP) Close() error {
 
 	err := t.ln.Close()
 	for _, p := range conns {
-		p.conn.Close()
+		p.shutdown()
 	}
 	for _, c := range inbound {
 		c.Close()

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -355,5 +357,188 @@ func TestTCPCloseIdempotent(t *testing.T) {
 	}
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batched-sender tests (binary codec + per-peer writer goroutine).
+// ---------------------------------------------------------------------------
+
+func TestTCPBatchedBurstFIFO(t *testing.T) {
+	// A burst far larger than any single frame's batch limit must arrive
+	// complete and in order: envelopes queued during a flush coalesce
+	// into subsequent frames.
+	a, err := ListenTCPOptions(1, "127.0.0.1:0", nil, TCPOptions{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCPOptions(2, "127.0.0.1:0", map[vtime.SiteID]string{1: a.Addr().String()}, TCPOptions{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const count = 2000
+	for i := uint64(0); i < count; i++ {
+		if err := b.Send(1, vtime.VT{Time: i, Site: 2}, msg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < count; i++ {
+		ev := recvOne(t, a, 5*time.Second)
+		if got := ev.Msg.(wire.Outcome).TxnVT.Time; got != i {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+		if ev.SentAt.Time != i {
+			t.Fatalf("message %d carried SentAt %v", i, ev.SentAt)
+		}
+	}
+}
+
+func TestTCPSendDoesNotBlockOnSlowPeer(t *testing.T) {
+	// A peer that accepts the connection but never reads must not block
+	// the sender's goroutine: once the socket and queue fill, Send drops
+	// silently (live-peer overflow policy) and returns promptly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn // held open, never read
+		}
+	}()
+
+	a, err := ListenTCPOptions(1, "127.0.0.1:0",
+		map[vtime.SiteID]string{2: ln.Addr().String()},
+		TCPOptions{QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	payload := wire.Confirm{TxnVT: vtime.VT{Time: 1, Site: 1}, Reason: string(make([]byte, 16<<10))}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Far more data than the socket buffers plus queue can hold.
+		for i := 0; i < 5000; i++ {
+			if err := a.Send(2, vtime.Zero, payload); err != nil {
+				return // ErrSiteDown also proves we did not block
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked on a peer that never reads")
+	}
+	select {
+	case conn := <-accepted:
+		conn.Close()
+	default:
+	}
+}
+
+func TestTCPOverflowOnDeadPeer(t *testing.T) {
+	// Once a peer has failed, sends report ErrSiteDown rather than
+	// silently dropping.
+	a, err := ListenTCPOptions(1, "127.0.0.1:0", nil, TCPOptions{QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", map[vtime.SiteID]string{1: a.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(1, vtime.Zero, msg(1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, a, 2*time.Second)
+	a.peers = map[vtime.SiteID]string{2: b.Addr().String()}
+
+	b.Close()
+	ev := recvOne(t, a, 2*time.Second)
+	if ev.Kind != EventSiteFailed || ev.Failed != 2 {
+		t.Fatalf("event = %+v, want SiteFailed(2)", ev)
+	}
+	if err := a.Send(2, vtime.Zero, msg(2)); err != ErrSiteDown {
+		t.Fatalf("send to dead peer: err = %v, want ErrSiteDown", err)
+	}
+}
+
+func TestTCPLegacyInterop(t *testing.T) {
+	// The legacy gob protocol (measurement baseline) still works when
+	// both ends select it.
+	a, err := ListenTCPOptions(1, "127.0.0.1:0", nil, TCPOptions{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCPOptions(2, "127.0.0.1:0", map[vtime.SiteID]string{1: a.Addr().String()}, TCPOptions{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.peers = map[vtime.SiteID]string{2: b.Addr().String()}
+
+	if err := b.Send(1, vtime.VT{Time: 5, Site: 2}, msg(11)); err != nil {
+		t.Fatal(err)
+	}
+	ev := recvOne(t, a, 2*time.Second)
+	if ev.From != 2 || ev.Msg.(wire.Outcome).TxnVT.Time != 11 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if err := a.Send(2, vtime.Zero, msg(12)); err != nil {
+		t.Fatal(err)
+	}
+	ev = recvOne(t, b, 2*time.Second)
+	if ev.Msg.(wire.Outcome).TxnVT.Time != 12 {
+		t.Fatalf("reply = %+v", ev)
+	}
+}
+
+func TestTCPBatchedConcurrentSenders(t *testing.T) {
+	// Many goroutines sending to the same peer: all messages arrive,
+	// none duplicated, and the endpoint survives the race detector.
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", map[vtime.SiteID]string{1: a.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := b.Send(1, vtime.Zero, msg(uint64(w*per+i))); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for i := 0; i < workers*per; i++ {
+		ev := recvOne(t, a, 5*time.Second)
+		n := ev.Msg.(wire.Outcome).TxnVT.Time
+		if seen[n] {
+			t.Fatalf("message %d duplicated", n)
+		}
+		seen[n] = true
 	}
 }

@@ -1,0 +1,446 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+)
+
+// gobRoundTrip pushes m through gob — the reference encoding — and
+// returns the result. Gob normalizes empty slices to nil, so comparing a
+// binary round trip against a GOB round trip (rather than the original)
+// checks semantic equality under the same normalization.
+func gobRoundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	in := struct{ M Message }{M: m}
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatalf("gob encode %T: %v", m, err)
+	}
+	var out struct{ M Message }
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode %T: %v", m, err)
+	}
+	return out.M
+}
+
+// binRoundTrip pushes m through the binary codec.
+func binRoundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("binary encode %T: %v", m, err)
+	}
+	got, n, err := DecodeMessage(b)
+	if err != nil {
+		t.Fatalf("binary decode %T: %v", m, err)
+	}
+	if n != len(b) {
+		t.Fatalf("decode %T consumed %d of %d bytes", m, n, len(b))
+	}
+	return got
+}
+
+// ---------------------------------------------------------------------------
+// Random message generation.
+// ---------------------------------------------------------------------------
+
+type gen struct{ rng *rand.Rand }
+
+func (g *gen) vt() vtime.VT {
+	return vtime.VT{Time: g.rng.Uint64() >> g.rng.Intn(64), Site: g.site()}
+}
+
+func (g *gen) site() vtime.SiteID { return vtime.SiteID(g.rng.Intn(1 << 16)) }
+
+func (g *gen) obj() ids.ObjectID {
+	return ids.ObjectID{Site: g.site(), Seq: g.rng.Uint64() >> g.rng.Intn(64)}
+}
+
+func (g *gen) str() string {
+	n := g.rng.Intn(24)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(g.rng.Intn(256))
+	}
+	return string(b)
+}
+
+func (g *gen) tag() ElemTag {
+	return ElemTag{VT: g.vt(), N: uint32(g.rng.Intn(1 << 20))}
+}
+
+func (g *gen) path() Path {
+	n := g.rng.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	p := make(Path, n)
+	for i := range p {
+		if g.rng.Intn(2) == 0 {
+			p[i] = PathElem{IsKey: true, Key: g.str()}
+		} else {
+			p[i] = PathElem{Tag: g.tag()}
+		}
+	}
+	return p
+}
+
+func (g *gen) sites() []vtime.SiteID {
+	n := g.rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	out := make([]vtime.SiteID, n)
+	for i := range out {
+		out[i] = g.site()
+	}
+	return out
+}
+
+func (g *gen) vts() []vtime.VT {
+	n := g.rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	out := make([]vtime.VT, n)
+	for i := range out {
+		out[i] = g.vt()
+	}
+	return out
+}
+
+func (g *gen) graph() repgraph.Wire {
+	gr := repgraph.NewGraph(g.obj(), g.site())
+	for i := 0; i < g.rng.Intn(4); i++ {
+		gr.AddNode(g.obj(), g.site())
+	}
+	nodes := gr.Nodes()
+	for i := 0; i+1 < len(nodes); i++ {
+		_ = gr.AddEdge(nodes[i], nodes[i+1])
+	}
+	return gr.ToWire()
+}
+
+// scalar returns a value from the registered dynamic-value set.
+func (g *gen) scalar() any {
+	switch g.rng.Intn(5) {
+	case 0:
+		return g.rng.Int63() - (1 << 62)
+	case 1:
+		return g.rng.NormFloat64() // normal floats only: NaN breaks DeepEqual
+	case 2:
+		return g.str()
+	case 3:
+		return g.rng.Intn(2) == 0
+	default:
+		return nil
+	}
+}
+
+func (g *gen) childDecl() ChildDecl {
+	return ChildDecl{Kind: ChildKind(1 + g.rng.Intn(7)), Value: g.scalar()}
+}
+
+func (g *gen) snapshot(depth int) CompositeSnapshot {
+	s := CompositeSnapshot{
+		Kind:     ChildKind(1 + g.rng.Intn(7)),
+		IsSorted: g.rng.Intn(2) == 0,
+	}
+	n := g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		e := SnapshotElem{Tag: g.tag(), Key: g.str(), Child: g.childDecl()}
+		if depth > 0 && g.rng.Intn(3) == 0 {
+			nested := g.snapshot(depth - 1)
+			e.Nested = &nested
+		}
+		s.Elems = append(s.Elems, e)
+	}
+	return s
+}
+
+func (g *gen) relationships() []Relationship {
+	n := 1 + g.rng.Intn(3)
+	out := make([]Relationship, n)
+	for i := range out {
+		out[i].Name = g.str()
+		for j := 0; j < g.rng.Intn(3); j++ {
+			out[i].Members = append(out[i].Members, Member{Site: g.site(), Obj: g.obj(), Desc: g.str()})
+		}
+	}
+	return out
+}
+
+// value returns any dynamic value, including composite payloads.
+func (g *gen) value() any {
+	switch g.rng.Intn(7) {
+	case 5:
+		return g.snapshot(2)
+	case 6:
+		return g.relationships()
+	default:
+		return g.scalar()
+	}
+}
+
+func (g *gen) op() Op {
+	switch g.rng.Intn(7) {
+	case 0:
+		return OpSet{Value: g.value()}
+	case 1:
+		return OpListInsert{Tag: g.tag(), Index: g.rng.Intn(100) - 50, Child: g.childDecl(), After: g.tag()}
+	case 2:
+		return OpListRemove{Tag: g.tag()}
+	case 3:
+		return OpTupleSet{Key: g.str(), Child: g.childDecl(), At: g.vt()}
+	case 4:
+		return OpTupleRemove{Key: g.str(), Of: g.vt()}
+	case 5:
+		return OpGraph{Graph: g.graph()}
+	default:
+		return OpAssoc{Relationships: g.relationships()}
+	}
+}
+
+func (g *gen) check() ReadCheck {
+	return ReadCheck{
+		Target:        g.obj(),
+		Path:          g.path(),
+		ReadVT:        g.vt(),
+		GraphVT:       g.vt(),
+		CommittedOnly: g.rng.Intn(2) == 0,
+		NoReserve:     g.rng.Intn(2) == 0,
+	}
+}
+
+func (g *gen) checks() []ReadCheck {
+	n := g.rng.Intn(3)
+	if n == 0 {
+		return nil
+	}
+	out := make([]ReadCheck, n)
+	for i := range out {
+		out[i] = g.check()
+	}
+	return out
+}
+
+func (g *gen) update() Update {
+	return Update{Target: g.obj(), Path: g.path(), ReadVT: g.vt(), GraphVT: g.vt(), Op: g.op()}
+}
+
+// message produces a random instance of the i-th message type.
+func (g *gen) message(i int) Message {
+	switch i % 18 {
+	case 0:
+		w := Write{TxnVT: g.vt(), Origin: g.site(), NeedsConfirm: g.rng.Intn(2) == 0, Checks: g.checks()}
+		for j := 0; j < 1+g.rng.Intn(4); j++ {
+			w.Updates = append(w.Updates, g.update())
+		}
+		if g.rng.Intn(2) == 0 {
+			w.Delegate = &Delegation{Sites: g.sites()}
+		}
+		return w
+	case 1:
+		return ConfirmRead{TxnVT: g.vt(), Origin: g.site(), ReqID: g.rng.Uint64(), Checks: g.checks()}
+	case 2:
+		return Confirm{TxnVT: g.vt(), ReqID: g.rng.Uint64(), From: g.site(),
+			OK: g.rng.Intn(2) == 0, Transient: g.rng.Intn(2) == 0, Reason: g.str()}
+	case 3:
+		return Outcome{TxnVT: g.vt(), Committed: g.rng.Intn(2) == 0}
+	case 4:
+		return JoinRequest{TxnVT: g.vt(), Origin: g.site(), ReqID: g.rng.Uint64(),
+			AObj: g.obj(), BObj: g.obj(), GraphA: g.graph()}
+	case 5:
+		return JoinReply{TxnVT: g.vt(), ReqID: g.rng.Uint64(), From: g.site(),
+			OK: g.rng.Intn(2) == 0, Reason: g.str(), Retryable: g.rng.Intn(2) == 0,
+			BObj: g.obj(), BValue: g.value(), GraphB: g.graph(),
+			PendingGraphTxn: g.vt(), ConfirmSites: g.sites()}
+	case 6:
+		return PromoteQuery{ReqID: g.rng.Uint64(), Origin: g.site(), Target: g.obj(), Path: g.path()}
+	case 7:
+		return PromoteReply{ReqID: g.rng.Uint64(), From: g.site(), OK: g.rng.Intn(2) == 0, Child: g.obj()}
+	case 8:
+		return CommitQuery{TxnVT: g.vt(), From: g.site()}
+	case 9:
+		return CommitQueryReply{TxnVT: g.vt(), From: g.site(),
+			Known: g.rng.Intn(2) == 0, Committed: g.rng.Intn(2) == 0}
+	case 10:
+		return RepairPropose{Epoch: g.rng.Uint64(), FailedSite: g.site(), From: g.site(),
+			GraphVT: g.vt(), Survivors: g.sites()}
+	case 11:
+		return RepairAck{EpochN: g.rng.Uint64(), FailedSite: g.site(), From: g.site(),
+			KnownCommitted: g.vts()}
+	case 12:
+		return RepairDecide{EpochN: g.rng.Uint64(), FailedSite: g.site(), From: g.site(),
+			GraphVT: g.vt(), Commit: g.vts()}
+	case 13:
+		return GVTUpdate{VT: g.vt(), From: g.site(), Name: g.str(), Value: g.scalar()}
+	case 14:
+		return GVTAck{VT: g.vt(), From: g.site()}
+	case 15:
+		return GVTToken{Round: g.rng.Uint64(), Min: g.vt(), MinValid: g.rng.Intn(2) == 0, GVT: g.vt()}
+	case 16:
+		return CenWrite{Seq: g.rng.Uint64(), From: g.site(), Name: g.str(), Value: g.scalar()}
+	default:
+		return CenEcho{Seq: g.rng.Uint64(), Name: g.str(), Value: g.scalar()}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------------
+
+// TestBinaryCodecDifferential generates random messages of every type and
+// asserts the binary round trip equals the gob round trip (the oracle).
+func TestBinaryCodecDifferential(t *testing.T) {
+	g := &gen{rng: rand.New(rand.NewSource(7))}
+	const perType = 50
+	for i := 0; i < 18*perType; i++ {
+		m := g.message(i)
+		want := gobRoundTrip(t, m)
+		got := binRoundTrip(t, m)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("differential mismatch for %T:\n binary %#v\n gob    %#v\n input  %#v", m, got, want, m)
+		}
+	}
+}
+
+// TestBinaryCodecFixedMessages round-trips the same hand-picked message
+// set the gob tests use, so a representative instance of every field is
+// covered deterministically.
+func TestBinaryCodecFixedMessages(t *testing.T) {
+	vt := vtime.VT{Time: 100, Site: 2}
+	target := ids.ObjectID{Site: 3, Seq: 7}
+	msgs := []Message{
+		Write{
+			TxnVT:  vt,
+			Origin: 2,
+			Updates: []Update{
+				{Target: target, ReadVT: vtime.VT{Time: 40, Site: 1}, Op: OpSet{Value: int64(9)}},
+				{Target: target, Path: Path{{IsKey: true, Key: "john"}, {Tag: ElemTag{VT: vt, N: 1}}}, Op: OpSet{Value: "x"}},
+				{Target: target, Op: OpListInsert{Tag: ElemTag{VT: vt, N: 2}, Index: 1, Child: ChildDecl{Kind: KindString, Value: "v"}}},
+				{Target: target, Op: OpGraph{Graph: sampleGraph()}},
+			},
+			Checks:       []ReadCheck{{Target: target, ReadVT: vt, CommittedOnly: true, NoReserve: true}},
+			NeedsConfirm: true,
+			Delegate:     &Delegation{Sites: []vtime.SiteID{1, 4}},
+		},
+		ConfirmRead{TxnVT: vt, Origin: 2, ReqID: 9, Checks: []ReadCheck{{Target: target, ReadVT: vt}}},
+		Confirm{TxnVT: vt, ReqID: 9, From: 3, OK: false, Transient: true, Reason: "pending straggler"},
+		Outcome{TxnVT: vt, Committed: true},
+		JoinRequest{TxnVT: vt, Origin: 2, ReqID: 1, AObj: target, BObj: ids.ObjectID{Site: 1, Seq: 2}, GraphA: sampleGraph()},
+		JoinReply{TxnVT: vt, ReqID: 1, From: 1, OK: true, BValue: "hello", GraphB: sampleGraph(), PendingGraphTxn: vt},
+		JoinReply{TxnVT: vt, ReqID: 2, From: 1, OK: true, BValue: CompositeSnapshot{
+			Kind: KindTuple,
+			Elems: []SnapshotElem{
+				{Key: "k", Child: ChildDecl{Kind: KindInt, Value: int64(3)}},
+				{Key: "nested", Child: ChildDecl{Kind: KindList}, Nested: &CompositeSnapshot{Kind: KindList}},
+			},
+			IsSorted: true,
+		}},
+		PromoteQuery{ReqID: 4, Origin: 2, Target: target, Path: Path{{IsKey: true, Key: "a"}}},
+		PromoteReply{ReqID: 4, From: 3, OK: true, Child: target},
+		CommitQuery{TxnVT: vt, From: 4},
+		CommitQueryReply{TxnVT: vt, From: 4, Known: true, Committed: false},
+		RepairPropose{Epoch: 3, FailedSite: 9, From: 1, GraphVT: vt, Survivors: []vtime.SiteID{1, 2}},
+		RepairAck{EpochN: 3, FailedSite: 9, From: 2, KnownCommitted: []vtime.VT{vt}},
+		RepairDecide{EpochN: 3, FailedSite: 9, From: 1, GraphVT: vt, Commit: []vtime.VT{vt}},
+		GVTUpdate{VT: vt, From: 2, Name: "x", Value: int64(5)},
+		GVTAck{VT: vt, From: 2},
+		GVTToken{Round: 8, Min: vt, MinValid: true, GVT: vtime.VT{Time: 90, Site: 1}},
+		CenWrite{Seq: 11, From: 2, Name: "y", Value: 2.5},
+		CenEcho{Seq: 11, Name: "y", Value: 2.5},
+	}
+	for _, m := range msgs {
+		t.Run(m.Kind()+"/"+reflect.TypeOf(m).Name(), func(t *testing.T) {
+			want := gobRoundTrip(t, m)
+			got := binRoundTrip(t, m)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+			}
+		})
+	}
+}
+
+// TestBinaryCodecConcatenation checks self-delimiting framing: several
+// messages appended back to back decode in order from one buffer.
+func TestBinaryCodecConcatenation(t *testing.T) {
+	g := &gen{rng: rand.New(rand.NewSource(42))}
+	var msgs []Message
+	var buf []byte
+	var err error
+	for i := 0; i < 60; i++ {
+		m := g.message(i)
+		msgs = append(msgs, m)
+		buf, err = AppendMessage(buf, m)
+		if err != nil {
+			t.Fatalf("append %T: %v", m, err)
+		}
+	}
+	rest := buf
+	for i, want := range msgs {
+		got, n, err := DecodeMessage(rest)
+		if err != nil {
+			t.Fatalf("decode message %d: %v", i, err)
+		}
+		rest = rest[n:]
+		if !reflect.DeepEqual(got, gobRoundTrip(t, want)) {
+			t.Fatalf("message %d mismatch: got %#v want %#v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all messages", len(rest))
+	}
+}
+
+// TestBinaryCodecTruncation ensures decoding any strict prefix of a valid
+// encoding errors out instead of panicking or fabricating a message.
+func TestBinaryCodecTruncation(t *testing.T) {
+	g := &gen{rng: rand.New(rand.NewSource(3))}
+	for i := 0; i < 36; i++ {
+		m := g.message(i)
+		b, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			_, n, err := DecodeMessage(b[:cut])
+			if err == nil && n > cut {
+				t.Fatalf("decode of %d/%d bytes of %T claimed %d consumed", cut, len(b), m, n)
+			}
+		}
+	}
+}
+
+// TestBinaryCodecCorruptInput throws random bytes at the decoder; it must
+// return an error or a message, never panic or over-read.
+func TestBinaryCodecCorruptInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		m, n, err := DecodeMessage(b)
+		if err == nil && (n > len(b) || m == nil) {
+			t.Fatalf("decode of junk %x returned m=%v n=%d without error", b, m, n)
+		}
+	}
+}
+
+// TestBinaryCodecGobFallbackValue checks that a dynamic value outside the
+// registered scalar set survives via the gob escape hatch.
+func TestBinaryCodecGobFallbackValue(t *testing.T) {
+	gob.Register(map[string]int64{})
+	m := GVTUpdate{VT: vtime.VT{Time: 1, Site: 1}, From: 1, Name: "m",
+		Value: map[string]int64{"a": 1, "b": 2}}
+	got := binRoundTrip(t, m).(GVTUpdate)
+	if !reflect.DeepEqual(got.Value, m.Value) {
+		t.Fatalf("fallback value mismatch: got %#v want %#v", got.Value, m.Value)
+	}
+}
