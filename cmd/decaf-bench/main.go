@@ -16,9 +16,11 @@
 //	e7  responsiveness: replicated vs centralized architecture (§1)
 //	e8  ablations: delegated commit (§3.1) and eager confirmation (§5.1.2)
 //	e9  transport hot path: binary codec vs gob, batched vs legacy TCP
+//	e10 transport resilience: committed txn/s across injected link flaps
 //
 // e9 additionally writes its results to -transport-out (default
-// BENCH_transport.json) so the numbers are diffable across revisions.
+// BENCH_transport.json) and e10 to -resilience-out (default
+// BENCH_resilience.json) so the numbers are diffable across revisions.
 package main
 
 import (
@@ -33,17 +35,18 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
-		lat          = flag.Duration("t", 10*time.Millisecond, "base one-way network latency t")
-		quick        = flag.Bool("quick", false, "smaller sweeps and fewer trials")
-		seed         = flag.Int64("seed", 1, "workload random seed")
-		transportOut = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
+		exp           = flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
+		lat           = flag.Duration("t", 10*time.Millisecond, "base one-way network latency t")
+		quick         = flag.Bool("quick", false, "smaller sweeps and fewer trials")
+		seed          = flag.Int64("seed", 1, "workload random seed")
+		transportOut  = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
+		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "where e10 writes its JSON report ('' disables)")
 	)
 	flag.Parse()
 
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"} {
 			selected[e] = true
 		}
 	} else {
@@ -100,6 +103,22 @@ func main() {
 				}
 			}
 			return bench.TransportTable(codec, tput), nil
+		}},
+		{"e10", func() (*bench.Table, error) {
+			window := 2 * time.Second
+			if *quick {
+				window = 500 * time.Millisecond
+			}
+			res, err := bench.MeasureResilience(window, 8, 100*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			if *resilienceOut != "" {
+				if err := bench.WriteResilienceJSON(*resilienceOut, res); err != nil {
+					return nil, err
+				}
+			}
+			return bench.ResilienceTable(res), nil
 		}},
 	}
 

@@ -179,6 +179,27 @@ func ListenTCP(site SiteID, addr string, peers map[SiteID]string) (*transport.TC
 	return transport.ListenTCP(site, addr, peers)
 }
 
+// TCPOptions tunes a TCP endpoint: queue and batch sizes, the suspicion
+// policy governing reconnect backoff and failure escalation, keepalive
+// probing, and fault injection. See transport.TCPOptions.
+type TCPOptions = transport.TCPOptions
+
+// SuspicionPolicy controls when connection trouble with a peer escalates
+// into a fail-stop verdict. See transport.SuspicionPolicy.
+type SuspicionPolicy = transport.SuspicionPolicy
+
+// Faults injects network faults (refused dials, killed connections,
+// dropped or delayed frames) for tests and benchmarks.
+type Faults = transport.Faults
+
+// NewFaults returns an empty fault-injection harness.
+func NewFaults() *Faults { return transport.NewFaults() }
+
+// ListenTCPOptions is ListenTCP with explicit options.
+func ListenTCPOptions(site SiteID, addr string, peers map[SiteID]string, opts TCPOptions) (*transport.TCP, error) {
+	return transport.ListenTCPOptions(site, addr, peers, opts)
+}
+
 // ---------------------------------------------------------------------------
 // Transactions.
 // ---------------------------------------------------------------------------

@@ -48,3 +48,13 @@ func WriteTransportJSON(path string, c CodecResult, t ThroughputResult) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// WriteResilienceJSON writes the E10 resilience report to path
+// (BENCH_resilience.json at the repo root).
+func WriteResilienceJSON(path string, r ResilienceResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,213 @@
+package bench
+
+// E10 — transport resilience under link flaps. The same committed-txn/s
+// workload as the E9 loopback throughput measurement runs twice: once on
+// a stable link and once while a fault injector keeps killing every live
+// TCP connection between the two sites. With the reconnect + retransmit
+// layer the flapped run must keep committing (no EventSiteFailed, no
+// lost protocol messages); the interesting number is how much throughput
+// the flaps cost.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decaf"
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+)
+
+// ResilienceResult reports committed txn/s with link flaps off vs on.
+type ResilienceResult struct {
+	// DurationMs is the measurement window per mode.
+	DurationMs int64 `json:"duration_ms"`
+	// Workers is the number of concurrent submitters.
+	Workers int `json:"workers"`
+	// FlapIntervalMs is how often the injector kills all live
+	// connections during the flapped run.
+	FlapIntervalMs int64 `json:"flap_interval_ms"`
+
+	// Committed txn/s at the origin site.
+	StableTxnPerSec  float64 `json:"stable_txn_per_sec"`
+	FlappedTxnPerSec float64 `json:"flapped_txn_per_sec"`
+	// Retention = flapped / stable: the throughput that survives flaps.
+	Retention float64 `json:"retention"`
+
+	// Fault and recovery accounting for the flapped run, summed over
+	// both endpoints.
+	ConnectionsKilled uint64 `json:"connections_killed"`
+	Reconnects        uint64 `json:"reconnects"`
+	Retransmits       uint64 `json:"retransmits"`
+	// FailureEvents must be 0: every fault was a flap, not a death.
+	FailureEvents uint64 `json:"failure_events"`
+}
+
+// MeasureResilience runs the committed-transaction workload with link
+// flaps off and on and reports both rates.
+func MeasureResilience(window time.Duration, workers int, flapEvery time.Duration) (ResilienceResult, error) {
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	if flapEvery <= 0 {
+		flapEvery = 100 * time.Millisecond
+	}
+	res := ResilienceResult{
+		DurationMs:     window.Milliseconds(),
+		Workers:        workers,
+		FlapIntervalMs: flapEvery.Milliseconds(),
+	}
+
+	stable, err := resilienceOnce(window, workers, 0, &res)
+	if err != nil {
+		return res, fmt.Errorf("stable run: %w", err)
+	}
+	flapped, err := resilienceOnce(window, workers, flapEvery, &res)
+	if err != nil {
+		return res, fmt.Errorf("flapped run: %w", err)
+	}
+	res.StableTxnPerSec = stable
+	res.FlappedTxnPerSec = flapped
+	if stable > 0 {
+		res.Retention = flapped / stable
+	}
+	return res, nil
+}
+
+// resilienceOnce measures committed txn/s between two engine sites over
+// TCP loopback; when flapEvery > 0 a background injector kills every
+// live connection at that cadence and the fault/recovery counters are
+// accumulated into res.
+func resilienceOnce(window time.Duration, workers int, flapEvery time.Duration, res *ResilienceResult) (float64, error) {
+	faults := transport.NewFaults()
+	opts := transport.TCPOptions{Faults: faults}
+	ep1, err := transport.ListenTCPOptions(1, "127.0.0.1:0", nil, opts)
+	if err != nil {
+		return 0, err
+	}
+	ep2, err := transport.ListenTCPOptions(2, "127.0.0.1:0",
+		map[vtime.SiteID]string{1: ep1.Addr().String()}, opts)
+	if err != nil {
+		ep1.Close()
+		return 0, err
+	}
+	s1 := decaf.NewSite(ep1, decaf.Options{})
+	s2 := decaf.NewSite(ep2, decaf.Options{})
+	defer func() {
+		s1.Close()
+		s2.Close()
+		ep1.Close()
+		ep2.Close()
+	}()
+
+	root, err := s1.NewInt("counter")
+	if err != nil {
+		return 0, err
+	}
+	o2, err := s2.NewInt("counter")
+	if err != nil {
+		return 0, err
+	}
+	if r := s2.JoinObject(o2, 1, root.Ref().ID()).Wait(); !r.Committed {
+		return 0, fmt.Errorf("join failed: %+v", r)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(o2.ReplicaSites()) != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		if r := s2.ExecuteFunc(func(tx *decaf.Tx) error {
+			o2.Set(tx, int64(i))
+			return nil
+		}).Wait(); !r.Committed {
+			return 0, fmt.Errorf("warmup txn aborted: %+v", r)
+		}
+	}
+
+	var flapWG sync.WaitGroup
+	stopFlapper := make(chan struct{})
+	if flapEvery > 0 {
+		flapWG.Add(1)
+		go func() {
+			defer flapWG.Done()
+			ticker := time.NewTicker(flapEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopFlapper:
+					return
+				case <-ticker.C:
+					// Both directions: ep1's conns to 2 and ep2's to 1,
+					// plus whatever inbound each side tracked.
+					faults.KillConnections(1)
+					faults.KillConnections(2)
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	counts := make([]uint64, workers)
+	stop := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r := s2.ExecuteFunc(func(tx *decaf.Tx) error {
+					o2.Set(tx, int64(w))
+					return nil
+				}).Wait(); r.Committed {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopFlapper)
+	flapWG.Wait()
+
+	if flapEvery > 0 {
+		st1, st2 := ep1.Stats(), ep2.Stats()
+		res.ConnectionsKilled += faults.Killed()
+		res.Reconnects += st1.Reconnects + st2.Reconnects
+		res.Retransmits += st1.Retransmits + st2.Retransmits
+		res.FailureEvents += st1.FailureEvents + st2.FailureEvents
+	}
+
+	var committed uint64
+	for _, c := range counts {
+		committed += c
+	}
+	return float64(committed) / elapsed.Seconds(), nil
+}
+
+// ResilienceTable renders the E10 results for decaf-bench.
+func ResilienceTable(r ResilienceResult) *Table {
+	tab := &Table{
+		Title: "E10: transport resilience — committed txn/s across link flaps (PR 2)",
+		Note: fmt.Sprintf("every live TCP connection killed each %dms during the flapped run;\n"+
+			"reconnect+retransmit must keep commits flowing with zero failure events", r.FlapIntervalMs),
+		Columns: []string{"metric", "value"},
+	}
+	tab.AddRow("stable txn/s", fmt.Sprintf("%.0f", r.StableTxnPerSec))
+	tab.AddRow("flapped txn/s", fmt.Sprintf("%.0f", r.FlappedTxnPerSec))
+	tab.AddRow("retention", fmt.Sprintf("%.0f%%", r.Retention*100))
+	tab.AddRow("connections killed", fmt.Sprintf("%d", r.ConnectionsKilled))
+	tab.AddRow("reconnects", fmt.Sprintf("%d", r.Reconnects))
+	tab.AddRow("envelopes retransmitted", fmt.Sprintf("%d", r.Retransmits))
+	tab.AddRow("failure events", fmt.Sprintf("%d", r.FailureEvents))
+	return tab
+}

@@ -80,6 +80,19 @@ func (s *Site) handleSiteFailure(f vtime.SiteID) {
 	s.repairGraphsFor(f)
 }
 
+// handleSiteRecovered reacts to the transport re-establishing contact
+// with a previously suspected site: the engine stops treating it as
+// dead so traffic flows again. Any §3.4 failover already performed
+// (aborts, graph repair) stands — the recovered site must rejoin
+// objects it was repaired out of, exactly like a restarted site.
+func (s *Site) handleSiteRecovered(f vtime.SiteID) {
+	if !s.failed[f] {
+		return
+	}
+	delete(s.failed, f)
+	s.log.Info("site recovered", "site", f.String())
+}
+
 // startCommitQuery polls survivors for knowledge of an orphaned
 // transaction's outcome.
 func (s *Site) startCommitQuery(vt vtime.VT, st *txnState) {

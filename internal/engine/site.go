@@ -342,6 +342,8 @@ func (s *Site) handleEvent(ev transport.Event) {
 		s.handleMessage(ev.From, ev.Msg)
 	case transport.EventSiteFailed:
 		s.handleSiteFailure(ev.Failed)
+	case transport.EventSiteRecovered:
+		s.handleSiteRecovered(ev.Failed)
 	}
 }
 

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"decaf/internal/vtime"
+)
+
+// Faults is a fault-injection harness shared by both transports. Tests
+// and benchmarks attach one to a TCP endpoint (TCPOptions.Faults) or a
+// simulated Network (Config.Faults) and then inject faults while the
+// system runs:
+//
+//   - RefuseDials makes the next N dial attempts to a peer fail
+//     (connection-refused-style transient fault).
+//   - KillConnections abruptly closes every live tracked connection to
+//     or from a peer (mid-stream link kill).
+//   - DropFrames silently discards the next N outbound frames to a peer
+//     (lossy network). On the simulated Network each protocol message is
+//     one frame.
+//   - DelayFrames adds a fixed delay before every outbound frame (slow
+//     network).
+//
+// All methods are safe for concurrent use, and every hook is safe on a
+// nil *Faults, so transport code calls them unconditionally.
+type Faults struct {
+	mu     sync.Mutex
+	refuse map[vtime.SiteID]int
+	drop   map[vtime.SiteID]int
+	delay  time.Duration
+	conns  map[vtime.SiteID]map[net.Conn]struct{}
+
+	dialsRefused  uint64
+	framesDropped uint64
+	killed        uint64
+}
+
+// NewFaults returns an empty fault harness.
+func NewFaults() *Faults {
+	return &Faults{
+		refuse: map[vtime.SiteID]int{},
+		drop:   map[vtime.SiteID]int{},
+		conns:  map[vtime.SiteID]map[net.Conn]struct{}{},
+	}
+}
+
+// RefuseDials makes the next n dial attempts to site fail. n <= 0 clears
+// the fault.
+func (f *Faults) RefuseDials(site vtime.SiteID, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		delete(f.refuse, site)
+		return
+	}
+	f.refuse[site] = n
+}
+
+// DropFrames silently discards the next n outbound frames addressed to
+// site. n <= 0 clears the fault.
+func (f *Faults) DropFrames(site vtime.SiteID, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		delete(f.drop, site)
+		return
+	}
+	f.drop[site] = n
+}
+
+// DelayFrames adds d before every outbound frame (0 clears the fault).
+func (f *Faults) DelayFrames(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// KillConnections abruptly closes every live tracked connection
+// associated with site and reports how many it closed.
+func (f *Faults) KillConnections(site vtime.SiteID) int {
+	f.mu.Lock()
+	set := f.conns[site]
+	delete(f.conns, site)
+	conns := make([]net.Conn, 0, len(set))
+	for c := range set {
+		conns = append(conns, c)
+	}
+	f.killed += uint64(len(conns))
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// Killed reports how many connections KillConnections has closed.
+func (f *Faults) Killed() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed
+}
+
+// Refused reports how many dial attempts the harness has failed.
+func (f *Faults) Refused() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dialsRefused
+}
+
+// Dropped reports how many outbound frames the harness has discarded.
+func (f *Faults) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.framesDropped
+}
+
+// failDial reports whether a dial attempt to site should fail.
+func (f *Faults) failDial(site vtime.SiteID) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.refuse[site]
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		delete(f.refuse, site)
+	} else {
+		f.refuse[site] = n - 1
+	}
+	f.dialsRefused++
+	return true
+}
+
+// dropFrame reports whether one outbound frame to site should be lost.
+func (f *Faults) dropFrame(site vtime.SiteID) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.drop[site]
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		delete(f.drop, site)
+	} else {
+		f.drop[site] = n - 1
+	}
+	f.framesDropped++
+	return true
+}
+
+// frameDelay returns the configured per-frame delay.
+func (f *Faults) frameDelay() time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delay
+}
+
+// track registers a live connection associated with site so that
+// KillConnections can reach it.
+func (f *Faults) track(site vtime.SiteID, c net.Conn) {
+	if f == nil || c == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	set := f.conns[site]
+	if set == nil {
+		set = map[net.Conn]struct{}{}
+		f.conns[site] = set
+	}
+	set[c] = struct{}{}
+}
+
+// untrack forgets a connection (it was closed by its owner).
+func (f *Faults) untrack(site vtime.SiteID, c net.Conn) {
+	if f == nil || c == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if set := f.conns[site]; set != nil {
+		delete(set, c)
+		if len(set) == 0 {
+			delete(f.conns, site)
+		}
+	}
+}

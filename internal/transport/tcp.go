@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decaf/internal/vtime"
@@ -18,17 +20,36 @@ import (
 // The TCP transport frames the binary wire codec:
 //
 //	frame   := u32 big-endian payload length | payload
-//	payload := envelope+                      (one flush = one batch)
+//	payload := kind byte | body          (empty payload = keepalive probe)
+//	hello   := 0x01 | site uvarint | incarnation uvarint   (first frame)
+//	data    := 0x02 | firstSeq uvarint | envelope+
+//	ack     := 0x03 | incarnation uvarint | cumulative seq uvarint
 //	envelope:= from uvarint | sentAt.Time uvarint | sentAt.Site uvarint
 //	           | message (self-delimiting, wire.AppendMessage)
 //
 // Each peer has a bounded outbound queue drained by a dedicated writer
 // goroutine: Send never blocks on a socket write, and every envelope
 // queued while a flush was in progress rides the next frame, so N queued
-// protocol messages cost one syscall. The queue-overflow policy matches
-// the simulated network's bounded delivery buffer: overflow on a live
-// peer drops the message silently (as a congested network would);
-// overflow on a failed peer reports ErrSiteDown.
+// protocol messages cost one syscall.
+//
+// Resilience. A connection error does not declare the peer dead: the
+// writer goroutine redials with exponential backoff + jitter (or waits
+// for the peer to dial back in) while accepted envelopes stay queued.
+// Envelopes are sequenced per peer and retained until the receiver acks
+// them, so everything unacknowledged is retransmitted on the new
+// connection and the receiver deduplicates by sequence number — a link
+// flap loses nothing and duplicates nothing. Sequence numbers are scoped
+// to an endpoint incarnation (a random ID announced in the hello and
+// echoed in acks), so a peer process restart resets the dedup floor
+// instead of silently rejecting the new incarnation's traffic, and a
+// stale ack from a previous incarnation cannot prune undelivered
+// envelopes. Only when the configurable
+// suspicion policy is exhausted (dial-attempt budget spent or the
+// downtime window passed) does the endpoint emit EventSiteFailed, and if
+// the peer later reconnects it emits EventSiteRecovered. Control events
+// (failure/recovery) are delivered losslessly; message events may still
+// be dropped when the receiver is stuck with a full event buffer, as on
+// a congested network.
 
 // maxFrame bounds a frame payload: a corrupt or hostile length prefix
 // must not provoke an unbounded allocation.
@@ -41,17 +62,114 @@ const defaultQueueSize = 4096
 // defaultMaxBatch bounds how many envelopes coalesce into one frame.
 const defaultMaxBatch = 512
 
-// dialTimeout bounds the writer goroutine's connection attempt.
+// defaultRetainLimit bounds the per-peer retransmit window (encoded
+// envelopes held until acked). It also caps how many envelopes can be in
+// flight before the writer must wait for an ack, so it is sized well
+// above QueueSize to keep the pipe full at loopback message rates.
+const defaultRetainLimit = 32768
+
+// dialTimeout bounds a single connection attempt.
 const dialTimeout = 10 * time.Second
+
+// defaultWriteTimeout bounds one frame flush; a peer that accepted the
+// connection but stopped reading looks like a broken link after this.
+const defaultWriteTimeout = 10 * time.Second
+
+// Frame payload kinds (batched protocol only).
+const (
+	frameHello byte = 0x01
+	frameData  byte = 0x02
+	frameAck   byte = 0x03
+)
+
+// SuspicionPolicy controls when a run of connection trouble with a peer
+// escalates into an EventSiteFailed (the paper's §3.4 fail-stop verdict).
+// Until then the writer keeps redialing with exponential backoff and the
+// peer's accepted envelopes stay queued. For every field, zero selects
+// the default and a negative value disables that bound.
+type SuspicionPolicy struct {
+	// MaxAttempts is the dial-attempt budget per outage: after this many
+	// consecutive failed dials the peer is declared failed (default 6;
+	// negative: unlimited). It does not apply to peers with no dialable
+	// address (adopted inbound connections), which are governed solely
+	// by Window.
+	MaxAttempts int
+	// Window is the maximum continuous downtime before the peer is
+	// declared failed (default 1s; negative: unlimited).
+	Window time.Duration
+	// BaseDelay is the first reconnect backoff (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 400ms).
+	MaxDelay time.Duration
+}
+
+func (p SuspicionPolicy) withDefaults() SuspicionPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 6
+	}
+	if p.Window == 0 {
+		p.Window = time.Second
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 400 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the jittered delay before dial attempt attempt+1.
+func (p SuspicionPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Uniform jitter in [d/2, d] decorrelates reconnect storms.
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)+1))
+	}
+	return d
+}
 
 // TCPOptions tune a TCP endpoint. The zero value gives the defaults.
 type TCPOptions struct {
 	// QueueSize bounds each peer's outbound queue (default 4096).
 	QueueSize int
+	// RetainLimit bounds each peer's unacknowledged retransmit window —
+	// envelopes stay encoded in memory until the peer acks them, and the
+	// writer stops pulling from the queue when the window is full
+	// (default 32768, which also sets the max envelopes in flight).
+	RetainLimit int
 	// MaxBatch bounds envelopes per flushed frame (default 512).
 	MaxBatch int
+	// Suspicion controls reconnect backoff and failure escalation.
+	Suspicion SuspicionPolicy
+	// ProbeInterval, when positive, makes each peer writer send an empty
+	// keepalive frame after that much idle time, so a dead link is
+	// noticed (and the suspicion clock started) without waiting for the
+	// next protocol message. 0 disables probing.
+	ProbeInterval time.Duration
+	// AckTimeout bounds how long a writer sits on unacknowledged
+	// envelopes before presuming the connection silently died (a kill
+	// can land after a flush reached the socket buffer but before the
+	// peer read it, leaving no error on either side) and reconnecting to
+	// retransmit (default 1s; negative: never).
+	AckTimeout time.Duration
+	// WriteTimeout bounds one frame flush (default 10s; negative: none).
+	WriteTimeout time.Duration
+	// Faults, when non-nil, injects faults for tests and benchmarks:
+	// refused dials, killed connections, dropped or delayed frames.
+	Faults *Faults
 	// Legacy selects the pre-batching protocol: gob encoding with a
-	// synchronous blocking write per Send under a per-peer mutex. It is
+	// synchronous blocking write per Send under a per-peer mutex, and
+	// the original first-error fail-stop verdict (no reconnect). It is
 	// retained as a measurement baseline and differential oracle for the
 	// benchmarks; both ends of a connection must agree on the mode.
 	Legacy bool
@@ -64,7 +182,61 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = defaultMaxBatch
 	}
+	if o.RetainLimit <= 0 {
+		o.RetainLimit = defaultRetainLimit
+	}
+	if o.RetainLimit < o.MaxBatch {
+		o.RetainLimit = o.MaxBatch
+	}
+	o.Suspicion = o.Suspicion.withDefaults()
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.AckTimeout == 0 {
+		o.AckTimeout = time.Second
+	}
 	return o
+}
+
+// TCPStats is a snapshot of an endpoint's resilience counters.
+type TCPStats struct {
+	// MessagesDropped counts inbound message events dropped because the
+	// receiver's event buffer was full (control events are never
+	// dropped).
+	MessagesDropped uint64
+	// SendQueueDrops counts envelopes Send dropped because a live peer's
+	// outbound queue was full (congestion shedding).
+	SendQueueDrops uint64
+	// Unencodable counts envelopes dropped because the message could not
+	// be encoded.
+	Unencodable uint64
+	// Abandoned counts accepted envelopes finally discarded when a
+	// peer's suspicion budget ran out and it was declared failed.
+	Abandoned uint64
+	// Reconnects counts connections re-established to previously
+	// connected peers.
+	Reconnects uint64
+	// Retransmits counts unacknowledged envelopes re-sent after a
+	// reconnect.
+	Retransmits uint64
+	// Keepalives counts idle-probe frames sent.
+	Keepalives uint64
+	// FailureEvents and RecoveryEvents count emitted control events.
+	FailureEvents  uint64
+	RecoveryEvents uint64
+}
+
+// tcpStatCounters is the atomic backing store for TCPStats.
+type tcpStatCounters struct {
+	messagesDropped atomic.Uint64
+	sendQueueDrops  atomic.Uint64
+	unencodable     atomic.Uint64
+	abandoned       atomic.Uint64
+	reconnects      atomic.Uint64
+	retransmits     atomic.Uint64
+	keepalives      atomic.Uint64
+	failureEvents   atomic.Uint64
+	recoveryEvents  atomic.Uint64
 }
 
 // tcpEnvelope is the legacy gob-framed envelope.
@@ -80,42 +252,79 @@ type tcpOut struct {
 	msg    wire.Message
 }
 
+// outRec is one sequenced, encoded envelope retained until acked.
+type outRec struct {
+	seq  uint64
+	data []byte
+}
+
 // TCP is a real transport over TCP. Every site listens on its own address
-// and lazily dials peers from a static address book. A connection error
-// to a peer surfaces as an EventSiteFailed for that peer (fail-stop
-// presentation, paper §3.4).
+// and lazily dials peers from a static address book. Transient connection
+// errors are healed by per-peer reconnect; only an exhausted suspicion
+// policy surfaces as EventSiteFailed (fail-stop presentation, paper
+// §3.4), and a failed peer that comes back surfaces as
+// EventSiteRecovered.
 type TCP struct {
 	site   vtime.SiteID
 	ln     net.Listener
-	peers  map[vtime.SiteID]string
 	events chan Event
 	opts   TCPOptions
+	stats  tcpStatCounters
+	stopCh chan struct{}
+	// inc identifies this endpoint instance; sequence numbers are scoped
+	// to it (see the protocol comment above).
+	inc uint64
 
 	mu      sync.Mutex
+	peers   map[vtime.SiteID]string
 	conns   map[vtime.SiteID]*tcpPeer
 	inbound []net.Conn
 	failed  map[vtime.SiteID]bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	// ctrlQ holds pending control events (failure/recovery); a dedicated
+	// pump goroutine delivers them with a blocking send so they are
+	// never lost to a full event buffer.
+	ctrlMu   sync.Mutex
+	ctrlQ    []Event
+	ctrlKick chan struct{}
 }
 
 var _ Endpoint = (*TCP)(nil)
 
 // tcpPeer is the outbound side of one peer: a bounded queue drained by a
 // writer goroutine (batched mode), or a mutex-guarded gob encoder
-// (legacy mode).
+// (legacy mode). It also carries the per-peer sequencing state used for
+// dedup and acknowledgement of inbound traffic.
 type tcpPeer struct {
 	t    *TCP
 	site vtime.SiteID
 	addr string // dial address; empty when adopted from an inbound conn
 
 	queue    chan tcpOut
+	kick     chan struct{} // wakes the writer: ack to send/received, conn change
 	stop     chan struct{}
 	stopOnce sync.Once
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder // legacy mode only
+	// ackedSeq is the highest cumulative ack received from the peer for
+	// our envelopes (this endpoint's incarnation only).
+	ackedSeq atomic.Uint64
+
+	// deliverMu serializes inbound accept+deliver so per-peer delivery
+	// order is exactly the sequence order, even when a dying connection's
+	// read loop races a fresh one. remoteInc is the peer incarnation the
+	// dedup floor belongs to; recvSeq is the highest envelope sequence
+	// delivered from that incarnation (dedup floor and next ack value).
+	deliverMu sync.Mutex
+	remoteInc uint64
+	recvSeq   uint64
+
+	mu      sync.Mutex
+	conn    net.Conn     // connection the writer currently owns
+	pending net.Conn     // freshly adopted inbound conn awaiting writer pickup
+	broken  bool         // read side observed an error on conn
+	enc     *gob.Encoder // legacy mode only
 }
 
 // ListenTCP starts a TCP endpoint for site on addr with default options.
@@ -131,17 +340,29 @@ func ListenTCPOptions(site vtime.SiteID, addr string, peers map[vtime.SiteID]str
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{
-		site:   site,
-		ln:     ln,
-		peers:  peers,
-		events: make(chan Event, 4096),
-		opts:   opts.withDefaults(),
-		conns:  map[vtime.SiteID]*tcpPeer{},
-		failed: map[vtime.SiteID]bool{},
+	book := make(map[vtime.SiteID]string, len(peers))
+	for s, a := range peers {
+		book[s] = a
 	}
-	t.wg.Add(1)
+	inc := rand.Uint64()
+	for inc == 0 {
+		inc = rand.Uint64()
+	}
+	t := &TCP{
+		site:     site,
+		ln:       ln,
+		inc:      inc,
+		peers:    book,
+		events:   make(chan Event, 4096),
+		opts:     opts.withDefaults(),
+		stopCh:   make(chan struct{}),
+		conns:    map[vtime.SiteID]*tcpPeer{},
+		failed:   map[vtime.SiteID]bool{},
+		ctrlKick: make(chan struct{}, 1),
+	}
+	t.wg.Add(2)
 	go t.acceptLoop()
+	go t.ctrlLoop()
 	return t, nil
 }
 
@@ -153,6 +374,30 @@ func (t *TCP) Site() vtime.SiteID { return t.site }
 
 // Events implements Endpoint.
 func (t *TCP) Events() <-chan Event { return t.events }
+
+// Stats returns a snapshot of the endpoint's resilience counters.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		MessagesDropped: t.stats.messagesDropped.Load(),
+		SendQueueDrops:  t.stats.sendQueueDrops.Load(),
+		Unencodable:     t.stats.unencodable.Load(),
+		Abandoned:       t.stats.abandoned.Load(),
+		Reconnects:      t.stats.reconnects.Load(),
+		Retransmits:     t.stats.retransmits.Load(),
+		Keepalives:      t.stats.keepalives.Load(),
+		FailureEvents:   t.stats.failureEvents.Load(),
+		RecoveryEvents:  t.stats.recoveryEvents.Load(),
+	}
+}
+
+// SetPeerAddr adds (or replaces) a peer's dial address in the address
+// book. Peers adopted before the address was known keep reconnecting via
+// inbound connections only.
+func (t *TCP) SetPeerAddr(site vtime.SiteID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[site] = addr
+}
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -174,6 +419,35 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
+// ctrlLoop delivers queued control events with a blocking send, so
+// failure/recovery notifications are lossless even when the receiver's
+// event buffer is full of messages.
+func (t *TCP) ctrlLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.ctrlKick:
+		case <-t.stopCh:
+			return
+		}
+		for {
+			t.ctrlMu.Lock()
+			if len(t.ctrlQ) == 0 {
+				t.ctrlMu.Unlock()
+				break
+			}
+			ev := t.ctrlQ[0]
+			t.ctrlQ = t.ctrlQ[1:]
+			t.ctrlMu.Unlock()
+			select {
+			case t.events <- ev:
+			case <-t.stopCh:
+				return
+			}
+		}
+	}
+}
+
 // framePool recycles frame payload buffers across writer goroutines and
 // read loops.
 var framePool = sync.Pool{
@@ -183,33 +457,48 @@ var framePool = sync.Pool{
 	},
 }
 
-// readLoop decodes frames from one connection until error. The first
-// envelope identifies the peer; the connection is then also registered
-// for outbound sends, so a site can reply to peers that are not in its
-// static address book (invitees dial the inviter; replies reuse the same
-// connection).
+// readLoop decodes frames from one connection until error. The hello
+// frame (or, failing that, the first envelope) identifies the peer; the
+// connection is then registered for outbound sends, so a site can reply
+// to peers that are not in its static address book (invitees dial the
+// inviter; replies reuse the same connection). A read error is reported
+// to the peer's writer, which owns the reconnect/suspicion decision; in
+// legacy mode it is an immediate fail-stop verdict, as originally.
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
 	var from vtime.SiteID
+	var peer *tcpPeer
+	var connInc uint64 // peer incarnation announced on this connection
 	seen := false
-	fail := func() {
-		if seen {
-			t.reportFailure(from)
+	defer func() {
+		if !seen {
+			return
 		}
+		t.opts.Faults.untrack(from, conn)
+		if t.opts.Legacy {
+			t.reportFailure(from)
+		} else if peer != nil {
+			peer.noteBroken(conn)
+		}
+	}()
+	identify := func(site vtime.SiteID) {
+		if seen {
+			return
+		}
+		from, seen = site, true
+		peer = t.adoptConn(site, conn)
+		t.opts.Faults.track(site, conn)
 	}
+
 	if t.opts.Legacy {
 		dec := gob.NewDecoder(conn)
 		for {
 			var env tcpEnvelope
 			if err := dec.Decode(&env); err != nil {
-				fail()
 				return
 			}
-			if !seen {
-				from, seen = env.From, true
-				t.adoptInbound(from, conn)
-			}
+			identify(env.From)
 			t.deliver(Event{Kind: EventMessage, From: env.From, SentAt: env.SentAt, Msg: env.Msg})
 		}
 	}
@@ -220,12 +509,13 @@ func (t *TCP) readLoop(conn net.Conn) {
 	defer framePool.Put(bufp)
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			fail()
 			return
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
-		if n == 0 || n > maxFrame {
-			fail()
+		if n == 0 {
+			continue // keepalive probe
+		}
+		if n > maxFrame {
 			return
 		}
 		if cap(*bufp) < int(n) {
@@ -233,22 +523,65 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		payload := (*bufp)[:n]
 		if _, err := io.ReadFull(br, payload); err != nil {
-			fail()
 			return
 		}
-		rest := payload
-		for len(rest) > 0 {
-			envFrom, sentAt, msg, used, err := decodeEnvelope(rest)
-			if err != nil {
-				fail()
+		kind, body := payload[0], payload[1:]
+		switch kind {
+		case frameHello:
+			site, used := binary.Uvarint(body)
+			if used <= 0 {
 				return
 			}
-			rest = rest[used:]
-			if !seen {
-				from, seen = envFrom, true
-				t.adoptInbound(from, conn)
+			inc, used2 := binary.Uvarint(body[used:])
+			if used2 <= 0 {
+				return
 			}
-			t.deliver(Event{Kind: EventMessage, From: envFrom, SentAt: sentAt, Msg: msg})
+			connInc = inc
+			identify(vtime.SiteID(site))
+			if peer != nil {
+				peer.observeIncarnation(connInc)
+			}
+		case frameAck:
+			inc, used := binary.Uvarint(body)
+			if used <= 0 {
+				return
+			}
+			cum, used2 := binary.Uvarint(body[used:])
+			if used2 <= 0 || !seen {
+				return
+			}
+			if peer != nil && inc == t.inc {
+				peer.handleAck(cum)
+			}
+		case frameData:
+			firstSeq, used := binary.Uvarint(body)
+			if used <= 0 {
+				return
+			}
+			rest := body[used:]
+			i := uint64(0)
+			delivered := false
+			for len(rest) > 0 {
+				envFrom, sentAt, msg, used, err := decodeEnvelope(rest)
+				if err != nil {
+					return
+				}
+				rest = rest[used:]
+				identify(envFrom)
+				seq := firstSeq + i
+				i++
+				if peer != nil {
+					if peer.acceptAndDeliver(connInc, seq,
+						Event{Kind: EventMessage, From: envFrom, SentAt: sentAt, Msg: msg}) {
+						delivered = true
+					}
+				}
+			}
+			if delivered {
+				peer.kickWriter() // schedule an ack
+			}
+		default:
+			return // protocol error
 		}
 	}
 }
@@ -289,27 +622,46 @@ func decodeEnvelope(b []byte) (from vtime.SiteID, sentAt vtime.VT, msg wire.Mess
 	return from, sentAt, msg, off + n, nil
 }
 
-// adoptInbound registers an inbound connection for outbound use when no
-// peer record exists yet.
-func (t *TCP) adoptInbound(from vtime.SiteID, conn net.Conn) {
+// adoptConn registers an inbound connection from a now-identified peer:
+// it creates the peer record if needed, offers the connection to the
+// peer's writer as a reconnect candidate, and un-suspects a peer
+// previously declared failed (emitting EventSiteRecovered).
+func (t *TCP) adoptConn(from vtime.SiteID, conn net.Conn) *tcpPeer {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed || t.failed[from] {
-		return
+	if t.closed {
+		t.mu.Unlock()
+		return nil
 	}
-	if _, ok := t.conns[from]; ok {
-		return
+	recovered := false
+	if t.failed[from] {
+		if t.opts.Legacy {
+			t.mu.Unlock()
+			return nil
+		}
+		delete(t.failed, from)
+		recovered = true
 	}
-	p := t.newPeer(from, "")
-	p.conn = conn
-	if t.opts.Legacy {
-		p.enc = gob.NewEncoder(conn)
+	p, ok := t.conns[from]
+	if !ok {
+		p = t.newPeer(from, t.peers[from])
+		t.conns[from] = p
+		if t.opts.Legacy {
+			p.conn = conn
+			p.enc = gob.NewEncoder(conn)
+		} else {
+			p.offerConn(conn)
+			t.wg.Add(1)
+			go p.writeLoop()
+		}
+	} else if !t.opts.Legacy {
+		p.offerConn(conn)
 	}
-	t.conns[from] = p
-	if !t.opts.Legacy {
-		t.wg.Add(1)
-		go p.writeLoop()
+	t.mu.Unlock()
+	if recovered {
+		t.stats.recoveryEvents.Add(1)
+		t.deliverControl(Event{Kind: EventSiteRecovered, Failed: from})
 	}
+	return p
 }
 
 func (t *TCP) newPeer(site vtime.SiteID, addr string) *tcpPeer {
@@ -318,10 +670,13 @@ func (t *TCP) newPeer(site vtime.SiteID, addr string) *tcpPeer {
 		site:  site,
 		addr:  addr,
 		queue: make(chan tcpOut, t.opts.QueueSize),
+		kick:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
 	}
 }
 
+// deliver hands a message event to the receiver; a full buffer drops it,
+// as a congested network would, and counts the drop.
 func (t *TCP) deliver(ev Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -330,12 +685,31 @@ func (t *TCP) deliver(ev Event) {
 	}
 	select {
 	case t.events <- ev:
-	default: // receiver stuck; drop as a real network would
+	default:
+		t.stats.messagesDropped.Add(1)
+	}
+}
+
+// deliverControl queues a failure/recovery event for lossless delivery.
+func (t *TCP) deliverControl(ev Event) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return
+	}
+	t.ctrlMu.Lock()
+	t.ctrlQ = append(t.ctrlQ, ev)
+	t.ctrlMu.Unlock()
+	select {
+	case t.ctrlKick <- struct{}{}:
+	default:
 	}
 }
 
 // reportFailure emits a single EventSiteFailed per peer and tears down
-// its sender.
+// its sender. In batched mode it is only called once the suspicion
+// policy is exhausted.
 func (t *TCP) reportFailure(site vtime.SiteID) {
 	t.mu.Lock()
 	if t.closed || t.failed[site] {
@@ -351,17 +725,107 @@ func (t *TCP) reportFailure(site vtime.SiteID) {
 	if ok {
 		p.shutdown()
 	}
-	t.deliver(Event{Kind: EventSiteFailed, Failed: site})
+	t.stats.failureEvents.Add(1)
+	t.deliverControl(Event{Kind: EventSiteFailed, Failed: site})
 }
 
-// shutdown stops the peer's writer and closes its connection.
+// shutdown stops the peer's writer and closes its connections.
 func (p *tcpPeer) shutdown() {
 	p.stopOnce.Do(func() { close(p.stop) })
 	p.mu.Lock()
-	conn := p.conn
+	conn, pending := p.conn, p.pending
+	p.conn, p.pending = nil, nil
 	p.mu.Unlock()
 	if conn != nil {
 		conn.Close()
+	}
+	if pending != nil {
+		pending.Close()
+	}
+}
+
+// offerConn hands a fresh inbound connection to the writer as a
+// reconnect candidate. The writer only picks it up when its current
+// connection is gone or broken, so a healthy link is never churned.
+func (p *tcpPeer) offerConn(conn net.Conn) {
+	p.mu.Lock()
+	p.pending = conn
+	p.mu.Unlock()
+	p.kickWriter()
+}
+
+// noteBroken records that the read side saw an error on conn and wakes
+// the writer to run its reconnect/suspicion policy.
+func (p *tcpPeer) noteBroken(conn net.Conn) {
+	p.mu.Lock()
+	if p.conn == conn {
+		p.broken = true
+	}
+	if p.pending == conn {
+		p.pending = nil
+	}
+	p.mu.Unlock()
+	p.kickWriter()
+}
+
+func (p *tcpPeer) kickWriter() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// observeIncarnation records the peer incarnation announced by a hello.
+// A new incarnation (peer process restart) resets the dedup floor: the
+// fresh endpoint numbers its envelopes from 1 again.
+func (p *tcpPeer) observeIncarnation(inc uint64) {
+	p.deliverMu.Lock()
+	if p.remoteInc != inc {
+		p.remoteInc = inc
+		p.recvSeq = 0
+	}
+	p.deliverMu.Unlock()
+	p.kickWriter()
+}
+
+// acceptAndDeliver delivers envelope seq from the peer unless it is a
+// duplicate (a retransmit after reconnect) or arrived on a connection
+// from a superseded incarnation. Accept and deliver are one critical
+// section so delivery order is exactly sequence order even when two read
+// loops (a dying connection and its replacement) race. Sequence gaps are
+// accepted: on a live TCP connection they cannot occur, and the retained
+// window guarantees everything below an accepted sequence was already
+// delivered.
+func (p *tcpPeer) acceptAndDeliver(connInc, seq uint64, ev Event) bool {
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	if connInc != p.remoteInc || seq <= p.recvSeq {
+		return false
+	}
+	p.recvSeq = seq
+	p.t.deliver(ev)
+	return true
+}
+
+// recvState snapshots the ack the writer owes the peer: the incarnation
+// whose envelopes we have been delivering and the cumulative sequence.
+func (p *tcpPeer) recvState() (inc, seq uint64) {
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	return p.remoteInc, p.recvSeq
+}
+
+// handleAck applies a cumulative ack from the peer for our envelopes.
+func (p *tcpPeer) handleAck(cum uint64) {
+	for {
+		cur := p.ackedSeq.Load()
+		if cum <= cur {
+			return
+		}
+		if p.ackedSeq.CompareAndSwap(cur, cum) {
+			p.kickWriter()
+			return
+		}
 	}
 }
 
@@ -414,6 +878,7 @@ func (t *TCP) Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
 	case <-p.stop:
 		return ErrSiteDown
 	default:
+		t.stats.sendQueueDrops.Add(1)
 		return nil
 	}
 }
@@ -431,18 +896,12 @@ func (t *TCP) sendLegacy(p *tcpPeer, to vtime.SiteID, sentAt vtime.VT, msg wire.
 		}
 		p.conn = conn
 		p.enc = gob.NewEncoder(conn)
-		t.mu.Lock()
-		closed := t.closed
-		if !closed {
-			t.wg.Add(1)
-		}
-		t.mu.Unlock()
-		if closed {
-			p.mu.Unlock()
+		p.mu.Unlock()
+		if !t.startReadLoop(conn) {
 			conn.Close()
 			return ErrSiteDown
 		}
-		go t.readLoop(conn)
+		p.mu.Lock()
 	}
 	err := p.enc.Encode(tcpEnvelope{From: t.site, SentAt: sentAt, Msg: msg})
 	p.mu.Unlock()
@@ -453,110 +912,378 @@ func (t *TCP) sendLegacy(p *tcpPeer, to vtime.SiteID, sentAt vtime.VT, msg wire.
 	return nil
 }
 
-// resolveConn returns the peer's connection, dialing it if the record was
-// created by Send rather than adopted from an inbound connection. Returns
-// nil after reporting failure when no connection can be established.
-func (p *tcpPeer) resolveConn() net.Conn {
-	p.mu.Lock()
-	if c := p.conn; c != nil {
-		p.mu.Unlock()
-		return c
+// startReadLoop launches a read loop for a dialed connection (peers
+// answer on the connection the request came in on). Reports false when
+// the endpoint is closed.
+func (t *TCP) startReadLoop(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
 	}
-	addr := p.addr
-	p.mu.Unlock()
-	if addr == "" {
-		p.t.reportFailure(p.site)
-		return nil
-	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		p.t.reportFailure(p.site)
-		return nil
-	}
-	p.mu.Lock()
-	select {
-	case <-p.stop:
-		p.mu.Unlock()
-		conn.Close()
-		return nil
-	default:
-	}
-	p.conn = conn
-	p.mu.Unlock()
-
-	p.t.mu.Lock()
-	closed := p.t.closed
-	if !closed {
-		p.t.wg.Add(1)
-	}
-	p.t.mu.Unlock()
-	if closed {
-		conn.Close()
-		return nil
-	}
-	// Read replies arriving over the outbound connection (peers answer
-	// on the connection the request came in on).
-	go p.t.readLoop(conn)
-	return conn
+	t.wg.Add(1)
+	go t.readLoop(conn)
+	return true
 }
 
-// writeLoop drains the peer queue into batched frames: every envelope
-// queued while a flush was in progress is coalesced into the next frame.
-func (p *tcpPeer) writeLoop() {
-	defer p.t.wg.Done()
-	conn := p.resolveConn()
-	if conn == nil {
-		return
-	}
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	bufp := framePool.Get().(*[]byte)
-	defer framePool.Put(bufp)
-	var hdr [4]byte
+// errDialRefused is the injected-fault dial error.
+var errDialRefused = errors.New("transport: dial refused (injected fault)")
+
+// establish obtains a connection for the writer: a freshly adopted
+// inbound connection wins, otherwise the peer is dialed with exponential
+// backoff + jitter until the suspicion policy is exhausted. Returns
+// (nil, true) when the peer was shut down, (nil, false) when the policy
+// says to declare the peer failed.
+func (p *tcpPeer) establish() (net.Conn, bool) {
+	t := p.t
+	pol := t.opts.Suspicion
+	downSince := time.Now()
+	attempt := 0
 	for {
-		var first tcpOut
+		// A connection the peer dialed to us beats redialing.
+		p.mu.Lock()
+		if c := p.pending; c != nil {
+			p.pending = nil
+			p.conn = c
+			p.broken = false
+			p.mu.Unlock()
+			return c, false
+		}
+		p.mu.Unlock()
 		select {
-		case first = <-p.queue:
 		case <-p.stop:
-			return
+			return nil, true
+		default:
 		}
-		frame := (*bufp)[:0]
-		frame, err := appendEnvelope(frame, p.t.site, first.sentAt, first.msg)
-		if err != nil {
-			// Unencodable message: drop it, keep the link up.
-			frame = frame[:0]
-		}
-		n := 1
-	batch:
-		for n < p.t.opts.MaxBatch {
-			select {
-			case e := <-p.queue:
-				next, err := appendEnvelope(frame, p.t.site, e.sentAt, e.msg)
-				if err == nil {
-					frame = next
+		if p.addr != "" {
+			attempt++
+			timeout := dialTimeout
+			if pol.Window >= 0 {
+				if remain := pol.Window - time.Since(downSince); remain < timeout {
+					timeout = remain
 				}
-				n++
-			default:
-				break batch
+			}
+			var conn net.Conn
+			err := errDialRefused
+			if !t.opts.Faults.failDial(p.site) && timeout > 0 {
+				conn, err = net.DialTimeout("tcp", p.addr, timeout)
+			}
+			if err == nil {
+				p.mu.Lock()
+				select {
+				case <-p.stop:
+					p.mu.Unlock()
+					conn.Close()
+					return nil, true
+				default:
+				}
+				p.conn = conn
+				p.broken = false
+				p.mu.Unlock()
+				if !t.startReadLoop(conn) {
+					conn.Close()
+					return nil, true
+				}
+				return conn, false
+			}
+			if pol.MaxAttempts >= 0 && attempt >= pol.MaxAttempts {
+				return nil, false
 			}
 		}
-		*bufp = frame[:0] // retain any growth for reuse
-		if len(frame) == 0 {
-			continue
+		delay := pol.backoff(attempt)
+		if pol.Window >= 0 {
+			remain := pol.Window - time.Since(downSince)
+			if remain <= 0 {
+				return nil, false
+			}
+			if delay > remain {
+				delay = remain
+			}
 		}
-		binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-		if _, err := bw.Write(hdr[:]); err != nil {
-			p.t.reportFailure(p.site)
-			return
-		}
-		if _, err := bw.Write(frame); err != nil {
-			p.t.reportFailure(p.site)
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			p.t.reportFailure(p.site)
-			return
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-p.kick:
+			timer.Stop()
+		case <-p.stop:
+			timer.Stop()
+			return nil, true
 		}
 	}
+}
+
+// writeLoop drains the peer queue into batched, sequenced frames. Every
+// envelope is retained until the peer acknowledges it; on a connection
+// error the loop reconnects (establish) and retransmits the
+// unacknowledged tail, so accepted envelopes survive link flaps. Only an
+// exhausted suspicion policy abandons the queue and declares the peer
+// failed.
+func (p *tcpPeer) writeLoop() {
+	t := p.t
+	defer t.wg.Done()
+	opts := t.opts
+	retainLimit := opts.RetainLimit
+
+	var (
+		retained      []outRec
+		sentIdx       int
+		nextSeq       uint64 = 1
+		ackInc        uint64 // peer incarnation the last sent ack was for
+		ackSent       uint64
+		conn          net.Conn
+		bw            *bufio.Writer
+		everConnected bool
+		hdr           [4]byte
+	)
+
+	var probeCh <-chan time.Time
+	var probeTimer *time.Timer
+	if opts.ProbeInterval > 0 {
+		probeTimer = time.NewTimer(opts.ProbeInterval)
+		defer probeTimer.Stop()
+		probeCh = probeTimer.C
+	}
+	resetProbe := func() {
+		if probeTimer == nil {
+			return
+		}
+		if !probeTimer.Stop() {
+			select {
+			case <-probeTimer.C:
+			default:
+			}
+		}
+		probeTimer.Reset(opts.ProbeInterval)
+	}
+
+	// dropConn discards the current connection after an error.
+	dropConn := func() {
+		if conn == nil {
+			return
+		}
+		opts.Faults.untrack(p.site, conn)
+		conn.Close()
+		p.mu.Lock()
+		if p.conn == conn {
+			p.conn = nil
+		}
+		p.broken = false
+		p.mu.Unlock()
+		conn, bw = nil, nil
+	}
+
+	// abandon counts everything still accepted but undeliverable, then
+	// escalates to the fail-stop verdict.
+	abandon := func() {
+		n := uint64(len(retained))
+	drain:
+		for {
+			select {
+			case <-p.queue:
+				n++
+			default:
+				break drain
+			}
+		}
+		if n > 0 {
+			t.stats.abandoned.Add(n)
+		}
+		t.reportFailure(p.site)
+	}
+
+	// enqueueOut sequences and encodes one accepted envelope; only an
+	// encodable envelope consumes a sequence number, so retained stays
+	// seq-contiguous.
+	enqueueOut := func(e tcpOut) {
+		data, err := appendEnvelope(nil, t.site, e.sentAt, e.msg)
+		if err != nil {
+			t.stats.unencodable.Add(1)
+			return
+		}
+		retained = append(retained, outRec{seq: nextSeq, data: data})
+		nextSeq++
+	}
+
+	pruneAcked := func() {
+		a := p.ackedSeq.Load()
+		i := 0
+		for i < len(retained) && retained[i].seq <= a {
+			i++
+		}
+		if i > 0 {
+			retained = retained[i:]
+			if sentIdx -= i; sentIdx < 0 {
+				sentIdx = 0
+			}
+		}
+	}
+
+	writeFrame := func(parts ...[]byte) bool {
+		n := 0
+		for _, part := range parts {
+			n += len(part)
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(n))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return false
+		}
+		for _, part := range parts {
+			if _, err := bw.Write(part); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	isBroken := func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.broken
+	}
+
+	var scratch [16]byte
+	for {
+		if conn == nil || isBroken() {
+			dropConn()
+			c, stopped := p.establish()
+			if stopped {
+				return
+			}
+			if c == nil {
+				abandon()
+				return
+			}
+			conn = c
+			opts.Faults.track(p.site, conn)
+			bw = bufio.NewWriterSize(conn, 64<<10)
+			if everConnected {
+				t.stats.reconnects.Add(1)
+				if len(retained) > 0 {
+					t.stats.retransmits.Add(uint64(len(retained)))
+				}
+			}
+			everConnected = true
+			sentIdx = 0 // the whole unacked tail rides the new connection
+			if opts.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+			}
+			hello := append(scratch[:0], frameHello)
+			hello = binary.AppendUvarint(hello, uint64(t.site))
+			hello = binary.AppendUvarint(hello, t.inc)
+			if !writeFrame(hello) || bw.Flush() != nil {
+				dropConn()
+				continue
+			}
+			resetProbe()
+		}
+
+		pruneAcked()
+		rInc, recv := p.recvState()
+		ackDue := func() bool { return rInc != ackInc || recv > ackSent }
+		sendProbe := false
+		if sentIdx == len(retained) && !ackDue() {
+			// Idle: block until there is something to do. If envelopes
+			// sit unacknowledged, bound the wait — a missing ack means
+			// the connection silently died (the peer acks every data
+			// frame promptly), so reconnect and retransmit.
+			var ackCh <-chan time.Time
+			var ackTimer *time.Timer
+			if len(retained) > 0 && opts.AckTimeout > 0 {
+				ackTimer = time.NewTimer(opts.AckTimeout)
+				ackCh = ackTimer.C
+			}
+			stale := false
+			select {
+			case e := <-p.queue:
+				enqueueOut(e)
+			case <-p.kick:
+			case <-probeCh:
+				sendProbe = true
+			case <-ackCh:
+				stale = true
+			case <-p.stop:
+				if ackTimer != nil {
+					ackTimer.Stop()
+				}
+				return
+			}
+			if ackTimer != nil {
+				ackTimer.Stop()
+			}
+			if stale || isBroken() {
+				dropConn()
+				continue
+			}
+			pruneAcked()
+			rInc, recv = p.recvState()
+			if !sendProbe && sentIdx == len(retained) && !ackDue() {
+				continue // spurious wakeup
+			}
+		}
+		// Coalesce whatever else is already queued into this flush.
+		for len(retained) < retainLimit && len(retained)-sentIdx < opts.MaxBatch {
+			select {
+			case e := <-p.queue:
+				enqueueOut(e)
+				continue
+			default:
+			}
+			break
+		}
+
+		end := len(retained)
+		if end > sentIdx+opts.MaxBatch {
+			end = sentIdx + opts.MaxBatch
+		}
+		if d := opts.Faults.frameDelay(); d > 0 {
+			time.Sleep(d)
+		}
+		if opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout))
+		}
+		ok := true
+		if rInc != 0 && ackDue() {
+			ack := append(scratch[:0], frameAck)
+			ack = binary.AppendUvarint(ack, rInc)
+			ack = binary.AppendUvarint(ack, recv)
+			ok = writeFrame(ack)
+		}
+		if ok && sentIdx < end {
+			if opts.Faults.dropFrame(p.site) {
+				// Injected loss: the frame vanishes in the "network", but
+				// the envelopes stay retained until acked and ride the
+				// next reconnect.
+			} else {
+				head := append(scratch[:0], frameData)
+				head = binary.AppendUvarint(head, retained[sentIdx].seq)
+				ok = writeFrame(buildParts(head, retained[sentIdx:end])...)
+			}
+		}
+		if ok && sendProbe && sentIdx == end && !ackDue() {
+			ok = writeFrame() // empty keepalive frame
+			t.stats.keepalives.Add(1)
+		}
+		if ok {
+			ok = bw.Flush() == nil
+		}
+		if !ok {
+			dropConn()
+			continue // retained is intact; establish retransmits it
+		}
+		ackInc, ackSent = rInc, recv
+		sentIdx = end
+		resetProbe()
+	}
+}
+
+// buildParts assembles the writev-style part list for one data frame.
+func buildParts(head []byte, recs []outRec) [][]byte {
+	parts := make([][]byte, 0, len(recs)+1)
+	parts = append(parts, head)
+	for _, r := range recs {
+		parts = append(parts, r.data)
+	}
+	return parts
 }
 
 // Close implements Endpoint: stops the listener, closes all connections,
@@ -577,6 +1304,7 @@ func (t *TCP) Close() error {
 	t.inbound = nil
 	t.mu.Unlock()
 
+	close(t.stopCh)
 	err := t.ln.Close()
 	for _, p := range conns {
 		p.shutdown()

@@ -37,12 +37,21 @@ const (
 	EventMessage EventKind = iota + 1
 	// EventSiteFailed notifies that a peer site failed (fail-stop):
 	// no further messages from it will be delivered until it rejoins as
-	// a new member.
+	// a new member. The TCP transport only emits it after its suspicion
+	// policy (reconnect backoff budget / downtime window) is exhausted.
 	EventSiteFailed
+	// EventSiteRecovered notifies that a peer previously reported via
+	// EventSiteFailed has come back (it re-established a connection):
+	// the suspicion was premature and sends to it will succeed again.
+	// The engine uses it to un-suspect the peer; any §3.4 failover
+	// already performed stands (the peer rejoins as a new member).
+	EventSiteRecovered
 )
 
-// Event is something an endpoint receives: a message or a failure
-// notification.
+// Event is something an endpoint receives: a message or a failure /
+// recovery notification. Failure and recovery are control events: the
+// TCP transport delivers them losslessly (they are never dropped on a
+// full event buffer, unlike messages).
 type Event struct {
 	Kind EventKind
 	// From is the sending site (EventMessage).
@@ -52,7 +61,7 @@ type Event struct {
 	SentAt vtime.VT
 	// Msg is the protocol message (EventMessage).
 	Msg wire.Message
-	// Failed is the failed site (EventSiteFailed).
+	// Failed is the subject site (EventSiteFailed, EventSiteRecovered).
 	Failed vtime.SiteID
 }
 
@@ -99,6 +108,11 @@ type Config struct {
 	LatencyFn func(from, to vtime.SiteID) time.Duration
 	// QueueSize is the per-endpoint delivery buffer (default 4096).
 	QueueSize int
+	// Faults, when non-nil, injects network faults: DropFrames loses
+	// individual messages in flight and DelayFrames slows every message
+	// down (each simulated message is one frame). Dial- and
+	// connection-level faults have no meaning here and are ignored.
+	Faults *Faults
 }
 
 // Network is an in-memory simulated network. Endpoints attach with
@@ -225,8 +239,12 @@ func (n *Network) send(from, to vtime.SiteID, sentAt vtime.VT, msg wire.Message)
 	}
 	n.mu.Unlock()
 
+	if n.cfg.Faults.dropFrame(to) {
+		// Injected loss: silently dropped, like a partitioned link.
+		return nil
+	}
 	ev := Event{Kind: EventMessage, From: from, SentAt: sentAt, Msg: msg}
-	n.link(from, to).enqueue(ev, n.latency(from, to))
+	n.link(from, to).enqueue(ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
 	return nil
 }
 

@@ -269,9 +269,8 @@ func TestTCPBidirectional(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	// Give a its peer book after the fact via a fresh endpoint is not
-	// possible; instead a dials using b's address book entry.
-	a.peers = map[vtime.SiteID]string{2: b.Addr().String()}
+	// Give a its peer book after the fact: a dials using b's address.
+	a.SetPeerAddr(2, b.Addr().String())
 
 	if err := b.Send(1, vtime.Zero, msg(1)); err != nil {
 		t.Fatal(err)
@@ -460,7 +459,7 @@ func TestTCPOverflowOnDeadPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	recvOne(t, a, 2*time.Second)
-	a.peers = map[vtime.SiteID]string{2: b.Addr().String()}
+	a.SetPeerAddr(2, b.Addr().String())
 
 	b.Close()
 	ev := recvOne(t, a, 2*time.Second)
@@ -485,7 +484,7 @@ func TestTCPLegacyInterop(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	a.peers = map[vtime.SiteID]string{2: b.Addr().String()}
+	a.SetPeerAddr(2, b.Addr().String())
 
 	if err := b.Send(1, vtime.VT{Time: 5, Site: 2}, msg(11)); err != nil {
 		t.Fatal(err)

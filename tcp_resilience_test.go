@@ -1,0 +1,74 @@
+package decaf_test
+
+import (
+	"testing"
+
+	"decaf"
+)
+
+// TestTCPResilienceMidTransactionFlaps kills live TCP connections while
+// transactions are committing and asserts the engine rides out the flaps:
+// every write commits, state replicates, and neither site ever receives a
+// fail-stop notification.
+func TestTCPResilienceMidTransactionFlaps(t *testing.T) {
+	faultsA, faultsB := decaf.NewFaults(), decaf.NewFaults()
+	epA, err := decaf.ListenTCPOptions(1, "127.0.0.1:0", nil, decaf.TCPOptions{Faults: faultsA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[decaf.SiteID]string{1: epA.Addr().String()}
+	epB, err := decaf.ListenTCPOptions(2, "127.0.0.1:0", peers, decaf.TCPOptions{Faults: faultsB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA.SetPeerAddr(2, epB.Addr().String())
+
+	a := decaf.NewSite(epA, decaf.Options{})
+	b := decaf.NewSite(epB, decaf.Options{})
+	defer a.Close()
+	defer b.Close()
+
+	ia, _ := a.NewInt("x")
+	ib, _ := b.NewInt("x")
+	if res := b.JoinObject(ib, 1, ia.Ref().ID()).Wait(); !res.Committed {
+		t.Fatalf("join over TCP: %+v", res)
+	}
+
+	// Writes from the secondary must reach the primary (confirm round
+	// trips) and commit despite the link being killed under them: every
+	// few writes both directions of the link are cut mid-protocol.
+	const writes = 30
+	killed := 0
+	for i := 1; i <= writes; i++ {
+		v := int64(i)
+		pending := b.ExecuteFunc(func(tx *decaf.Tx) error {
+			ib.Set(tx, v)
+			return nil
+		})
+		if i%5 == 0 {
+			killed += faultsA.KillConnections(2)
+			killed += faultsB.KillConnections(1)
+		}
+		res := pending.Wait()
+		if !res.Committed {
+			t.Fatalf("write %d aborted during flap: %+v", i, res)
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no live connections were ever killed")
+	}
+
+	eventually(t, "replication across flaps", func() bool {
+		return ia.Committed() == writes
+	})
+
+	if st := epA.Stats(); st.FailureEvents != 0 {
+		t.Fatalf("site 1 suspected its peer: %+v", st)
+	}
+	if st := epB.Stats(); st.FailureEvents != 0 {
+		t.Fatalf("site 2 suspected its peer: %+v", st)
+	}
+	if epA.Stats().Reconnects+epB.Stats().Reconnects == 0 {
+		t.Fatal("flap test never reconnected — killer was ineffective")
+	}
+}
