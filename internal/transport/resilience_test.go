@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -395,6 +397,216 @@ func TestChaosFlapExactlyOnceFIFO(t *testing.T) {
 		t.Fatal("flap test never reconnected — killer was ineffective")
 	}
 	t.Logf("stats after %d flaps: %+v", faults.Killed(), st)
+}
+
+// TestResilienceRecreatedSenderFreshIncarnation reproduces the
+// asymmetric teardown: a declares b failed (its sender record and
+// sequence state are torn down) while b never suspects a, so b keeps
+// its dedup floor for a's old session. When a recovers b and sends
+// again, the recreated sender restarts sequences at 1 — it must also
+// announce a fresh incarnation, or b swallows the new envelopes as
+// duplicates of the old session and its stale cumulative ack makes a
+// prune them locally: silent message loss after EventSiteRecovered.
+func TestResilienceRecreatedSenderFreshIncarnation(t *testing.T) {
+	a, b := tcpPair(t, TCPOptions{}, TCPOptions{})
+
+	var mu sync.Mutex
+	var got []uint64
+	go func() {
+		for ev := range b.Events() {
+			if ev.Kind == EventMessage {
+				mu.Lock()
+				got = append(got, ev.Msg.(wire.Outcome).TxnVT.Time)
+				mu.Unlock()
+			}
+		}
+	}()
+	delivered := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got)
+	}
+	waitDelivered := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for delivered() < n && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if d := delivered(); d < n {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("delivered %d messages %v, want %d (lost after recovery)", d, got, n)
+		}
+	}
+
+	// Raise b's dedup floor for a's first session.
+	const warm = 5
+	for i := uint64(0); i < warm; i++ {
+		if err := a.Send(2, vtime.Zero, msg(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitDelivered(warm)
+
+	// a unilaterally declares b failed; b never suspects a. Tearing the
+	// sender down closes the link, so b redials and a adopts the new
+	// connection, recreating its sender record for b.
+	a.reportFailure(2)
+	if ev := recvOne(t, a, 2*time.Second); ev.Kind != EventSiteFailed || ev.Failed != 2 {
+		t.Fatalf("event = %+v, want SiteFailed(2)", ev)
+	}
+	if ev := recvOne(t, a, 2*time.Second); ev.Kind != EventSiteRecovered || ev.Failed != 2 {
+		t.Fatalf("event = %+v, want SiteRecovered(2)", ev)
+	}
+
+	// The recreated sender numbers its envelopes from 1 again — all of
+	// them below b's old floor of 5. Every one must still arrive.
+	const after = 3
+	for i := uint64(0); i < after; i++ {
+		if err := a.Send(2, vtime.Zero, msg(100+i)); err != nil {
+			t.Fatalf("send after recovery: %v", err)
+		}
+	}
+	waitDelivered(warm + after)
+
+	mu.Lock()
+	tail := append([]uint64(nil), got[warm:]...)
+	mu.Unlock()
+	for i, v := range tail {
+		if v != 100+uint64(i) {
+			t.Fatalf("post-recovery messages = %v, want [100 101 102]", tail)
+		}
+	}
+	if st := b.Stats(); st.FailureEvents != 0 {
+		t.Fatalf("b suspected a: %+v", st)
+	}
+}
+
+// TestResilienceFullRetainWindowStopsIntake pins the documented bound:
+// when the retransmit window is full, the writer stops pulling from the
+// queue even on the idle path. The peer here is a raw sink that reads
+// frames but never acks, so without the gate the writer would keep
+// draining the queue and retained (and the wire) would grow without
+// bound.
+func TestResilienceFullRetainWindowStopsIntake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var sunk atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := conn.Read(buf)
+					sunk.Add(int64(n))
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	const retain = 8
+	b, err := ListenTCPOptions(2, "127.0.0.1:0",
+		map[vtime.SiteID]string{1: ln.Addr().String()},
+		TCPOptions{
+			QueueSize:   retain,
+			MaxBatch:    4,
+			RetainLimit: retain,
+			AckTimeout:  -1, // never presume the silent peer dead
+			Suspicion:   SuspicionPolicy{MaxAttempts: -1, Window: -1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	send := func(n int, base uint64) {
+		t.Helper()
+		for i := uint64(0); i < uint64(n); i++ {
+			if err := b.Send(1, vtime.Zero, msg(base+i)); err != nil {
+				t.Fatalf("send %d: %v", base+i, err)
+			}
+		}
+	}
+	// waitQuiet waits for the wire to stop moving: three consecutive
+	// stable reads mean the writer has sent everything it intends to.
+	waitQuiet := func() int64 {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		prev, stable := int64(-1), 0
+		for time.Now().Before(deadline) {
+			cur := sunk.Load()
+			if cur == prev {
+				if stable++; stable >= 3 {
+					return cur
+				}
+			} else {
+				stable = 0
+			}
+			prev = cur
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatal("sink never went quiet")
+		return 0
+	}
+
+	// Phase 1: fill the retransmit window (acks never come). The writer
+	// pulls exactly RetainLimit envelopes, sends them, and parks.
+	send(100, 0)
+	quiet := waitQuiet()
+	drops := b.Stats().SendQueueDrops
+
+	// Phase 2: with the window full and fully sent, the writer's idle
+	// path must not pull — new envelopes can only occupy the queue's
+	// free slots (at most QueueSize) and the rest are shed; nothing new
+	// may reach the wire. An ungated writer drains the queue and keeps
+	// sending, growing the sink.
+	const burst = 100
+	send(burst, 1000)
+	time.Sleep(200 * time.Millisecond)
+	st := b.Stats()
+	if n := sunk.Load(); n != quiet {
+		t.Fatalf("sink grew from %d to %d bytes: writer pulled past a full retransmit window", quiet, n)
+	}
+	if got := st.SendQueueDrops - drops; got < burst-retain {
+		t.Fatalf("queue drops grew by %d, want >= %d: writer made room it must not have", got, burst-retain)
+	}
+	if st.FailureEvents != 0 {
+		t.Fatalf("withheld acks escalated to failure: %+v", st)
+	}
+}
+
+// TestBatchEndByteCap pins the frame-payload byte bound: a batch splits
+// before it would exceed maxBytes, a lone record always makes progress,
+// and the envelope-count cap still applies.
+func TestBatchEndByteCap(t *testing.T) {
+	rec := func(seq uint64, n int) outRec { return outRec{seq: seq, data: make([]byte, n)} }
+	retained := []outRec{rec(1, 10), rec(2, 10), rec(3, 50), rec(4, 10)}
+	for _, tc := range []struct {
+		name                              string
+		sentIdx, maxBatch, maxBytes, want int
+	}{
+		{"bytes split the batch", 0, 512, 25, 2},
+		{"oversized head still ships alone", 2, 512, 25, 3},
+		{"count cap still applies", 0, 2, 1 << 20, 2},
+		{"everything fits", 0, 512, 1 << 20, 4},
+		{"empty tail", 4, 512, 1 << 20, 4},
+		{"exact fit is not a split", 0, 512, 20, 2},
+	} {
+		if end := batchEnd(retained, tc.sentIdx, tc.maxBatch, tc.maxBytes); end != tc.want {
+			t.Errorf("%s: batchEnd(sentIdx=%d, maxBatch=%d, maxBytes=%d) = %d, want %d",
+				tc.name, tc.sentIdx, tc.maxBatch, tc.maxBytes, end, tc.want)
+		}
+	}
 }
 
 func TestChaosNetworkFaultDropDelay(t *testing.T) {

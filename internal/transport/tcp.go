@@ -39,11 +39,13 @@ import (
 // them, so everything unacknowledged is retransmitted on the new
 // connection and the receiver deduplicates by sequence number — a link
 // flap loses nothing and duplicates nothing. Sequence numbers are scoped
-// to an endpoint incarnation (a random ID announced in the hello and
-// echoed in acks), so a peer process restart resets the dedup floor
-// instead of silently rejecting the new incarnation's traffic, and a
-// stale ack from a previous incarnation cannot prune undelivered
-// envelopes. Only when the configurable
+// to a peer-session incarnation (a random ID drawn whenever a peer
+// record is created, announced in the hello, and echoed in acks), so
+// both a peer process restart and a locally recreated sender — a peer
+// declared failed whose record is rebuilt on recovery — reset the
+// remote's dedup floor instead of silently colliding with the previous
+// session's sequences, and a stale ack from a previous incarnation
+// cannot prune undelivered envelopes. Only when the configurable
 // suspicion policy is exhausted (dial-attempt budget spent or the
 // downtime window passed) does the endpoint emit EventSiteFailed, and if
 // the peer later reconnects it emits EventSiteRecovered. Control events
@@ -54,6 +56,11 @@ import (
 // maxFrame bounds a frame payload: a corrupt or hostile length prefix
 // must not provoke an unbounded allocation.
 const maxFrame = 64 << 20
+
+// maxDataBytes bounds the encoded envelope bytes coalesced into one
+// data frame, leaving headroom for the kind byte and firstSeq varint so
+// the payload never reaches the receiver's maxFrame kill threshold.
+const maxDataBytes = maxFrame - 16
 
 // defaultQueueSize is the per-peer outbound queue bound, mirroring the
 // simulated network's default QueueSize.
@@ -271,9 +278,6 @@ type TCP struct {
 	opts   TCPOptions
 	stats  tcpStatCounters
 	stopCh chan struct{}
-	// inc identifies this endpoint instance; sequence numbers are scoped
-	// to it (see the protocol comment above).
-	inc uint64
 
 	mu      sync.Mutex
 	peers   map[vtime.SiteID]string
@@ -307,8 +311,16 @@ type tcpPeer struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// inc identifies this peer session. The writer numbers envelopes
+	// from 1, so every recreated peer record (a peer declared failed and
+	// later recovered) must draw a fresh incarnation: under the old
+	// session's ID the remote's dedup floor would silently swallow the
+	// new sequences and its cumulative acks would prune them locally as
+	// if delivered. Announced in the hello, echoed back in acks.
+	inc uint64
+
 	// ackedSeq is the highest cumulative ack received from the peer for
-	// our envelopes (this endpoint's incarnation only).
+	// our envelopes (this peer session's incarnation only).
 	ackedSeq atomic.Uint64
 
 	// deliverMu serializes inbound accept+deliver so per-peer delivery
@@ -344,14 +356,9 @@ func ListenTCPOptions(site vtime.SiteID, addr string, peers map[vtime.SiteID]str
 	for s, a := range peers {
 		book[s] = a
 	}
-	inc := rand.Uint64()
-	for inc == 0 {
-		inc = rand.Uint64()
-	}
 	t := &TCP{
 		site:     site,
 		ln:       ln,
-		inc:      inc,
 		peers:    book,
 		events:   make(chan Event, 4096),
 		opts:     opts.withDefaults(),
@@ -550,7 +557,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			if used2 <= 0 || !seen {
 				return
 			}
-			if peer != nil && inc == t.inc {
+			if peer != nil && inc == peer.inc {
 				peer.handleAck(cum)
 			}
 		case frameData:
@@ -669,9 +676,20 @@ func (t *TCP) newPeer(site vtime.SiteID, addr string) *tcpPeer {
 		t:     t,
 		site:  site,
 		addr:  addr,
+		inc:   randInc(),
 		queue: make(chan tcpOut, t.opts.QueueSize),
 		kick:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
+	}
+}
+
+// randInc draws a nonzero session incarnation (zero means "none yet" on
+// the receive side).
+func randInc() uint64 {
+	for {
+		if inc := rand.Uint64(); inc != 0 {
+			return inc
+		}
 	}
 }
 
@@ -1093,10 +1111,13 @@ func (p *tcpPeer) writeLoop() {
 
 	// enqueueOut sequences and encodes one accepted envelope; only an
 	// encodable envelope consumes a sequence number, so retained stays
-	// seq-contiguous.
+	// seq-contiguous. An envelope too large for a single frame can never
+	// be transmitted (the receiver kills any connection carrying a frame
+	// over maxFrame, and a retained record would be resent verbatim
+	// after every reconnect — a livelock), so it counts as unencodable.
 	enqueueOut := func(e tcpOut) {
 		data, err := appendEnvelope(nil, t.site, e.sentAt, e.msg)
-		if err != nil {
+		if err != nil || len(data) > maxDataBytes {
 			t.stats.unencodable.Add(1)
 			return
 		}
@@ -1169,7 +1190,7 @@ func (p *tcpPeer) writeLoop() {
 			}
 			hello := append(scratch[:0], frameHello)
 			hello = binary.AppendUvarint(hello, uint64(t.site))
-			hello = binary.AppendUvarint(hello, t.inc)
+			hello = binary.AppendUvarint(hello, p.inc)
 			if !writeFrame(hello) || bw.Flush() != nil {
 				dropConn()
 				continue
@@ -1192,9 +1213,17 @@ func (p *tcpPeer) writeLoop() {
 				ackTimer = time.NewTimer(opts.AckTimeout)
 				ackCh = ackTimer.C
 			}
+			// Only take new envelopes while the retransmit window has
+			// room: a full window must drain via acks (or hit AckTimeout)
+			// before intake resumes, or retained would grow unboundedly
+			// against a peer that reads frames but withholds acks.
+			intake := p.queue
+			if len(retained) >= retainLimit {
+				intake = nil
+			}
 			stale := false
 			select {
-			case e := <-p.queue:
+			case e := <-intake:
 				enqueueOut(e)
 			case <-p.kick:
 			case <-probeCh:
@@ -1231,10 +1260,7 @@ func (p *tcpPeer) writeLoop() {
 			break
 		}
 
-		end := len(retained)
-		if end > sentIdx+opts.MaxBatch {
-			end = sentIdx + opts.MaxBatch
-		}
+		end := batchEnd(retained, sentIdx, opts.MaxBatch, maxDataBytes)
 		if d := opts.Faults.frameDelay(); d > 0 {
 			time.Sleep(d)
 		}
@@ -1274,6 +1300,24 @@ func (p *tcpPeer) writeLoop() {
 		sentIdx = end
 		resetProbe()
 	}
+}
+
+// batchEnd returns the exclusive end index of the next data frame's
+// records: at most maxBatch envelopes starting at sentIdx, holding at
+// most maxBytes of encoded envelope data, so the frame payload stays
+// under the receiver's maxFrame bound. The first record is always
+// admitted (enqueueOut guarantees no single record exceeds
+// maxDataBytes), so a full window still makes progress.
+func batchEnd(retained []outRec, sentIdx, maxBatch, maxBytes int) int {
+	end, bytes := sentIdx, 0
+	for end < len(retained) && end-sentIdx < maxBatch {
+		bytes += len(retained[end].data)
+		if bytes > maxBytes && end > sentIdx {
+			break
+		}
+		end++
+	}
+	return end
 }
 
 // buildParts assembles the writev-style part list for one data frame.
