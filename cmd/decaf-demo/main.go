@@ -106,21 +106,27 @@ func main() {
 	sites[2].Attach(decaf.ViewFunc(func(s *decaf.Snapshot) {
 		if s.String(replicas[2]) == "draft v2" {
 			vmu.Lock()
-			if optAt.IsZero() {
+			first := optAt.IsZero()
+			if first {
 				optAt = time.Now()
-				optSeen <- struct{}{}
 			}
 			vmu.Unlock()
+			if first {
+				optSeen <- struct{}{}
+			}
 		}
 	}), decaf.Optimistic, replicas[2])
 	sites[2].Attach(decaf.ViewFunc(func(s *decaf.Snapshot) {
 		if s.String(replicas[2]) == "draft v2" {
 			vmu.Lock()
-			if pessAt.IsZero() {
+			first := pessAt.IsZero()
+			if first {
 				pessAt = time.Now()
-				pessSeen <- struct{}{}
 			}
 			vmu.Unlock()
+			if first {
+				pessSeen <- struct{}{}
+			}
 		}
 	}), decaf.Pessimistic, replicas[2])
 

@@ -1,0 +1,196 @@
+// Package analysis implements decaf-vet, a repo-specific static analyzer
+// suite for DECAF's concurrency and determinism invariants.
+//
+// The Go compiler cannot see the invariants this codebase rests on:
+// virtual-time ordering must go through the vtime comparator API, the
+// deterministic packages (engine, history, gvt, vtime) must never read
+// the wall clock, and mutex-guarded state must never be touched unlocked
+// or held across a blocking send. Each analyzer in this package checks
+// one such invariant over the type-checked AST of every package in the
+// module, reporting file:line diagnostics.
+//
+// The suite is deliberately stdlib-only (go/ast, go/parser, go/types,
+// go/importer): it must run in CI and developer checkouts with no
+// dependencies beyond the toolchain.
+//
+// # Suppressing a finding
+//
+// A documented false positive is silenced with an ignore directive:
+//
+//	//decaf:ignore <analyzer> [reason...]
+//
+// The directive suppresses diagnostics from the named analyzer (or from
+// every analyzer, with the name "all") on the directive's own line and on
+// the line immediately below it, so it works both as a trailing comment
+// and as a comment line above the offending statement. Directives should
+// carry a reason; bare ignores are legal but frowned upon in review.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic as "file:line:col: [analyzer] message"
+// with the file path relative to root (when possible).
+func (d Diagnostic) String() string { return d.Render("") }
+
+// Render renders the diagnostic with the file path made relative to root
+// (when root is non-empty and the file lies under it).
+func (d Diagnostic) Render(root string) string {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name is the analyzer's short name, used in diagnostics and in
+	// //decaf:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant checked.
+	Doc string
+	// Run analyzes one package.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "//decaf:ignore"
+
+// ignoreIndex records, per file and line, which analyzers are ignored.
+type ignoreIndex map[string]map[int][]string
+
+// buildIgnoreIndex scans a package's comments for ignore directives.
+func buildIgnoreIndex(pkg *Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				// The first field is the analyzer name; the rest is the
+				// human reason, which the driver does not interpret.
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic is covered by a directive on
+// its own line or the line above.
+func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	byLine := idx[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == "all" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// (non-suppressed) diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		idx := buildIgnoreIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !idx.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// DefaultAnalyzers returns the production suite run by decaf-vet.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		LockedSend(),
+		GuardedBy(),
+		RawVT(),
+		Wallclock(DefaultDeterministic...),
+		AtomicMix(),
+	}
+}
+
+// funcDecls returns a file's function declarations that have bodies.
+func funcDecls(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// update rewrites the fixture golden files instead of comparing against
+// them: go test ./internal/analysis -run TestFixtures -update
+var update = flag.Bool("update", false, "rewrite expect.txt golden files")
+
+// The loader is shared across tests: it caches type-checked std packages,
+// so the second and later fixtures load in milliseconds.
+var (
+	loaderOnce sync.Once
+	sharedLd   *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLd, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLd
+}
+
+// TestFixtures runs each analyzer against its fixture package under
+// testdata/src and compares the rendered diagnostics against the
+// package's expect.txt. Every fixture also contains a function named
+// "suppressed" carrying a //decaf:ignore directive; the goldens prove
+// suppression works because no diagnostic appears on those lines.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+	}{
+		{"lockedsend", LockedSend()},
+		{"guardedby", GuardedBy()},
+		{"rawvt", RawVT()},
+		// The production suite protects internal/{engine,history,gvt,vtime};
+		// here the fixture's synthetic import path is protected instead.
+		{"wallclock", Wallclock("fixture/wallclock")},
+		{"atomicmix", AtomicMix()},
+	}
+	loader := fixtureLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.LoadDir(dir, "fixture/"+tc.name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			var got []string
+			for _, d := range Run([]*Analyzer{tc.analyzer}, []*Package{pkg}) {
+				got = append(got, d.Render(abs))
+			}
+			golden := filepath.Join(dir, "expect.txt")
+			if *update {
+				content := strings.Join(got, "\n")
+				if content != "" {
+					content += "\n"
+				}
+				if err := os.WriteFile(golden, []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			want := splitLines(string(data))
+			if len(got) != len(want) {
+				t.Errorf("got %d diagnostics, want %d", len(got), len(want))
+			}
+			for i := 0; i < len(got) || i < len(want); i++ {
+				var g, w string
+				if i < len(got) {
+					g = got[i]
+				}
+				if i < len(want) {
+					w = want[i]
+				}
+				if g != w {
+					t.Errorf("diagnostic %d:\n  got  %q\n  want %q", i, g, w)
+				}
+			}
+		})
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestWallclockUnprotectedPackage checks that the wallclock analyzer
+// stays quiet outside its protected set: time.Now is legal in, say, the
+// transport, and the fixture must not be flagged when the protected list
+// names some other package.
+func TestWallclockUnprotectedPackage(t *testing.T) {
+	loader := fixtureLoader(t)
+	dir := filepath.Join("testdata", "src", "wallclock")
+	pkg, err := loader.LoadDir(dir, "fixture/wallclock")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := Run([]*Analyzer{Wallclock("internal/engine")}, []*Package{pkg})
+	if len(diags) != 0 {
+		t.Fatalf("wallclock flagged an unprotected package: %v", diags)
+	}
+}
+
+// TestModuleClean runs the full production suite over the entire module
+// and requires zero findings — the same gate CI applies via decaf-vet.
+// Any intentional exception in the tree must carry a //decaf:ignore
+// directive with a reason.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short")
+	}
+	loader := fixtureLoader(t)
+	pkgs, err := loader.LoadAll(loader.ModRoot)
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	diags := Run(DefaultAnalyzers(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d.Render(loader.ModRoot))
+	}
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags two ways of breaking sync/atomic's contract:
+//
+//  1. Mixed access: a struct field that is passed to sync/atomic
+//     functions (atomic.AddUint64(&x.f, …)) somewhere and read or
+//     written with plain loads/stores elsewhere. Plain accesses do not
+//     synchronize with the atomic ones, so the "mostly atomic" field is
+//     still a data race.
+//
+//  2. By-value passing: a function receiver, parameter, or result whose
+//     type is a struct containing sync/atomic typed fields
+//     (atomic.Uint64 & friends). Copying such a struct copies the
+//     counter out from under concurrent writers and silently forks its
+//     value; these structs must travel by pointer.
+func AtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "flags fields accessed both atomically and plainly, and by-value passing of structs containing atomics",
+	}
+	a.Run = func(pass *Pass) {
+		checkMixedAccess(pass)
+		checkByValueAtomics(pass)
+	}
+	return a
+}
+
+// atomicFuncPrefixes are the sync/atomic pointer-argument function
+// families.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+// checkMixedAccess finds fields used through sync/atomic calls and
+// reports every plain access to the same field in the package.
+func checkMixedAccess(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// First pass: fields whose address is taken for a sync/atomic call,
+	// and the positions of those sanctioned selector uses.
+	atomicFields := map[*types.Var]token.Position{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFunc(info, call)
+			if pkg != "sync/atomic" || !hasAnyPrefix(name, atomicFuncPrefixes) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if obj, ok := selection.Obj().(*types.Var); ok {
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = pass.Pkg.Fset.Position(call.Pos())
+				}
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Second pass: any other selector touching those fields is a plain
+	// (unsynchronized) access.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			selection := info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			obj, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			atomicAt, isAtomic := atomicFields[obj]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed with sync/atomic at %s:%d but with a plain load/store here; every access must be atomic",
+				obj.Name(), shortPath(atomicAt.Filename), atomicAt.Line)
+			return true
+		})
+	}
+}
+
+// checkByValueAtomics flags receivers, parameters, and results whose
+// struct type contains sync/atomic fields but is passed by value.
+func checkByValueAtomics(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range funcDecls(f) {
+			var fields []*ast.Field
+			if fd.Recv != nil {
+				fields = append(fields, fd.Recv.List...)
+			}
+			if fd.Type.Params != nil {
+				fields = append(fields, fd.Type.Params.List...)
+			}
+			if fd.Type.Results != nil {
+				fields = append(fields, fd.Type.Results.List...)
+			}
+			for _, field := range fields {
+				t := info.Types[field.Type].Type
+				if t == nil {
+					continue
+				}
+				if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+					continue
+				}
+				if name := atomicStructName(t); name != "" {
+					pass.Reportf(field.Type.Pos(),
+						"%s is passed by value but contains sync/atomic fields; pass *%s so counters are not copied out from under concurrent writers",
+						name, name)
+				}
+			}
+		}
+	}
+}
+
+// atomicStructName returns the named struct's name when t is (or embeds,
+// recursively through struct and array fields) a sync/atomic type.
+func atomicStructName(t types.Type) string {
+	named, ok := derefNamed(t)
+	if !ok {
+		return ""
+	}
+	if containsAtomic(named, map[types.Type]bool{}) {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+		return containsAtomic(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return false
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// shortPath trims a path to its final two elements for compact
+// diagnostics.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) <= 2 {
+		return p
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces "guarded by" field annotations. A struct field
+// documented with a comment containing "guarded by <mu>" (case
+// insensitive) may only be read or written inside a function that locks
+// that mutex on the same receiver expression:
+//
+//	type tcpPeer struct {
+//		mu   sync.Mutex
+//		conn net.Conn // guarded by mu
+//	}
+//
+// An access p.conn is then legal only in functions that contain
+// p.mu.Lock() (or p.mu.RLock()). The check is function-granular — it
+// does not prove the lock is held at the access — but it catches the
+// real-world bug shape where a whole function forgets the lock, and the
+// receiver-expression matching distinguishes p.mu from t.mu even though
+// both fields are named "mu". Loop-confined or init-time accesses are
+// suppressed with //decaf:ignore guardedby.
+func GuardedBy() *Analyzer {
+	a := &Analyzer{
+		Name: "guardedby",
+		Doc:  "flags accesses to 'guarded by <mu>' fields in functions that never lock <mu> on the same receiver",
+	}
+	a.Run = func(pass *Pass) {
+		guarded := collectGuardedFields(pass.Pkg)
+		if len(guarded) == 0 {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, fd := range funcDecls(f) {
+				checkGuardedAccesses(pass, fd, guarded)
+			}
+		}
+	}
+	return a
+}
+
+// guardInfo describes one guarded field.
+type guardInfo struct {
+	structName string
+	fieldName  string
+	muName     string
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
+
+// collectGuardedFields scans struct declarations for guarded-by field
+// comments, keyed by the field's types.Var object.
+func collectGuardedFields(pkg *Package) map[*types.Var]guardInfo {
+	out := map[*types.Var]guardInfo{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mu := guardAnnotation(field)
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							out[obj] = guardInfo{
+								structName: ts.Name.Name,
+								fieldName:  name.Name,
+								muName:     mu,
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or returns "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses flags guarded-field selectors in fd whose guard
+// mutex is never locked (on the same receiver expression) anywhere in fd.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardInfo) {
+	info := pass.Pkg.Info
+
+	// locked collects "base.mu" keys for every mutex lock call in the
+	// function, closures included: function granularity, by design.
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if !isMutexType(info.Types[sel.X].Type) {
+			return true
+		}
+		locked[types.ExprString(sel.X)] = true
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		obj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if locked[base+"."+g.muName] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s, but this function never locks %s.%s",
+			g.structName, g.fieldName, g.muName, base, g.muName)
+		return true
+	})
+}

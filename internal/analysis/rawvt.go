@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// vtimePath is the package that owns the virtual-time total order.
+const vtimePath = "decaf/internal/vtime"
+
+// RawVT flags raw comparisons on the fields of a vtime.VT outside the
+// vtime package itself. A VT is ordered first by Lamport time and then
+// by site (the tie-break that makes the order total); comparing v.Time
+// or v.Site directly bypasses the tie-break and silently reintroduces
+// the partial order the paper's algorithms are built to avoid. All
+// ordering must go through the comparator API (VT.Less, VT.LessEq,
+// VT.Compare, VT.Max) or helpers exported by the vtime package.
+//
+// Two comparisons are deliberately allowed: whole-value equality
+// (v == w, v == vtime.Zero), because struct equality agrees with the
+// total order's notion of "same instant", and equality on .Site alone
+// (vt.Site == failedSite), because that asks "which site stamped this
+// VT" — origin identity, not ordering.
+func RawVT() *Analyzer {
+	a := &Analyzer{
+		Name: "rawvt",
+		Doc:  "flags raw <, <=, ==, … comparisons on vtime.VT fields outside internal/vtime",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.ImportPath == vtimePath || strings.HasSuffix(pass.Pkg.ImportPath, "internal/vtime") {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				ordering := false
+				switch be.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+					ordering = true
+				case token.EQL, token.NEQ:
+				default:
+					return true
+				}
+				for _, operand := range []ast.Expr{be.X, be.Y} {
+					field := vtField(info, operand)
+					if field == "" {
+						continue
+					}
+					// Equality on .Site is origin identity, not ordering.
+					if field == "Site" && !ordering {
+						continue
+					}
+					pass.Reportf(be.OpPos,
+						"raw %s comparison on vtime.VT field .%s bypasses the VT tie-break; use the vtime comparator API (Less/LessEq/Compare)",
+						be.Op, field)
+					return true // one diagnostic per comparison
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// vtField returns the field name when e selects .Time or .Site from a
+// value of type vtime.VT, else "".
+func vtField(info *types.Info, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name != "Time" && sel.Sel.Name != "Site" {
+		return ""
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	if !namedFrom(selection.Recv(), vtimePath, "VT") {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,42 @@
+// Package atomicmix is a fixture exercising the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func badPlainRead(c *counters) uint64 {
+	return c.hits
+}
+
+func goodAtomicRead(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func goodPlainOnly(c *counters) uint64 {
+	return c.misses
+}
+
+type gauges struct {
+	val atomic.Int64
+}
+
+func badByValue(g gauges) int64 {
+	return g.val.Load()
+}
+
+func goodByPointer(g *gauges) int64 {
+	return g.val.Load()
+}
+
+func suppressed(c *counters) uint64 {
+	//decaf:ignore atomicmix single-threaded teardown path
+	return c.hits
+}

@@ -1,0 +1,40 @@
+// Package guardedby is a fixture exercising the guardedby analyzer.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type other struct {
+	mu sync.Mutex
+}
+
+func good(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func goodRLockName(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func bad(c *counter) int {
+	return c.n
+}
+
+func wrongReceiver(c *counter, o *other) {
+	o.mu.Lock()
+	c.n++
+	o.mu.Unlock()
+}
+
+func suppressed(c *counter) int {
+	//decaf:ignore guardedby read happens before any goroutine shares c
+	return c.n
+}

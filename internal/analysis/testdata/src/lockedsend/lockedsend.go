@@ -1,0 +1,74 @@
+// Package lockedsend is a fixture exercising the lockedsend analyzer.
+package lockedsend
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+type rbox struct {
+	rw sync.RWMutex
+	ch chan int
+}
+
+func badSend(b *box) {
+	b.mu.Lock()
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+func badDeferred(b *box, conn net.Conn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	conn.Write([]byte("x"))
+}
+
+func badRecvUnderRLock(r *rbox) {
+	r.rw.RLock()
+	<-r.ch
+	r.rw.RUnlock()
+}
+
+func badBlockingSelect(b *box, stop chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case <-stop:
+	case b.ch <- 1:
+	}
+}
+
+func goodNonBlockingSelect(b *box) {
+	b.mu.Lock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func goodAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1
+}
+
+func goodGoroutine(b *box) {
+	b.mu.Lock()
+	go func() { b.ch <- 1 }()
+	b.mu.Unlock()
+}
+
+func suppressed(b *box) {
+	b.mu.Lock()
+	//decaf:ignore lockedsend ch is buffered and drained by the fixture harness
+	b.ch <- 1
+	b.mu.Unlock()
+}

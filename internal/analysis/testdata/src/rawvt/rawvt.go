@@ -1,0 +1,32 @@
+// Package rawvt is a fixture exercising the rawvt analyzer.
+package rawvt
+
+import "decaf/internal/vtime"
+
+func badOrdering(a, b vtime.VT) bool {
+	return a.Time < b.Time
+}
+
+func badTieBreak(a, b vtime.VT) bool {
+	return a.Time == b.Time && a.Site < b.Site
+}
+
+func good(a, b vtime.VT) bool {
+	if a == b || a.Less(b) {
+		return false
+	}
+	return a.LessEq(b)
+}
+
+func goodOriginIdentity(a vtime.VT, failed vtime.SiteID) bool {
+	return a.Site == failed
+}
+
+func goodArithmetic(a vtime.VT) uint64 {
+	return a.Time + 1
+}
+
+func suppressed(a vtime.VT) bool {
+	//decaf:ignore rawvt fixture demonstrating the ignore directive
+	return a.Time == 0
+}

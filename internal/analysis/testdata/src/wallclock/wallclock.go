@@ -1,0 +1,21 @@
+// Package wallclock is a fixture exercising the wallclock analyzer.
+package wallclock
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now()
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+func goodTimer(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}
+
+func suppressed() time.Time {
+	//decaf:ignore wallclock fixture demonstrating the explicit allowlist
+	return time.Now()
+}

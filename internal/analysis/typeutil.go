@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// derefNamed unwraps pointers and aliases down to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// namedFrom reports whether t (after deref) is the named type
+// pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	n, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// namedPkgPath returns the defining package path and type name of t
+// (after deref), or "", "".
+func namedPkgPath(t types.Type) (pkgPath, name string) {
+	n, ok := derefNamed(t)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	return namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex")
+}
+
+// pkgFunc resolves a call to a package-level function and returns its
+// package path and name ("time", "Sleep"), or "", "".
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "" // method, not package-level function
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// methodCall resolves a call to a method and returns the receiver
+// type's defining package path, type name, and the method name.
+func methodCall(info *types.Info, call *ast.CallExpr) (pkgPath, typeName, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", ""
+	}
+	pkgPath, typeName = namedPkgPath(sig.Recv().Type())
+	if typeName == "" {
+		// Interface method expressions may not carry a named receiver;
+		// fall back to the selector base expression's type.
+		pkgPath, typeName = namedPkgPath(info.Types[sel.X].Type)
+	}
+	return pkgPath, typeName, fn.Name()
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DefaultDeterministic lists the packages (by import-path suffix) whose
+// behavior must be a pure function of protocol events: the virtual-time
+// machinery and everything whose state is ordered by it. Reading the
+// wall clock in these packages would make transaction ordering, history
+// pruning, or GVT sweeps depend on scheduling, which breaks replay
+// determinism and the paper's correctness argument.
+var DefaultDeterministic = []string{
+	"internal/engine",
+	"internal/history",
+	"internal/gvt",
+	"internal/vtime",
+}
+
+// wallclockBanned are the time-package functions that read the wall
+// clock. Timer construction (time.After, time.NewTimer) is deliberately
+// not banned: delaying an action is scheduling, not state; only state
+// derived from the current time is a determinism hazard.
+var wallclockBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Wallclock forbids wall-clock reads (time.Now, time.Since, time.Until)
+// in the named deterministic packages. Matching is by import-path
+// suffix. A justified exception is allowlisted in place with
+// //decaf:ignore wallclock <reason>.
+func Wallclock(protected ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbids time.Now/Since/Until in deterministic packages (engine, history, gvt, vtime)",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathProtected(pass.Pkg.ImportPath, protected) {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if !wallclockBanned[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"wall-clock read time.%s in deterministic package %s; derive state from virtual time or move the timing concern to the caller",
+					fn.Name(), pass.Pkg.Types.Name())
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func pathProtected(importPath string, protected []string) bool {
+	for _, p := range protected {
+		if importPath == p || strings.HasSuffix(importPath, "/"+strings.TrimPrefix(p, "/")) || strings.HasSuffix(importPath, p) {
+			return true
+		}
+	}
+	return false
+}

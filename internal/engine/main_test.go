@@ -1,0 +1,11 @@
+package engine
+
+import (
+	"testing"
+
+	"decaf/internal/testutil"
+)
+
+// TestMain fails the package when a test leaks goroutines — a site that
+// is never Closed keeps its notifier and GC goroutines alive.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

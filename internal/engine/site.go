@@ -395,22 +395,11 @@ func (s *Site) decidedFloor() vtime.VT {
 	for vt, st := range s.txns {
 		if st.status == txnApplied || st.status == txnWaiting || st.status == txnExecuting {
 			if vt.LessEq(floor) {
-				floor = justBelow(vt)
+				floor = vtime.JustBelow(vt)
 			}
 		}
 	}
 	return floor
-}
-
-// justBelow returns the largest VT strictly less than v (or Zero).
-func justBelow(v vtime.VT) vtime.VT {
-	if v.Site > 0 {
-		return vtime.VT{Time: v.Time, Site: v.Site - 1}
-	}
-	if v.Time == 0 {
-		return vtime.Zero
-	}
-	return vtime.VT{Time: v.Time - 1, Site: ^vtime.SiteID(0)}
 }
 
 // snapshotFloor returns the minimum VT any outstanding view snapshot may

@@ -601,7 +601,7 @@ func (p *viewProxy) requestPessimisticGuesses(i int) {
 		// nothing, so they take the explicit check below.
 		if v, okv := o.hist.Get(snap.ts); !s.opts.DisableEagerConfirm && okv && v.Status == history.Committed &&
 			!v.ReadVT.IsZero() && v.ReadVT != v.VT && v.ReadVT.LessEq(prev) {
-			pv, okPrev := o.hist.At(justBelow(snap.ts))
+			pv, okPrev := o.hist.At(vtime.JustBelow(snap.ts))
 			if !okPrev || pv.VT.LessEq(prev) {
 				continue
 			}

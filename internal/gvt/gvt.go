@@ -60,7 +60,7 @@ type Site struct {
 	tokenSeen   uint64
 
 	mu        sync.Mutex
-	onCommit  func(name string, value any, vt vtime.VT)
+	onCommit  func(name string, value any, vt vtime.VT) // guarded by mu
 	startOnce sync.Once
 	stopOnce  sync.Once
 }
@@ -269,22 +269,11 @@ func (s *Site) forwardToken(tok wire.GVTToken) {
 		// below it may commit.
 		newGVT := s.clock.Now()
 		if tok.MinValid {
-			newGVT = justBelow(tok.Min)
+			newGVT = vtime.JustBelow(tok.Min)
 		}
 		tok = wire.GVTToken{Round: tok.Round + 1, GVT: newGVT}
 	}
 	_ = s.ep.Send(next, s.clock.Now(), tok)
-}
-
-// justBelow returns the largest VT strictly less than v.
-func justBelow(v vtime.VT) vtime.VT {
-	if v.Site > 0 {
-		return vtime.VT{Time: v.Time, Site: v.Site - 1}
-	}
-	if v.Time == 0 {
-		return vtime.Zero
-	}
-	return vtime.VT{Time: v.Time - 1, Site: ^vtime.SiteID(0)}
 }
 
 // tryCommit commits every uncommitted entry at or below the GVT, in VT

@@ -1,0 +1,11 @@
+package gvt
+
+import (
+	"testing"
+
+	"decaf/internal/testutil"
+)
+
+// TestMain fails the package when a test leaks goroutines — the token
+// daemon must stop when its site shuts down.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

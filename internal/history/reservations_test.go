@@ -1,0 +1,160 @@
+package history
+
+import (
+	"testing"
+
+	"decaf/internal/vtime"
+)
+
+func rvt(time uint64, site vtime.SiteID) vtime.VT { return vtime.VT{Time: time, Site: site} }
+
+func riv(lo, hi vtime.VT) vtime.Interval { return vtime.Interval{Lo: lo, Hi: hi} }
+
+func TestReserveIgnoresEmptyIntervals(t *testing.T) {
+	var r Reservations
+	owner := rvt(5, 1)
+	r.Reserve(riv(rvt(3, 1), rvt(3, 1)), owner) // Lo == Hi: a blind write's (tT, tT]
+	r.Reserve(riv(rvt(4, 1), rvt(2, 1)), owner) // inverted
+	if r.Len() != 0 {
+		t.Fatalf("empty intervals reserved: Len = %d", r.Len())
+	}
+}
+
+func TestConflictsEndpoints(t *testing.T) {
+	var r Reservations
+	owner := rvt(10, 1)
+	writer := rvt(9, 2)
+	lo, hi := rvt(3, 1), rvt(8, 1)
+	r.Reserve(riv(lo, hi), owner)
+
+	// The interval is half-open (Lo, Hi]: Lo itself is outside, Hi inside.
+	if r.Conflicts(lo, writer) {
+		t.Error("write at exclusive Lo endpoint conflicted")
+	}
+	if !r.Conflicts(hi, writer) {
+		t.Error("write at inclusive Hi endpoint did not conflict")
+	}
+	// The site tie-break is part of the order: (3,1) < (3,2) <= (8,1).
+	if !r.Conflicts(rvt(3, 2), writer) {
+		t.Error("write just above Lo (by site tie-break) did not conflict")
+	}
+	if r.Conflicts(rvt(8, 2), writer) {
+		t.Error("write just above Hi (by site tie-break) conflicted")
+	}
+}
+
+func TestConflictsOwnerExempt(t *testing.T) {
+	var r Reservations
+	owner := rvt(10, 1)
+	r.Reserve(riv(rvt(3, 1), rvt(8, 1)), owner)
+	if r.Conflicts(rvt(5, 1), owner) {
+		t.Error("a transaction conflicted with its own reservation")
+	}
+	if !r.Conflicts(rvt(5, 1), rvt(10, 2)) {
+		t.Error("a different writer did not conflict")
+	}
+}
+
+func TestAdjacentIntervals(t *testing.T) {
+	var r Reservations
+	a, b, c := rvt(2, 1), rvt(5, 1), rvt(9, 1)
+	first, second := rvt(20, 1), rvt(21, 2)
+	r.Reserve(riv(a, b), first)
+	r.Reserve(riv(b, c), second) // adjacent: (a,b] then (b,c]
+	writer := rvt(30, 3)
+
+	// The shared endpoint b belongs to the first interval only, so a
+	// writer at b conflicts even if it owns the second reservation.
+	if !r.Conflicts(b, second) {
+		t.Error("write at shared endpoint did not conflict with the first interval")
+	}
+	if r.Conflicts(b, first) {
+		t.Error("first owner conflicted at its own Hi endpoint")
+	}
+	if !r.Conflicts(rvt(5, 2), writer) || !r.Conflicts(c, writer) {
+		t.Error("interior of second interval did not conflict")
+	}
+}
+
+func TestOverlappingIntervals(t *testing.T) {
+	var r Reservations
+	first, second := rvt(20, 1), rvt(21, 2)
+	r.Reserve(riv(rvt(2, 1), rvt(6, 1)), first)
+	r.Reserve(riv(rvt(4, 1), rvt(9, 1)), second)
+
+	// In the overlap, each owner still conflicts with the other's
+	// reservation: owning one of the two is not enough.
+	if !r.Conflicts(rvt(5, 1), first) {
+		t.Error("first owner did not conflict with second's overlapping reservation")
+	}
+	if !r.Conflicts(rvt(5, 1), second) {
+		t.Error("second owner did not conflict with first's overlapping reservation")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	var r Reservations
+	keep, drop := rvt(20, 1), rvt(21, 2)
+	r.Reserve(riv(rvt(1, 1), rvt(3, 1)), drop)
+	r.Reserve(riv(rvt(2, 1), rvt(5, 1)), keep)
+	r.Reserve(riv(rvt(4, 1), rvt(7, 1)), drop)
+
+	if got := r.Release(drop); got != 2 {
+		t.Fatalf("Release removed %d, want 2", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after release, want 1", r.Len())
+	}
+	if r.Conflicts(rvt(6, 1), rvt(30, 3)) {
+		t.Error("released reservation still conflicts")
+	}
+	if !r.Conflicts(rvt(4, 1), rvt(30, 3)) {
+		t.Error("surviving reservation no longer conflicts")
+	}
+	if got := r.Release(drop); got != 0 {
+		t.Errorf("second Release removed %d, want 0", got)
+	}
+}
+
+func TestGCBelowBoundary(t *testing.T) {
+	var r Reservations
+	owner := rvt(20, 1)
+	floor := rvt(5, 1)
+	r.Reserve(riv(rvt(1, 1), rvt(5, 1)), owner)      // Hi == floor: collectable
+	r.Reserve(riv(rvt(1, 1), rvt(5, 2)), owner)      // Hi just above floor (site tie-break): kept
+	r.Reserve(riv(rvt(3, 1), rvt(9, 1)), rvt(21, 2)) // Hi well above: kept
+
+	if got := r.GCBelow(floor); got != 1 {
+		t.Fatalf("GCBelow removed %d, want 1", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after GC, want 2", r.Len())
+	}
+	for _, res := range r.All() {
+		if res.Interval.Hi.LessEq(floor) {
+			t.Errorf("reservation with Hi %v survived GC below %v", res.Interval.Hi, floor)
+		}
+	}
+}
+
+// TestReserveKeepsSortedOrder checks the (Hi, Owner) insertion order that
+// GCBelow's sequential scan and the table's determinism rely on.
+func TestReserveKeepsSortedOrder(t *testing.T) {
+	var r Reservations
+	// Insert out of order, including two reservations with the same Hi.
+	r.Reserve(riv(rvt(1, 1), rvt(9, 1)), rvt(22, 3))
+	r.Reserve(riv(rvt(1, 1), rvt(4, 1)), rvt(20, 1))
+	r.Reserve(riv(rvt(1, 1), rvt(9, 1)), rvt(21, 2))
+	r.Reserve(riv(rvt(1, 1), rvt(6, 1)), rvt(23, 1))
+
+	all := r.All()
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1], all[i]
+		if cur.Interval.Hi.Less(prev.Interval.Hi) {
+			t.Fatalf("reservations out of Hi order at %d: %v after %v", i, cur, prev)
+		}
+		if cur.Interval.Hi == prev.Interval.Hi && cur.Owner.Less(prev.Owner) {
+			t.Fatalf("same-Hi reservations out of Owner order at %d: %v after %v", i, cur, prev)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+
+	"decaf/internal/vtime"
+)
+
+func oid(site vtime.SiteID, seq uint64) ObjectID { return ObjectID{Site: site, Seq: seq} }
+
+func TestLessOrdersBySiteThenSeq(t *testing.T) {
+	ordered := []ObjectID{
+		oid(0, 0), oid(0, 1), oid(0, 2),
+		oid(1, 0), oid(1, 5),
+		oid(2, 0), oid(2, 1),
+	}
+	for i, a := range ordered {
+		for j, b := range ordered {
+			got := a.Less(b)
+			want := i < j
+			if got != want {
+				t.Errorf("%v.Less(%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestLessTotalOrder checks the strict-weak-order laws Less must satisfy
+// for the deterministic primary-copy function to be well defined: the
+// primary of a replication graph is the minimum node under Less, so an
+// inconsistency here would make two sites disagree on the primary.
+func TestLessTotalOrder(t *testing.T) {
+	ids := []ObjectID{
+		{}, oid(0, 1), oid(1, 0), oid(1, 1), oid(1, 2), oid(2, 0), oid(3, 7),
+	}
+	for _, a := range ids {
+		if a.Less(a) {
+			t.Errorf("%v.Less(itself) = true", a)
+		}
+		for _, b := range ids {
+			if a.Less(b) && b.Less(a) {
+				t.Errorf("Less not antisymmetric for %v, %v", a, b)
+			}
+			if a != b && !a.Less(b) && !b.Less(a) {
+				t.Errorf("distinct %v, %v are unordered", a, b)
+			}
+			for _, c := range ids {
+				if a.Less(b) && b.Less(c) && !a.Less(c) {
+					t.Errorf("Less not transitive: %v < %v < %v but not %v < %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimumIsDeterministic(t *testing.T) {
+	nodes := []ObjectID{oid(3, 1), oid(1, 9), oid(2, 0), oid(1, 2)}
+	perm := append([]ObjectID(nil), nodes...)
+	sort.Slice(perm, func(i, j int) bool { return perm[i].Less(perm[j]) })
+	if want := oid(1, 2); perm[0] != want {
+		t.Fatalf("minimum = %v, want %v", perm[0], want)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(ObjectID{}).IsZero() {
+		t.Error("zero ObjectID not IsZero")
+	}
+	for _, o := range []ObjectID{oid(1, 0), oid(0, 1), oid(2, 7)} {
+		if o.IsZero() {
+			t.Errorf("%+v reported IsZero", o)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	got := oid(2, 7).String()
+	if got != "s2/7" {
+		t.Errorf("String() = %q, want %q", got, "s2/7")
+	}
+}

@@ -1,0 +1,107 @@
+// Package testutil holds shared test-only helpers.
+//
+// Its centerpiece is a stdlib-only goroutine-leak detector: DECAF's
+// engine, transport, and GVT daemon all spawn background goroutines
+// (per-peer writers, retransmit timers, token forwarders), and a test
+// that forgets to Close its sites leaks them. The leak shows up later
+// as a flaky, unrelated failure — far from the test that caused it —
+// so the detector runs once per package, after the whole test binary,
+// and prints the surviving stacks.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyTestMain is installed as a package's TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+//
+// It runs the tests and then, if they passed, fails the binary when
+// goroutines started by the tests are still alive once a settle window
+// expires. Goroutines belonging to the runtime and the testing
+// framework are filtered out.
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := waitForDrain(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"goroutine leak: %d goroutine(s) still alive after all tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// waitForDrain polls for lingering goroutines until the deadline.
+// Goroutines that are merely slow to wind down (a writer draining its
+// last frame, a connection in TIME_WAIT teardown) disappear within a
+// poll or two; only genuinely stuck ones survive the full window.
+func waitForDrain(window time.Duration) []string {
+	deadline := time.Now().Add(window)
+	for {
+		leaked := interestingGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// interestingGoroutines returns the stacks of all live goroutines that
+// are not runtime or testing infrastructure.
+func interestingGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g = strings.TrimSpace(g); g != "" && !systemGoroutine(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// systemGoroutine reports whether a stack belongs to the runtime, the
+// testing framework, or this detector itself.
+func systemGoroutine(stack string) bool {
+	// The first line is "goroutine N [state]:"; the frames follow.
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*M).",
+		"testutil.interestingGoroutines",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.MHeap_Scavenger",
+		"runtime.ReadTrace",
+		"runtime.ensureSigM",
+		"signal.signal_recv",
+		"signal.loop",
+		"os/signal.",
+	} {
+		if strings.Contains(stack, marker) {
+			// runtime.goexit appears at the bottom of every stack on
+			// some platforms; only treat it as a marker when it is the
+			// sole frame.
+			if marker == "runtime.goexit" && strings.Count(stack, "\n") > 2 {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}

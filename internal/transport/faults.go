@@ -27,14 +27,14 @@ import (
 // nil *Faults, so transport code calls them unconditionally.
 type Faults struct {
 	mu     sync.Mutex
-	refuse map[vtime.SiteID]int
-	drop   map[vtime.SiteID]int
-	delay  time.Duration
-	conns  map[vtime.SiteID]map[net.Conn]struct{}
+	refuse map[vtime.SiteID]int                   // guarded by mu
+	drop   map[vtime.SiteID]int                   // guarded by mu
+	delay  time.Duration                          // guarded by mu
+	conns  map[vtime.SiteID]map[net.Conn]struct{} // guarded by mu
 
-	dialsRefused  uint64
-	framesDropped uint64
-	killed        uint64
+	dialsRefused  uint64 // guarded by mu
+	framesDropped uint64 // guarded by mu
+	killed        uint64 // guarded by mu
 }
 
 // NewFaults returns an empty fault harness.

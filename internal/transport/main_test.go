@@ -1,0 +1,11 @@
+package transport
+
+import (
+	"testing"
+
+	"decaf/internal/testutil"
+)
+
+// TestMain fails the package when a test leaks goroutines — per-peer
+// writers, accept loops, and reconnect timers must all stop on Close.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

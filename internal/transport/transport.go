@@ -122,12 +122,12 @@ type Network struct {
 	cfg Config
 
 	mu        sync.Mutex
-	rng       *rand.Rand
-	endpoints map[vtime.SiteID]*memEndpoint
-	links     map[linkKey]*memLink
-	dead      map[vtime.SiteID]bool
-	blocked   map[linkKey]bool // partitioned ordered pairs
-	closed    bool
+	rng       *rand.Rand                    // guarded by mu
+	endpoints map[vtime.SiteID]*memEndpoint // guarded by mu
+	links     map[linkKey]*memLink          // guarded by mu
+	dead      map[vtime.SiteID]bool         // guarded by mu
+	blocked   map[linkKey]bool              // guarded by mu; partitioned ordered pairs
+	closed    bool                          // guarded by mu
 	wg        sync.WaitGroup
 }
 
@@ -346,8 +346,8 @@ type memLink struct {
 	stop chan struct{}
 
 	mu      sync.Mutex
-	lastDue time.Time
-	closed  bool
+	lastDue time.Time // guarded by mu
+	closed  bool      // guarded by mu
 }
 
 func (l *memLink) enqueue(ev Event, delay time.Duration) {
@@ -411,7 +411,7 @@ type memEndpoint struct {
 	events chan Event
 
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 }
 
 var _ Endpoint = (*memEndpoint)(nil)

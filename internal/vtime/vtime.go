@@ -78,8 +78,8 @@ func (v VT) String() string {
 // event loop, but controllers may request times from other goroutines.)
 type Clock struct {
 	mu   sync.Mutex
-	site SiteID
-	last uint64
+	site SiteID // immutable after NewClock
+	last uint64 // guarded by mu
 }
 
 // NewClock returns a Clock that stamps virtual times for the given site.
@@ -115,6 +115,21 @@ func (c *Clock) Now() VT {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return VT{Time: c.last, Site: c.site}
+}
+
+// JustBelow returns the largest VT strictly less than v under the total
+// order (or Zero when no such VT exists). It is the inverse step the
+// engine and the GVT sweep use to turn an exclusive bound into an
+// inclusive one; keeping it here keeps raw field manipulation of VTs
+// confined to this package.
+func JustBelow(v VT) VT {
+	if v.Site > 0 {
+		return VT{Time: v.Time, Site: v.Site - 1}
+	}
+	if v.Time == 0 {
+		return Zero
+	}
+	return VT{Time: v.Time - 1, Site: ^SiteID(0)}
 }
 
 // Interval is a half-open virtual-time interval (Lo, Hi]: it excludes Lo

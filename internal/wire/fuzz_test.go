@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"decaf/internal/ids"
+	"decaf/internal/repgraph"
+	"decaf/internal/vtime"
+)
+
+// writeCorpus regenerates the committed seed corpus:
+//
+//	go test ./internal/wire -run TestWriteSeedCorpus -writecorpus
+var writeCorpus = flag.Bool("writecorpus", false, "regenerate seed corpora under testdata/fuzz")
+
+func fvt(t, s uint64) vtime.VT      { return vtime.VT{Time: t, Site: vtime.SiteID(s)} }
+func fobj(s, q uint64) ids.ObjectID { return ids.ObjectID{Site: vtime.SiteID(s), Seq: q} }
+
+// seedMessages returns one representative message per wire tag, with
+// every optional field populated at least once across the set.
+func seedMessages() []Message {
+	tag := ElemTag{VT: fvt(7, 1), N: 2}
+	path := Path{{IsKey: true, Key: "k"}, {Tag: tag}}
+	graph := repgraph.Wire{
+		Nodes:  []repgraph.WireNode{{Obj: fobj(1, 1), Site: 1}, {Obj: fobj(2, 3), Site: 2}},
+		Edges:  []repgraph.WireEdge{{Edge: repgraph.Edge{A: fobj(1, 1), B: fobj(2, 3)}, Count: 2}},
+		Anchor: fobj(1, 1),
+	}
+	snap := CompositeSnapshot{
+		Kind: KindTuple,
+		Elems: []SnapshotElem{
+			{Key: "x", Child: ChildDecl{Kind: KindInt, Value: int64(4)}},
+			{Key: "l", Child: ChildDecl{Kind: KindList}, Nested: &CompositeSnapshot{
+				Kind:  KindList,
+				Elems: []SnapshotElem{{Tag: tag, Child: ChildDecl{Kind: KindString, Value: "s"}}},
+			}},
+		},
+		IsSorted: true,
+	}
+	return []Message{
+		Write{
+			TxnVT:  fvt(3, 1),
+			Origin: 1,
+			Updates: []Update{{
+				Target: fobj(2, 5), Path: path,
+				ReadVT: fvt(1, 1), GraphVT: fvt(2, 2),
+				Op: OpSet{Value: int64(42)},
+			}},
+			Checks:       []ReadCheck{{Target: fobj(2, 5), ReadVT: fvt(1, 1), CommittedOnly: true, NoReserve: true}},
+			NeedsConfirm: true,
+			Delegate:     &Delegation{Sites: []vtime.SiteID{2, 3}},
+		},
+		Write{
+			TxnVT: fvt(9, 2), Origin: 2,
+			Updates: []Update{
+				{Target: fobj(1, 1), Op: OpListInsert{Tag: tag, Index: 1, Child: ChildDecl{Kind: KindFloat, Value: float64(1.5)}, After: tag}},
+				{Target: fobj(1, 1), Op: OpListRemove{Tag: tag}},
+				{Target: fobj(1, 1), Op: OpTupleSet{Key: "k", Child: ChildDecl{Kind: KindBool, Value: true}, At: fvt(8, 2)}},
+				{Target: fobj(1, 1), Op: OpTupleRemove{Key: "k", Of: fvt(5, 1)}},
+				{Target: fobj(1, 1), Op: OpGraph{Graph: graph}},
+				{Target: fobj(1, 1), Op: OpAssoc{Relationships: []Relationship{
+					{Name: "doc", Members: []Member{{Site: 1, Obj: fobj(1, 1), Desc: "a"}, {Site: 2, Obj: fobj(2, 3), Desc: "b"}}},
+				}}},
+			},
+		},
+		ConfirmRead{TxnVT: fvt(4, 1), Origin: 1, ReqID: 77, Checks: []ReadCheck{{Target: fobj(2, 5), Path: path, ReadVT: fvt(2, 2), GraphVT: fvt(1, 1)}}},
+		Confirm{TxnVT: fvt(4, 1), ReqID: 77, From: 2, OK: false, Transient: true, Reason: "pending version in interval"},
+		Outcome{TxnVT: fvt(4, 1), Committed: true},
+		JoinRequest{TxnVT: fvt(6, 3), Origin: 3, ReqID: 9, AObj: fobj(3, 1), BObj: fobj(1, 1), GraphA: graph},
+		JoinReply{
+			TxnVT: fvt(6, 3), ReqID: 9, From: 1, OK: true,
+			BObj: fobj(1, 1), BValue: snap, GraphB: graph,
+			PendingGraphTxn: fvt(5, 2), ConfirmSites: []vtime.SiteID{1, 2},
+		},
+		JoinReply{TxnVT: fvt(6, 3), ReqID: 10, From: 1, OK: false, Reason: "busy", Retryable: true},
+		PromoteQuery{ReqID: 11, Origin: 2, Target: fobj(1, 1), Path: path},
+		PromoteReply{ReqID: 11, From: 1, OK: true, Child: fobj(1, 9)},
+		CommitQuery{TxnVT: fvt(12, 1), From: 2},
+		CommitQueryReply{TxnVT: fvt(12, 1), From: 3, Known: true, Committed: true},
+		RepairPropose{Epoch: 2, FailedSite: 1, From: 2, GraphVT: fvt(20, 2), Survivors: []vtime.SiteID{2, 3}},
+		RepairAck{EpochN: 2, FailedSite: 1, From: 3, KnownCommitted: []vtime.VT{fvt(18, 1), fvt(19, 3)}},
+		RepairDecide{EpochN: 2, FailedSite: 1, From: 2, GraphVT: fvt(20, 2), Commit: []vtime.VT{fvt(18, 1)}},
+	}
+}
+
+// seedEncodings encodes every seed message.
+func seedEncodings(fatalf func(format string, args ...any)) [][]byte {
+	var out [][]byte
+	for i, m := range seedMessages() {
+		b, err := AppendMessage(nil, m)
+		if err != nil {
+			fatalf("encode seed %d (%s): %v", i, m.Kind(), err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecodeMessage checks that DecodeMessage never panics on arbitrary
+// input, never reads past its buffer, and that anything it accepts
+// survives an encode/decode round trip.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, b := range seedEncodings(f.Fatalf) {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, used, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if used < 1 || used > len(data) {
+			t.Fatalf("DecodeMessage used %d of %d bytes", used, len(data))
+		}
+		re, err := AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("decoded %s does not re-encode: %v", m.Kind(), err)
+		}
+		m2, used2, err := DecodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded %s does not decode: %v", m.Kind(), err)
+		}
+		if used2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", used2, len(re))
+		}
+		// Structural equality is the goal; NaN payloads make DeepEqual
+		// lie (NaN != NaN), so byte-identical re-encodings also pass.
+		if !reflect.DeepEqual(m, m2) {
+			re2, err := AppendMessage(nil, m2)
+			if err != nil || !bytes.Equal(re, re2) {
+				t.Fatalf("round trip changed the message:\n first: %#v\nsecond: %#v", m, m2)
+			}
+		}
+	})
+}
+
+// TestWriteSeedCorpus writes the seed encodings as a committed corpus in
+// the format `go test fuzz v1`. Run with -writecorpus after changing the
+// codec or the seed set.
+func TestWriteSeedCorpus(t *testing.T) {
+	if !*writeCorpus {
+		t.Skip("run with -writecorpus to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeMessage")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range seedEncodings(t.Fatalf) {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
