@@ -82,6 +82,40 @@ func BenchmarkReplicatedTxnThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead measures the same replicated commit path as
+// BenchmarkReplicatedTxnThroughput but with full observability enabled
+// (metrics + tracing + wall-clock latency stamps on both sites); the
+// ns/op delta between the two is the internal/obs hot-path cost.
+// `decaf-bench -exp e11` runs the paired comparison, writes it to
+// BENCH_obs.json, and enforces the ≤3% budget of DESIGN.md §9.
+func BenchmarkObsOverhead(b *testing.B) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	s1, err := decaf.DialOptions(net, 1, decaf.Options{Observer: decaf.NewObserver()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, err := decaf.DialOptions(net, 2, decaf.Options{Observer: decaf.NewObserver()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { s1.Close(); s2.Close(); net.Close() }()
+	o1, _ := s1.NewInt("x")
+	o2, _ := s2.NewInt("x")
+	if res := s2.JoinObject(o2, 1, o1.Ref().ID()).Wait(); !res.Committed {
+		b.Fatalf("join: %+v", res)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s2.ExecuteFunc(func(tx *decaf.Tx) error {
+			o2.Set(tx, int64(i))
+			return nil
+		}).Wait()
+		if !res.Committed {
+			b.Fatalf("txn failed: %+v", res)
+		}
+	}
+}
+
 // BenchmarkE1CommitLatency regenerates §5.1.1: ns/op is the origin-site
 // commit latency; with t=2ms the model says 4ms (2t) for a remote
 // primary and ~0 for a local primary.

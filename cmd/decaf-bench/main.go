@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	decaf-bench [-exp all|e1,e2,...] [-t 10ms] [-quick] [-seed 1]
+//	decaf-bench [-exp all|e1,e2,...] [-t 10ms] [-quick] [-seed 1] [-debug-addr :8321]
 //
 // Experiments:
 //
@@ -17,10 +17,13 @@
 //	e8  ablations: delegated commit (§3.1) and eager confirmation (§5.1.2)
 //	e9  transport hot path: binary codec vs gob, batched vs legacy TCP
 //	e10 transport resilience: committed txn/s across injected link flaps
+//	e11 observability overhead: instrumented vs uninstrumented hot path
 //
 // e9 additionally writes its results to -transport-out (default
-// BENCH_transport.json) and e10 to -resilience-out (default
-// BENCH_resilience.json) so the numbers are diffable across revisions.
+// BENCH_transport.json), e10 to -resilience-out (default
+// BENCH_resilience.json), and e11 to -obs-out (default BENCH_obs.json)
+// so the numbers are diffable across revisions. e11 fails (exit 1) when
+// the measured hot-path overhead exceeds the 3% budget of DESIGN.md §9.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"decaf"
 	"decaf/internal/bench"
 )
 
@@ -41,12 +45,26 @@ func main() {
 		seed          = flag.Int64("seed", 1, "workload random seed")
 		transportOut  = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
 		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "where e10 writes its JSON report ('' disables)")
+		obsOut        = flag.String("obs-out", "BENCH_obs.json", "where e11 writes its JSON report ('' disables)")
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/decaf/{state,trace} and pprof on this address (instruments site 1 of each experiment)")
 	)
 	flag.Parse()
 
+	if *debugAddr != "" {
+		o := decaf.NewObserver()
+		srv, err := decaf.ServeDebug(*debugAddr, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		bench.SetObserver(o)
+		fmt.Printf("debug server on http://%s/metrics\n", srv.Addr())
+	}
+
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"} {
 			selected[e] = true
 		}
 	} else {
@@ -119,6 +137,26 @@ func main() {
 				}
 			}
 			return bench.ResilienceTable(res), nil
+		}},
+		{"e11", func() (*bench.Table, error) {
+			txns, trials := 2000, 5
+			if *quick {
+				txns, trials = 400, 3
+			}
+			res, err := bench.MeasureObsOverhead(txns, trials)
+			if err != nil {
+				return nil, err
+			}
+			if *obsOut != "" {
+				if err := bench.WriteObsJSON(*obsOut, res); err != nil {
+					return nil, err
+				}
+			}
+			if !res.Pass {
+				return bench.ObsTable(res), fmt.Errorf(
+					"obs overhead %.2f%% exceeds %.0f%% gate", res.OverheadPct, res.GatePct)
+			}
+			return bench.ObsTable(res), nil
 		}},
 	}
 

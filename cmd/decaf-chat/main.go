@@ -34,6 +34,7 @@ func main() {
 		listen = flag.String("listen", ":7701", "listen address")
 		join   = flag.String("join", "", "host to join, as <siteID>=<addr> (empty: host a room)")
 		name   = flag.String("name", "", "display name (default: site<ID>)")
+		debug  = flag.String("debug-addr", "", "serve /metrics, /debug/decaf/{state,trace} and pprof on this address")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -55,11 +56,23 @@ func main() {
 		peers[hostID] = parts[1]
 	}
 
-	ep, err := decaf.ListenTCP(decaf.SiteID(*siteID), *listen, peers)
+	var observer *decaf.Observer
+	if *debug != "" {
+		observer = decaf.NewObserver()
+		srv, err := decaf.ServeDebug(*debug, observer)
+		if err != nil {
+			fatal("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/metrics\n", srv.Addr())
+	}
+
+	ep, err := decaf.ListenTCPOptions(decaf.SiteID(*siteID), *listen, peers,
+		decaf.TCPOptions{Observer: observer})
 	if err != nil {
 		fatal("listen: %v", err)
 	}
-	site := decaf.NewSite(ep, decaf.Options{})
+	site := decaf.NewSite(ep, decaf.Options{Observer: observer})
 	defer site.Close()
 
 	log, err := site.NewList("chat-log")

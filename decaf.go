@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"decaf/internal/engine"
+	"decaf/internal/obs"
 	"decaf/internal/transport"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
@@ -75,7 +76,40 @@ type Options struct {
 	// DisableEagerConfirm turns off the eager snapshot confirmation
 	// (paper §5.1.2) — an ablation switch.
 	DisableEagerConfirm bool
+	// Observer receives the site's metrics, VT-stamped trace events, and
+	// debug state (nil: counters still count, tracing and wall-clock
+	// timing are off). Share one Observer with the site's transport
+	// (TCPOptions.Observer) so a single ServeDebug scrape covers both.
+	Observer *Observer
 }
+
+// Observer bundles a site's metrics registry, transaction trace ring,
+// and debug state sources. Create with NewObserver, pass it via
+// Options.Observer (and TCPOptions.Observer), and expose it with
+// ServeDebug.
+type Observer = obs.Observer
+
+// ObserverConfig tunes an Observer; see obs.Config.
+type ObserverConfig = obs.Config
+
+// Metrics is a registry of named counters, gauges, and histograms with
+// a Prometheus text exposition.
+type Metrics = obs.Registry
+
+// DebugServer is a running debug HTTP server; Close releases it.
+type DebugServer = obs.DebugServer
+
+// NewObserver creates an Observer with tracing and timing enabled.
+func NewObserver() *Observer { return obs.New() }
+
+// NewObserverConfig creates an Observer with explicit configuration.
+func NewObserverConfig(cfg ObserverConfig) *Observer { return obs.NewWithConfig(cfg) }
+
+// ServeDebug serves an Observer over HTTP on addr: Prometheus text
+// metrics at /metrics, a JSON state dump at /debug/decaf/state,
+// VT-stamped transaction spans at /debug/decaf/trace, and pprof under
+// /debug/pprof/.
+func ServeDebug(addr string, o *Observer) (*DebugServer, error) { return obs.Serve(addr, o) }
 
 // Site is a collaborating application instance: it hosts model objects,
 // runs transactions, exchanges update and confirmation messages with peer
@@ -94,6 +128,7 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 		RetryDelay:          opts.RetryDelay,
 		DisableDelegation:   opts.DisableDelegation,
 		DisableEagerConfirm: opts.DisableEagerConfirm,
+		Observer:            opts.Observer,
 	})}
 	s.eng.Start()
 	return s
@@ -122,6 +157,14 @@ func (s *Site) ID() SiteID { return s.eng.ID() }
 
 // Stats returns a copy of the site's counters.
 func (s *Site) Stats() Stats { return s.eng.Stats() }
+
+// Metrics returns the site's metrics registry (live — values keep
+// moving as the site runs). Sites created without an Observer get a
+// private registry backing Stats.
+func (s *Site) Metrics() *Metrics { return s.eng.Observer().Metrics() }
+
+// Observer returns the site's observability bundle.
+func (s *Site) Observer() *Observer { return s.eng.Observer() }
 
 // Close stops the site. In-flight transactions are abandoned.
 func (s *Site) Close() { s.eng.Stop() }

@@ -12,6 +12,12 @@ import (
 // wall clock in these packages would make transaction ordering, history
 // pruning, or GVT sweeps depend on scheduling, which breaks replay
 // determinism and the paper's correctness argument.
+//
+// internal/obs is the sanctioned wall-clock reader: the deterministic
+// packages obtain wall stamps exclusively through obs.Observer.NowNanos
+// / ObserveSince, which return 0 / record nothing when timing is off.
+// Wall time therefore feeds latency metrics only and never protocol
+// state, and obs itself is deliberately NOT in this list.
 var DefaultDeterministic = []string{
 	"internal/engine",
 	"internal/history",

@@ -15,11 +15,36 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"decaf"
 	"decaf/internal/vtime"
 )
+
+// obsMu guards obsv, the optional observer instrumenting site 1 of every
+// cluster the harness builds (decaf-bench -debug-addr). Counters
+// accumulate across experiments; the engine/transport state sources are
+// replaced as clusters come and go, so /debug/decaf/state always shows
+// the experiment currently running.
+var (
+	obsMu sync.Mutex
+	obsv  *decaf.Observer
+)
+
+// SetObserver instruments the first site of every subsequently created
+// cluster with o. Pass nil to stop instrumenting.
+func SetObserver(o *decaf.Observer) {
+	obsMu.Lock()
+	obsv = o
+	obsMu.Unlock()
+}
+
+func observer() *decaf.Observer {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	return obsv
+}
 
 // Table is one experiment's result table.
 type Table struct {
@@ -92,7 +117,11 @@ type cluster struct {
 func newCluster(n int, cfg decaf.SimConfig) (*cluster, error) {
 	c := &cluster{net: decaf.NewSimNetwork(cfg)}
 	for i := 1; i <= n; i++ {
-		s, err := decaf.Dial(c.net, vtime.SiteID(i))
+		var opts decaf.Options
+		if i == 1 {
+			opts.Observer = observer()
+		}
+		s, err := decaf.DialOptions(c.net, vtime.SiteID(i), opts)
 		if err != nil {
 			c.close()
 			return nil, err

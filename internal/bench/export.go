@@ -58,3 +58,13 @@ func WriteResilienceJSON(path string, r ResilienceResult) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// WriteObsJSON writes the E11 observability-overhead report to path
+// (BENCH_obs.json at the repo root).
+func WriteObsJSON(path string, r ObsOverheadResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -84,7 +84,9 @@ func MeasureResilience(window time.Duration, workers int, flapEvery time.Duratio
 func resilienceOnce(window time.Duration, workers int, flapEvery time.Duration, res *ResilienceResult) (float64, error) {
 	faults := transport.NewFaults()
 	opts := transport.TCPOptions{Faults: faults}
-	ep1, err := transport.ListenTCPOptions(1, "127.0.0.1:0", nil, opts)
+	opts1 := opts
+	opts1.Observer = observer() // site 1 engine + transport share one scrape
+	ep1, err := transport.ListenTCPOptions(1, "127.0.0.1:0", nil, opts1)
 	if err != nil {
 		return 0, err
 	}
@@ -94,7 +96,7 @@ func resilienceOnce(window time.Duration, workers int, flapEvery time.Duration, 
 		ep1.Close()
 		return 0, err
 	}
-	s1 := decaf.NewSite(ep1, decaf.Options{})
+	s1 := decaf.NewSite(ep1, decaf.Options{Observer: opts1.Observer})
 	s2 := decaf.NewSite(ep2, decaf.Options{})
 	defer func() {
 		s1.Close()

@@ -134,6 +134,7 @@ func runE6GVT(cfg ScaleConfig, n int) (time.Duration, error) {
 		}
 		sites[i] = gvt.NewSite(ep, ring)
 	}
+	sites[0].SetObserver(observer())
 	for _, s := range sites {
 		s.Start()
 	}

@@ -276,7 +276,9 @@ func tcpMessageRateOnce(window time.Duration, opts transport.TCPOptions) (float6
 // transactions originate at site 2, so every commit pays a WRITE /
 // CONFIRM round trip plus the outcome broadcast through the transport.
 func tcpThroughputOnce(window time.Duration, workers int, opts transport.TCPOptions) (float64, error) {
-	ep1, err := transport.ListenTCPOptions(1, "127.0.0.1:0", nil, opts)
+	opts1 := opts
+	opts1.Observer = observer() // site 1 engine + transport share one scrape
+	ep1, err := transport.ListenTCPOptions(1, "127.0.0.1:0", nil, opts1)
 	if err != nil {
 		return 0, err
 	}
@@ -286,7 +288,7 @@ func tcpThroughputOnce(window time.Duration, workers int, opts transport.TCPOpti
 		ep1.Close()
 		return 0, err
 	}
-	s1 := decaf.NewSite(ep1, decaf.Options{})
+	s1 := decaf.NewSite(ep1, decaf.Options{Observer: opts1.Observer})
 	s2 := decaf.NewSite(ep2, decaf.Options{})
 	defer func() {
 		s1.Close()

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"decaf/internal/history"
 	"decaf/internal/ids"
+	"decaf/internal/obs"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
@@ -176,6 +178,12 @@ func (s *Site) JoinRelationship(assoc ObjRef, relName string, obj ObjRef) *Handl
 // assoc (optional) is the local association replica to update with the
 // new membership as part of the same atomic transaction.
 func (s *Site) startJoin(h *Handle, local *object, remoteSite vtime.SiteID, remoteObj ids.ObjectID, assoc *object, relName string) {
+	// Joins are locally originated transactions like any other: they
+	// must enter the Submitted count (they already enter Commits /
+	// ConflictAborts / Retries) or the quiescent accounting identity
+	// Submitted == Commits + ProgrammedAborts + abandoned breaks.
+	s.stats.Submitted.Add(1)
+	h.submittedWall = s.obs.NowNanos()
 	s.startJoinAttempt(h, local, remoteSite, remoteObj, assoc, relName, 0)
 }
 
@@ -216,6 +224,12 @@ func (s *Site) startJoinAttempt(h *Handle, local *object, remoteSite vtime.SiteI
 	}
 	s.txns[vt] = st
 	h.markApplied()
+	if s.obs.TraceEnabled() {
+		if retries == 0 {
+			s.trace(obs.EvSubmit, vt, 0, "join")
+		}
+		s.trace(obs.EvExecute, vt, 0, "attempt "+strconv.Itoa(retries+1))
+	}
 
 	// Step 1: read and optimistically update the association value
 	// (treated like any other read+update, confirmed by the

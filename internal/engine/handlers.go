@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"decaf/internal/history"
+	"decaf/internal/obs"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
@@ -32,6 +34,10 @@ func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
 		committedAlready = true // late updates of a committed txn
 	}
 	st := s.ensureTxn(m.TxnVT, m.Origin)
+	if st.appliedWall == 0 {
+		st.appliedWall = s.obs.NowNanos()
+	}
+	s.trace(obs.EvApply, m.TxnVT, m.Origin, "")
 
 	status := history.Pending
 	if committedAlready {
@@ -72,6 +78,16 @@ func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
 		if !ok {
 			s.log.Debug("primary denial", "txn", m.TxnVT.String(), "reason", reason)
 		}
+		if s.obs.TraceEnabled() {
+			verdict := "ok"
+			if !ok {
+				verdict = reason
+			}
+			s.trace(obs.EvPrimaryCheck, m.TxnVT, m.Origin, verdict)
+			if ok && len(st.reservedObjs) > 0 {
+				s.trace(obs.EvReserve, m.TxnVT, 0, strconv.Itoa(len(st.reservedObjs))+" objects")
+			}
+		}
 		if m.Delegate != nil {
 			// Delegated commit (paper §3.1): this single remote primary
 			// site decides the transaction and informs every involved
@@ -96,6 +112,13 @@ func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
 // remote primary site on the origin's behalf.
 func (s *Site) decideAsDelegate(st *txnState, m wire.Write, ok bool) {
 	s.outcomes[m.TxnVT] = ok
+	if s.obs.TraceEnabled() {
+		detail := "commit"
+		if !ok {
+			detail = "abort"
+		}
+		s.trace(obs.EvDelegatedCommit, m.TxnVT, m.Origin, detail)
+	}
 	if ok {
 		st.commitApplied()
 		st.status = txnCommitted
@@ -303,6 +326,13 @@ func (s *Site) handleConfirm(m wire.Confirm) {
 	if !ok || st.origin != s.id || st.status != txnWaiting {
 		return
 	}
+	if s.obs.TraceEnabled() {
+		verdict := "ok"
+		if !m.OK {
+			verdict = m.Reason
+		}
+		s.trace(obs.EvConfirm, m.TxnVT, m.From, verdict)
+	}
 	if m.OK {
 		if _, expected := st.waitConfirms[m.From]; !expected && st.extraPending > 0 {
 			// A confirmation raced ahead of the join reply that will
@@ -344,6 +374,8 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			st.status = txnCommitted
 			s.resolveRC(m.TxnVT, true)
 			s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+			s.obs.ObserveSince(s.stats.RemoteCommitLatency, st.appliedWall)
+			s.trace(obs.EvCommit, m.TxnVT, st.origin, "remote")
 			s.gcTxnObjects(st)
 			if st.hasGraphOp {
 				s.unparkRetries()
@@ -356,6 +388,7 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			st.status = txnAborted
 			s.resolveRC(m.TxnVT, false)
 			s.onLocalAbort(objs)
+			s.trace(obs.EvAbort, m.TxnVT, st.origin, "remote")
 		}
 	case txnWaiting:
 		// Originating site of a delegated transaction: the delegate
@@ -369,7 +402,10 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			s.resolveRC(m.TxnVT, true)
 			s.onLocalCommit(st.appliedObjects(), m.TxnVT)
 			s.stats.Commits.Add(1)
+			s.trace(obs.EvCommit, m.TxnVT, 0, "delegated")
+			s.stats.CommitLatencyVT.Observe(float64(s.clock.Now().Time - st.vt.Time))
 			if st.handle != nil {
+				s.obs.ObserveSince(s.stats.CommitLatency, st.handle.submittedWall)
 				st.handle.finish(Result{Committed: true, Retries: st.retries, VT: st.vt})
 			}
 			s.gcTxnObjects(st)
@@ -383,6 +419,7 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			s.resolveRC(m.TxnVT, false)
 			s.onLocalAbort(objs)
 			s.stats.ConflictAborts.Add(1)
+			s.trace(obs.EvAbort, m.TxnVT, 0, "delegate denied")
 			if st.txn == nil || st.handle == nil {
 				return
 			}
@@ -391,6 +428,7 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 				return
 			}
 			s.stats.Retries.Add(1)
+			s.trace(obs.EvReExecute, m.TxnVT, 0, "")
 			txn, h, retries := st.txn, st.handle, st.retries+1
 			s.do(func() { s.execute(txn, h, retries) })
 		}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"decaf/internal/obs"
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+)
+
+// newObsHarness builds n sites, each with its own fully enabled
+// Observer (tracing + timing), returned by 1-based site index.
+func newObsHarness(t *testing.T, n int, cfg transport.Config, opts Options) (*harness, map[int]*obs.Observer) {
+	t.Helper()
+	h := &harness{t: t, net: transport.NewNetwork(cfg), sites: map[vtime.SiteID]*Site{}}
+	observers := map[int]*obs.Observer{}
+	for i := 1; i <= n; i++ {
+		id := vtime.SiteID(i)
+		ep, err := h.net.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		siteOpts := opts
+		siteOpts.Observer = obs.New()
+		observers[i] = siteOpts.Observer
+		s := NewSite(ep, siteOpts)
+		s.Start()
+		h.sites[id] = s
+	}
+	t.Cleanup(func() {
+		for _, s := range h.sites {
+			s.Stop()
+		}
+		h.net.Close()
+	})
+	return h, observers
+}
+
+// TestCounterInvariantsQuiescent drives a mixed workload (blind writes,
+// conflicting read-modify-writes, programmed aborts) from three sites,
+// waits for quiescence, and checks the accounting identities every
+// quiescent site must satisfy:
+//
+//	Submitted      == Commits + ProgrammedAborts + abandoned
+//	ConflictAborts == Retries + abandoned
+//
+// where abandoned are submissions that exhausted the retry budget. A
+// violation means a transaction was double-counted or leaked a state.
+func TestCounterInvariantsQuiescent(t *testing.T) {
+	h, observers := newObsHarness(t, 3, transport.Config{}, Options{})
+	refs := h.joined(KindInt, "x", int64(0), 1, 2, 3)
+
+	rng := rand.New(rand.NewSource(7))
+	const perSite = 40
+	abandoned := map[int]uint64{}
+	programmed := map[int]uint64{}
+	committed := map[int]uint64{}
+
+	var handles []*Handle
+	sites := []int{1, 2, 3}
+	var order []int
+	for _, i := range sites {
+		for k := 0; k < perSite; k++ {
+			order = append(order, i)
+		}
+	}
+	rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+
+	byHandle := map[*Handle]int{}
+	for _, i := range order {
+		ref := refs[i]
+		var txn *Txn
+		switch rng.Intn(5) {
+		case 0: // programmed abort
+			txn = &Txn{Name: "boom", Execute: func(tx *Tx) error {
+				return fmt.Errorf("no thanks")
+			}}
+		case 1, 2: // read-modify-write: conflicts under RL validation
+			txn = &Txn{Name: "rmw", Execute: func(tx *Tx) error {
+				v, err := tx.Read(ref)
+				if err != nil {
+					return err
+				}
+				n, _ := v.(int64)
+				return tx.Write(ref, n+1)
+			}}
+		default: // blind write
+			v := rng.Int63n(1000)
+			txn = &Txn{Name: "set", Execute: func(tx *Tx) error {
+				return tx.Write(ref, v)
+			}}
+		}
+		hd := h.site(i).Submit(txn)
+		byHandle[hd] = i
+		handles = append(handles, hd)
+	}
+
+	for _, hd := range handles {
+		res := hd.Wait()
+		i := byHandle[hd]
+		switch {
+		case res.Committed:
+			committed[i]++
+		case errors.Is(res.Err, ErrAborted):
+			programmed[i]++
+		case errors.Is(res.Err, ErrTooManyRetries):
+			abandoned[i]++
+		default:
+			t.Fatalf("site %d: unexpected result %+v", i, res)
+		}
+	}
+
+	// Quiescence: no site holds an undecided remote transaction.
+	h.eventually(5*time.Second, "all sites quiescent", func() bool {
+		for _, i := range sites {
+			if !h.noPendingTxns(i) {
+				return false
+			}
+		}
+		return true
+	})
+
+	for _, i := range sites {
+		st := h.site(i).Stats()
+		// The join/creation traffic of h.joined commits at its origin, so
+		// it is already inside Submitted and Commits; only the workload
+		// contributes aborts.
+		if st.Submitted != st.Commits+st.ProgrammedAborts+abandoned[i] {
+			t.Errorf("site %d: Submitted=%d != Commits=%d + ProgrammedAborts=%d + abandoned=%d",
+				i, st.Submitted, st.Commits, st.ProgrammedAborts, abandoned[i])
+		}
+		if st.ConflictAborts != st.Retries+abandoned[i] {
+			t.Errorf("site %d: ConflictAborts=%d != Retries=%d + abandoned=%d",
+				i, st.ConflictAborts, st.Retries, abandoned[i])
+		}
+		if st.ProgrammedAborts != programmed[i] {
+			t.Errorf("site %d: ProgrammedAborts=%d, results saw %d", i, st.ProgrammedAborts, programmed[i])
+		}
+		// The same counters must be readable through the obs registry
+		// under their Prometheus names.
+		reg := observers[i].Metrics()
+		if v, ok := reg.Value("decaf_txn_submitted_total"); !ok || uint64(v) != st.Submitted {
+			t.Errorf("site %d: registry submitted=%v (ok=%v) != Stats.Submitted=%d", i, v, ok, st.Submitted)
+		}
+		if v, ok := reg.Value("decaf_txn_conflict_aborts_total"); !ok || uint64(v) != st.ConflictAborts {
+			t.Errorf("site %d: registry conflict aborts=%v (ok=%v) != Stats.ConflictAborts=%d", i, v, ok, st.ConflictAborts)
+		}
+	}
+}
+
+// TestCommittedSpansContainConfirms checks the §3 state machine shape of
+// traced spans: with delegation disabled, every committed transaction
+// that propagated a confirmation-requiring write must have received a
+// positive confirm from each such peer — and the trace must show it.
+func TestCommittedSpansContainConfirms(t *testing.T) {
+	h, observers := newObsHarness(t, 3, transport.Config{}, Options{DisableDelegation: true})
+	refs := h.joined(KindInt, "x", int64(0), 1, 2, 3)
+
+	// Primary copy lives at site 1; all writes originate at sites 2 and 3.
+	for k := 0; k < 10; k++ {
+		for _, i := range []int{2, 3} {
+			if res := h.setInt(i, refs[i], int64(k)); !res.Committed {
+				t.Fatalf("site %d write %d: %+v", i, k, res)
+			}
+		}
+	}
+
+	for _, i := range []int{2, 3} {
+		spans := observers[i].Trace().Spans()
+		checkedSpans := 0
+		for _, sp := range spans {
+			if sp.Outcome != "committed" {
+				continue
+			}
+			needConfirm := map[vtime.SiteID]bool{}
+			gotConfirm := map[vtime.SiteID]bool{}
+			for _, ev := range sp.Events {
+				switch ev.Kind {
+				case obs.EvPropagate:
+					if ev.Detail == "confirm" {
+						needConfirm[ev.Peer] = true
+					}
+				case obs.EvConfirm:
+					if ev.Detail == "ok" {
+						gotConfirm[ev.Peer] = true
+					}
+				}
+			}
+			for peer := range needConfirm {
+				checkedSpans++
+				if !gotConfirm[peer] {
+					t.Errorf("site %d: committed span %s propagated to primary %s but has no ok confirm: %+v",
+						i, sp.TxnVT, peer, sp.Events)
+				}
+			}
+		}
+		if checkedSpans == 0 {
+			t.Errorf("site %d: no committed spans with confirmation-requiring propagation were traced", i)
+		}
+		if dropped := observers[i].Trace().Dropped(); dropped != 0 {
+			t.Errorf("site %d: trace dropped %d events; grow the ring for this workload", i, dropped)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"decaf/internal/ids"
+	"decaf/internal/obs"
 	"decaf/internal/transport"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
@@ -37,6 +38,12 @@ type Options struct {
 	// optimization for pessimistic snapshots (ablation: every snapshot
 	// then pays an explicit CONFIRM-READ round trip to each primary).
 	DisableEagerConfirm bool
+	// Observer receives the site's metrics, trace events, and debug
+	// state. nil selects obs.Nop(): counters still count (Stats reads
+	// them) but tracing and wall-clock timing are off. One Observer
+	// serves one site; layers of the same site (engine, transport, gvt)
+	// share it so a single scrape covers the whole process.
+	Observer *obs.Observer
 }
 
 // DefaultMaxRetries bounds automatic transaction re-execution.
@@ -128,30 +135,70 @@ type Site struct {
 	// authorizer is the site's authorization monitor (nil: allow all).
 	authorizer Authorizer
 
-	// stats are lock-free atomic counters: bumps happen on every message
+	// obs is the site's observer (never nil; defaults to obs.Nop()).
+	obs *obs.Observer
+	// stats are lock-free obs counters: bumps happen on every message
 	// send and apply, so they must not contend with the event loop.
-	stats statCounters
+	stats siteMetrics
+	// started gates the debug state source so it never posts into an
+	// event loop that is not running yet.
+	started atomic.Bool
 
 	startOnce sync.Once
 	stopOnce  sync.Once
 }
 
-// statCounters mirrors Stats with atomic counters. Site.Stats assembles a
-// plain snapshot from it.
-type statCounters struct {
-	Submitted             atomic.Uint64
-	Commits               atomic.Uint64
-	ConflictAborts        atomic.Uint64
-	ProgrammedAborts      atomic.Uint64
-	Retries               atomic.Uint64
-	MessagesSent          atomic.Uint64
-	UpdatesApplied        atomic.Uint64
-	OptNotifications      atomic.Uint64
-	OptCommits            atomic.Uint64
-	PessNotifications     atomic.Uint64
-	LostUpdates           atomic.Uint64
-	UpdateInconsistencies atomic.Uint64
-	SnapshotReruns        atomic.Uint64
+// siteMetrics holds the site's registered metric handles. The counter
+// fields mirror Stats; Site.Stats assembles a plain snapshot from them.
+// All handles are lock-free atomics (see internal/obs), so the bump
+// sites behave exactly as the former private atomic counters did.
+type siteMetrics struct {
+	Submitted             *obs.Counter
+	Commits               *obs.Counter
+	ConflictAborts        *obs.Counter
+	ProgrammedAborts      *obs.Counter
+	Retries               *obs.Counter
+	MessagesSent          *obs.Counter
+	UpdatesApplied        *obs.Counter
+	OptNotifications      *obs.Counter
+	OptCommits            *obs.Counter
+	PessNotifications     *obs.Counter
+	LostUpdates           *obs.Counter
+	UpdateInconsistencies *obs.Counter
+	SnapshotReruns        *obs.Counter
+
+	// Latency histograms (wall seconds unless noted). Samples only
+	// arrive when the observer has timing enabled.
+	CommitLatency       *obs.Histogram // submit -> commit, local txns
+	CommitLatencyVT     *obs.Histogram // execute -> commit, Lamport ticks
+	RemoteCommitLatency *obs.Histogram // apply -> outcome, remote txns
+	OptNotifyLatency    *obs.Histogram // snapshot -> optimistic delivery
+	PessNotifyLatency   *obs.Histogram // snapshot -> pessimistic delivery
+}
+
+// newSiteMetrics registers (or fetches) the engine's metrics on reg.
+func newSiteMetrics(reg *obs.Registry) siteMetrics {
+	return siteMetrics{
+		Submitted:             reg.Counter("decaf_txn_submitted_total", "transactions submitted at this site"),
+		Commits:               reg.Counter("decaf_txn_committed_total", "locally originated transactions that committed"),
+		ConflictAborts:        reg.Counter("decaf_txn_conflict_aborts_total", "concurrency-control aborts of local transactions"),
+		ProgrammedAborts:      reg.Counter("decaf_txn_programmed_aborts_total", "transactions aborted by user code"),
+		Retries:               reg.Counter("decaf_txn_retries_total", "automatic re-executions after conflict aborts"),
+		MessagesSent:          reg.Counter("decaf_messages_sent_total", "protocol messages sent by this site"),
+		UpdatesApplied:        reg.Counter("decaf_updates_applied_total", "remote updates applied at this site"),
+		OptNotifications:      reg.Counter("decaf_view_opt_notifications_total", "optimistic view update notifications"),
+		OptCommits:            reg.Counter("decaf_view_opt_commits_total", "optimistic view commit notifications"),
+		PessNotifications:     reg.Counter("decaf_view_pess_notifications_total", "pessimistic view update notifications"),
+		LostUpdates:           reg.Counter("decaf_view_lost_updates_total", "straggler updates subsumed by a later optimistic snapshot"),
+		UpdateInconsistencies: reg.Counter("decaf_view_update_inconsistencies_total", "optimistic notifications that exposed rolled-back state"),
+		SnapshotReruns:        reg.Counter("decaf_view_snapshot_reruns_total", "optimistic snapshots rerun after an abort"),
+
+		CommitLatency:       reg.Histogram("decaf_txn_commit_latency_seconds", "submit-to-commit wall latency of locally originated transactions", obs.WallBuckets),
+		CommitLatencyVT:     reg.Histogram("decaf_txn_commit_latency_vt_ticks", "execute-to-commit Lamport-clock distance of locally originated transactions", obs.VTBuckets),
+		RemoteCommitLatency: reg.Histogram("decaf_txn_remote_commit_latency_seconds", "apply-to-outcome wall latency of remotely originated transactions", obs.WallBuckets),
+		OptNotifyLatency:    reg.Histogram("decaf_view_opt_notify_latency_seconds", "snapshot-to-delivery wall latency of optimistic view notifications", obs.WallBuckets),
+		PessNotifyLatency:   reg.Histogram("decaf_view_pess_notify_latency_seconds", "snapshot-to-delivery wall latency of pessimistic view notifications", obs.WallBuckets),
+	}
 }
 
 // NewSite creates a site attached to the given transport endpoint.
@@ -168,7 +215,11 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	return &Site{
+	observer := opts.Observer
+	if observer == nil {
+		observer = obs.Nop()
+	}
+	s := &Site{
 		id:             ep.Site(),
 		clock:          vtime.NewClock(ep.Site()),
 		ep:             ep,
@@ -189,8 +240,108 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 		repairs:        map[vtime.SiteID]*repairState{},
 		commitQueries:  map[vtime.VT]*queryState{},
 		failed:         map[vtime.SiteID]bool{},
+		obs:            observer,
+		stats:          newSiteMetrics(observer.Metrics()),
+	}
+	s.registerObs()
+	return s
+}
+
+// registerObs installs the engine's scrape-time gauges and debug state
+// source on the site's observer.
+func (s *Site) registerObs() {
+	reg := s.obs.Metrics()
+	// Channel depths are safe to read from any goroutine.
+	reg.GaugeFunc("decaf_engine_calls_queue_depth", "pending event-loop calls", func() float64 { return float64(len(s.calls)) })
+	reg.GaugeFunc("decaf_engine_notifier_queue_depth", "pending view/user callbacks", func() float64 { return float64(len(s.notifier)) })
+	s.obs.RegisterStateSource("engine", s.debugState)
+}
+
+// debugState snapshots loop-confined engine state for the debug server.
+// It posts into the event loop, so it reflects a consistent instant.
+func (s *Site) debugState() any {
+	if !s.started.Load() {
+		return map[string]any{"running": false}
+	}
+	var out map[string]any
+	if err := s.call(func() { out = s.collectDebugState() }); err != nil {
+		return map[string]any{"running": false}
+	}
+	out["running"] = true
+	return out
+}
+
+// collectDebugState assembles the engine's debug map inside the loop.
+func (s *Site) collectDebugState() map[string]any {
+	byStatus := map[string]int{}
+	for _, st := range s.txns {
+		switch st.status {
+		case txnExecuting:
+			byStatus["executing"]++
+		case txnWaiting:
+			byStatus["waiting"]++
+		case txnApplied:
+			byStatus["applied"]++
+		case txnCommitted:
+			byStatus["committed"]++
+		case txnAborted:
+			byStatus["aborted"]++
+		}
+	}
+	reservations := map[string]int{}
+	views := map[string]int{}
+	for id, o := range s.objects {
+		if n := o.res.Len() + o.graphRes.Len(); n > 0 {
+			reservations[id.String()] = n
+		}
+		for _, p := range o.proxies {
+			if p.mode == Optimistic {
+				views["optimistic"]++
+			} else {
+				views["pessimistic"]++
+			}
+		}
+	}
+	var failedSites []string
+	for site := range s.failed {
+		failedSites = append(failedSites, site.String())
+	}
+	return map[string]any{
+		"site":                 s.id.String(),
+		"clock":                s.clock.Now().String(),
+		"objects":              len(s.objects),
+		"txns_by_status":       byStatus,
+		"reservations":         reservations,
+		"outcomes_retained":    len(s.outcomes),
+		"rc_waiters":           len(s.rcWaiters),
+		"confirm_waiters":      len(s.confirmWaiters),
+		"parked_retries":       len(s.parked),
+		"failed_sites":         failedSites,
+		"attached_views":       views,
+		"calls_queue_depth":    len(s.calls),
+		"notifier_queue_depth": len(s.notifier),
 	}
 }
+
+// trace records one VT-stamped protocol event when tracing is enabled.
+// Call sites that build costly Detail strings guard with
+// s.obs.TraceEnabled() first.
+func (s *Site) trace(kind obs.EventKind, txn vtime.VT, peer vtime.SiteID, detail string) {
+	if !s.obs.TraceEnabled() {
+		return
+	}
+	s.obs.Trace().Record(obs.Event{
+		Wall:   s.obs.NowNanos(),
+		TxnVT:  txn,
+		Site:   s.id,
+		Kind:   kind,
+		Peer:   peer,
+		Detail: detail,
+	})
+}
+
+// Observer returns the site's observer.
+func (s *Site) Observer() *obs.Observer { return s.obs }
 
 // ID returns the site identifier.
 func (s *Site) ID() vtime.SiteID { return s.id }
@@ -198,6 +349,7 @@ func (s *Site) ID() vtime.SiteID { return s.id }
 // Start launches the event loop and the notifier goroutine.
 func (s *Site) Start() {
 	s.startOnce.Do(func() {
+		s.started.Store(true)
 		go s.loop()
 		go s.notifyLoop()
 	})
@@ -211,22 +363,23 @@ func (s *Site) Stop() {
 	<-s.notifierDone
 }
 
-// Stats returns a snapshot of the site's counters.
+// Stats returns a snapshot of the site's counters. It is a thin read
+// over the obs registry: the same counters serve Stats and /metrics.
 func (s *Site) Stats() Stats {
 	return Stats{
-		Submitted:             s.stats.Submitted.Load(),
-		Commits:               s.stats.Commits.Load(),
-		ConflictAborts:        s.stats.ConflictAborts.Load(),
-		ProgrammedAborts:      s.stats.ProgrammedAborts.Load(),
-		Retries:               s.stats.Retries.Load(),
-		MessagesSent:          s.stats.MessagesSent.Load(),
-		UpdatesApplied:        s.stats.UpdatesApplied.Load(),
-		OptNotifications:      s.stats.OptNotifications.Load(),
-		OptCommits:            s.stats.OptCommits.Load(),
-		PessNotifications:     s.stats.PessNotifications.Load(),
-		LostUpdates:           s.stats.LostUpdates.Load(),
-		UpdateInconsistencies: s.stats.UpdateInconsistencies.Load(),
-		SnapshotReruns:        s.stats.SnapshotReruns.Load(),
+		Submitted:             s.stats.Submitted.Value(),
+		Commits:               s.stats.Commits.Value(),
+		ConflictAborts:        s.stats.ConflictAborts.Value(),
+		ProgrammedAborts:      s.stats.ProgrammedAborts.Value(),
+		Retries:               s.stats.Retries.Value(),
+		MessagesSent:          s.stats.MessagesSent.Value(),
+		UpdatesApplied:        s.stats.UpdatesApplied.Value(),
+		OptNotifications:      s.stats.OptNotifications.Value(),
+		OptCommits:            s.stats.OptCommits.Value(),
+		PessNotifications:     s.stats.PessNotifications.Value(),
+		LostUpdates:           s.stats.LostUpdates.Value(),
+		UpdateInconsistencies: s.stats.UpdateInconsistencies.Value(),
+		SnapshotReruns:        s.stats.SnapshotReruns.Value(),
 	}
 }
 

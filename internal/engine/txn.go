@@ -3,10 +3,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"decaf/internal/history"
 	"decaf/internal/ids"
+	"decaf/internal/obs"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
@@ -52,6 +54,10 @@ type Result struct {
 type Handle struct {
 	applied chan struct{}
 	done    chan Result
+	// submittedWall is the Observer.NowNanos stamp taken at Submit (0
+	// with timing disabled); commit latency is measured from it so the
+	// histogram spans retries.
+	submittedWall int64
 }
 
 func newHandle() *Handle {
@@ -190,6 +196,10 @@ type txnState struct {
 	// reservedObjs are objects at this site on which this transaction
 	// holds primary-copy reservations (released on abort).
 	reservedObjs []*object
+	// appliedWall is the Observer.NowNanos stamp of the first remote
+	// update application (0 with timing disabled); remote commit latency
+	// is measured from it.
+	appliedWall int64
 }
 
 // Tx is the execution context handed to Txn.Execute. Model-object
@@ -334,6 +344,7 @@ func (tx *Tx) WriteScalar(obj *object, value any) {
 // Submit schedules txn for execution at this site and returns its handle.
 func (s *Site) Submit(txn *Txn) *Handle {
 	h := newHandle()
+	h.submittedWall = s.obs.NowNanos()
 	s.stats.Submitted.Add(1)
 	s.do(func() { s.execute(txn, h, 0) })
 	return h
@@ -355,6 +366,13 @@ func (s *Site) execute(txn *Txn, h *Handle, retries int) {
 	}
 	s.txns[vt] = st
 
+	if s.obs.TraceEnabled() {
+		if retries == 0 {
+			s.trace(obs.EvSubmit, vt, 0, txn.Name)
+		}
+		s.trace(obs.EvExecute, vt, 0, "attempt "+strconv.Itoa(retries+1))
+	}
+
 	tx := &Tx{s: s, st: st}
 	err := runUserExecute(txn, tx)
 	if err == nil {
@@ -366,6 +384,9 @@ func (s *Site) execute(txn *Txn, h *Handle, retries int) {
 		st.status = txnAborted
 		delete(s.txns, vt)
 		s.stats.ProgrammedAborts.Add(1)
+		if s.obs.TraceEnabled() {
+			s.trace(obs.EvAbort, vt, 0, "programmed: "+err.Error())
+		}
 		if txn.OnAbort != nil {
 			abortErr := err
 			s.notify(func() { txn.OnAbort(abortErr) })
@@ -490,7 +511,9 @@ func (s *Site) propagate(st *txnState) {
 			if ok, reason := s.checkWriteAtPrimary(root, primaryNode, path, w, st.vt); !ok {
 				st.denied = true
 				st.deniedReason = reason
+				s.trace(obs.EvPrimaryCheck, st.vt, 0, reason)
 			} else {
+				s.trace(obs.EvPrimaryCheck, st.vt, 0, "ok")
 				s.rememberReservation(st, root, primaryNode, path)
 			}
 		} else if s.failed[primarySite] {
@@ -518,7 +541,9 @@ func (s *Site) propagate(st *txnState) {
 			if ok, reason := s.checkReadAtPrimary(root, primaryNode, path, r, st.vt); !ok {
 				st.denied = true
 				st.deniedReason = reason
+				s.trace(obs.EvPrimaryCheck, st.vt, 0, reason)
 			} else {
+				s.trace(obs.EvPrimaryCheck, st.vt, 0, "ok")
 				s.rememberReservation(st, root, primaryNode, path)
 			}
 			continue
@@ -572,8 +597,19 @@ func (s *Site) propagate(st *txnState) {
 				st.delegatedTo = site
 				delete(st.waitConfirms, site)
 			}
+			if s.obs.TraceEnabled() {
+				detail := ""
+				switch {
+				case site == delegate:
+					detail = "delegate"
+				case m.needsConfirm:
+					detail = "confirm"
+				}
+				s.trace(obs.EvPropagate, st.vt, site, detail)
+			}
 			s.send(site, msg)
 		} else if len(m.checks) > 0 {
+			s.trace(obs.EvPropagate, st.vt, site, "confirm")
 			s.send(site, wire.ConfirmRead{TxnVT: st.vt, Origin: s.id, Checks: m.checks})
 		}
 	}
@@ -597,6 +633,9 @@ func (s *Site) applySiblingWrite(st *txnState, node ids.ObjectID, path wire.Path
 func (s *Site) rememberReservation(st *txnState, root *object, primaryNode ids.ObjectID, path wire.Path) {
 	if obj := s.resolveCheckTarget(primaryNode, path); obj != nil {
 		st.reservedObjs = append(st.reservedObjs, obj)
+		if s.obs.TraceEnabled() {
+			s.trace(obs.EvReserve, st.vt, 0, obj.id.String())
+		}
 	}
 }
 
@@ -788,6 +827,11 @@ func (s *Site) commitTxn(st *txnState) {
 	s.resolveRC(st.vt, true)
 	s.onLocalCommit(st.appliedObjects(), st.vt)
 	s.stats.Commits.Add(1)
+	s.trace(obs.EvCommit, st.vt, 0, "")
+	s.stats.CommitLatencyVT.Observe(float64(s.clock.Now().Time - st.vt.Time))
+	if st.handle != nil {
+		s.obs.ObserveSince(s.stats.CommitLatency, st.handle.submittedWall)
+	}
 	if st.hasGraphOp {
 		s.unparkRetries()
 		s.afterGraphCommit(st)
@@ -828,6 +872,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 	s.resolveRC(st.vt, false)
 	s.onLocalAbort(st.appliedObjects())
 	s.stats.ConflictAborts.Add(1)
+	s.trace(obs.EvAbort, st.vt, 0, reason)
 
 	// Automatic re-execution at the originating site.
 	if st.retryFn != nil {
@@ -838,6 +883,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 			return
 		}
 		s.stats.Retries.Add(1)
+		s.trace(obs.EvReExecute, st.vt, 0, "")
 		retry, attempts := st.retryFn, st.retries+1
 		s.do(func() { retry(attempts) })
 		return
@@ -865,6 +911,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 		return
 	}
 	s.stats.Retries.Add(1)
+	s.trace(obs.EvReExecute, st.vt, 0, "")
 	txn, h, retries := st.txn, st.handle, st.retries+1
 	if d := s.opts.RetryDelay; d > 0 {
 		time.AfterFunc(d, func() { s.do(func() { s.execute(txn, h, retries) }) })

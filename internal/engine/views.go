@@ -5,6 +5,7 @@ import (
 
 	"decaf/internal/history"
 	"decaf/internal/ids"
+	"decaf/internal/obs"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
 )
@@ -70,6 +71,9 @@ type snapshot struct {
 	transientWait bool
 	// checkEpoch invalidates stale confirm replies after a revision.
 	checkEpoch uint64
+	// wall is the Observer.NowNanos stamp of snapshot creation (0 with
+	// timing disabled); notification latency is measured from it.
+	wall int64
 }
 
 // viewProxy manages the snapshots of one attached view (paper §4: "All the
@@ -229,6 +233,7 @@ func (p *viewProxy) buildSnapshot(ts vtime.VT, committedOnly, markAllChanged boo
 		values:   make(map[ids.ObjectID]any, len(p.attached)),
 		versions: make(map[*object]vtime.VT, len(p.attached)),
 		rcDeps:   map[vtime.VT]bool{},
+		wall:     p.site.obs.NowNanos(),
 	}
 	for _, o := range p.attached {
 		snap.values[o.id] = o.readValue(ts, committedOnly)
@@ -369,14 +374,18 @@ func (p *viewProxy) runOptimistic() {
 
 	data := snap.data(false)
 	gen := snap.gen
-	p.site.stats.OptNotifications.Add(1)
-	p.site.notify(func() {
+	s := p.site
+	s.stats.OptNotifications.Add(1)
+	s.trace(obs.EvOptNotify, snap.ts, 0, "")
+	wall := snap.wall
+	s.notify(func() {
 		// Lossy delivery: only the newest queued snapshot reaches the
 		// view (paper §4.1: "optimistic views are only notified of the
 		// latest update").
 		if p.latestGen.Load() != gen {
 			return
 		}
+		s.obs.ObserveSince(s.stats.OptNotifyLatency, wall)
 		p.fns.Update(data)
 	})
 
@@ -488,6 +497,7 @@ func (p *viewProxy) checkOptimisticCommit(snap *snapshot) {
 	snap.confirmed = true
 	snap.notifiedCommit = true
 	p.site.stats.OptCommits.Add(1)
+	p.site.trace(obs.EvCommitNotify, snap.ts, 0, "")
 	if p.fns.Commit == nil {
 		return
 	}
@@ -541,7 +551,7 @@ func (p *viewProxy) onCommitted(cvt vtime.VT) {
 			break
 		}
 	}
-	snap := &snapshot{ts: cvt, rcDeps: map[vtime.VT]bool{}}
+	snap := &snapshot{ts: cvt, rcDeps: map[vtime.VT]bool{}, wall: p.site.obs.NowNanos()}
 	p.snaps = append(p.snaps, nil)
 	copy(p.snaps[idx+1:], p.snaps[idx:])
 	p.snaps[idx] = snap
@@ -718,6 +728,12 @@ func (p *viewProxy) deliverPessimistic(snap *snapshot) {
 	p.everNotified = true
 	p.lastNotifiedVT = snap.ts
 	data := snap.data(true)
-	p.site.stats.PessNotifications.Add(1)
-	p.site.notify(func() { p.fns.Update(data) })
+	s := p.site
+	s.stats.PessNotifications.Add(1)
+	s.trace(obs.EvPessNotify, snap.ts, 0, "")
+	wall := snap.wall
+	s.notify(func() {
+		s.obs.ObserveSince(s.stats.PessNotifyLatency, wall)
+		p.fns.Update(data)
+	})
 }

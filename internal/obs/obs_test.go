@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"decaf/internal/vtime"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("decaf_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("decaf_test_total", "dup"); same != c {
+		t.Fatal("re-registering a counter must return the existing one")
+	}
+
+	g := r.Gauge("decaf_test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("decaf_test_latency_seconds", "a histogram", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(50) // above the last bound: +Inf bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("hist count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 50.055 {
+		t.Fatalf("hist sum = %v, want 50.055", got)
+	}
+
+	// Nil handles are no-ops.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	ng.Set(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil metric handles must read as zero")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("decaf_commits_total", "committed transactions").Add(3)
+	r.GaugeFunc("decaf_queue_depth", "queued items", func() float64 { return 2 })
+	h := r.Histogram("decaf_lat_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE decaf_commits_total counter",
+		"decaf_commits_total 3",
+		"# TYPE decaf_queue_depth gauge",
+		"decaf_queue_depth 2",
+		"# TYPE decaf_lat_seconds histogram",
+		`decaf_lat_seconds_bucket{le="0.5"} 1`,
+		`decaf_lat_seconds_bucket{le="1"} 2`,
+		`decaf_lat_seconds_bucket{le="+Inf"} 2`,
+		"decaf_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRingWrapAndDrops(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{TxnVT: vtime.VT{Time: uint64(i + 1), Site: 1}, Site: 1, Kind: EvSubmit})
+	}
+	if got := tr.Recorded(); got != 10 {
+		t.Fatalf("recorded = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest survivors)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace(64)
+	a := vtime.VT{Time: 5, Site: 1}
+	b := vtime.VT{Time: 3, Site: 2}
+	tr.Record(Event{TxnVT: a, Site: 1, Kind: EvSubmit})
+	tr.Record(Event{TxnVT: b, Site: 2, Kind: EvSubmit})
+	tr.Record(Event{TxnVT: a, Site: 1, Kind: EvConfirm, Peer: 2, Detail: "ok"})
+	tr.Record(Event{TxnVT: a, Site: 1, Kind: EvCommit})
+	tr.Record(Event{TxnVT: b, Site: 2, Kind: EvAbort, Detail: "RL: conflict"})
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	// Ordered by VT: b (time 3) before a (time 5).
+	if spans[0].TxnVT != b || spans[1].TxnVT != a {
+		t.Fatalf("span order = %v, %v", spans[0].TxnVT, spans[1].TxnVT)
+	}
+	if spans[0].Outcome != "aborted" || spans[1].Outcome != "committed" {
+		t.Fatalf("outcomes = %q, %q", spans[0].Outcome, spans[1].Outcome)
+	}
+	if len(spans[1].Events) != 3 {
+		t.Fatalf("span a has %d events, want 3", len(spans[1].Events))
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := NewTrace(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(Event{TxnVT: vtime.VT{Time: uint64(i), Site: vtime.SiteID(w + 1)}, Kind: EvExecute})
+				if i%100 == 0 {
+					_ = tr.Events() // concurrent reads must be safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != 8000 {
+		t.Fatalf("recorded = %d, want 8000", got)
+	}
+	if got := len(tr.Events()); got != 128 {
+		t.Fatalf("retained = %d, want full ring of 128", got)
+	}
+}
+
+func TestNopObserver(t *testing.T) {
+	o := Nop()
+	if o.TraceEnabled() {
+		t.Fatal("Nop observer must not trace")
+	}
+	if o.NowNanos() != 0 {
+		t.Fatal("Nop observer must not read the clock")
+	}
+	o.Trace().Record(Event{Kind: EvSubmit}) // must not panic
+	h := o.Metrics().Histogram("decaf_x_seconds", "", WallBuckets)
+	o.ObserveSince(h, 12345)
+	if h.Count() != 0 {
+		t.Fatal("ObserveSince must be a no-op with timing disabled")
+	}
+	// The registry itself stays live: counters still count.
+	c := o.Metrics().Counter("decaf_y_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("Nop observer counters must still count")
+	}
+}
+
+func TestObserverStateSources(t *testing.T) {
+	o := New()
+	o.RegisterStateSource("engine", func() any { return map[string]int{"txns": 2} })
+	o.RegisterStateSource("transport", func() any { return "ok" })
+	st := o.State()
+	if len(st) != 2 || st["transport"] != "ok" {
+		t.Fatalf("state = %v", st)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	o := New()
+	o.Metrics().Counter("decaf_txn_submitted_total", "submitted").Add(9)
+	o.RegisterStateSource("engine", func() any { return map[string]string{"site": "s1"} })
+	o.Trace().Record(Event{TxnVT: vtime.VT{Time: 1, Site: 1}, Site: 1, Kind: EvSubmit})
+	o.Trace().Record(Event{TxnVT: vtime.VT{Time: 1, Site: 1}, Site: 1, Kind: EvCommit})
+
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "decaf_txn_submitted_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/decaf/state"); !strings.Contains(out, `"site": "s1"`) {
+		t.Errorf("/debug/decaf/state missing engine source:\n%s", out)
+	}
+	out := get("/debug/decaf/trace")
+	if !strings.Contains(out, `"outcome": "committed"`) || !strings.Contains(out, `"kind": "submit"`) {
+		t.Errorf("/debug/decaf/trace missing span data:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Observer bundles one site's observability surfaces: the metrics
+// registry, the event tracer, the wall-clock source for latency
+// stamps, and the named state sources the debug server renders at
+// /debug/decaf/state.
+//
+// Layers share one Observer per site: the engine, its transport
+// endpoint, and (in the baseline experiments) a GVT daemon all register
+// their metrics and state sources on the same instance, so one scrape
+// sees the whole site.
+type Observer struct {
+	reg    *Registry
+	trace  *Trace
+	timing bool
+
+	mu      sync.Mutex
+	sources map[string]func() any // guarded by mu
+}
+
+// Config tunes an Observer.
+type Config struct {
+	// TraceCapacity bounds the event ring (0: DefaultTraceCapacity;
+	// negative: tracing disabled).
+	TraceCapacity int
+	// DisableTiming suppresses wall-clock stamps: NowNanos returns 0
+	// and latency histograms receive no samples. VT stamps are
+	// unaffected.
+	DisableTiming bool
+}
+
+// New creates a fully enabled Observer (tracing and timing on).
+func New() *Observer { return NewWithConfig(Config{}) }
+
+// NewWithConfig creates an Observer with explicit settings.
+func NewWithConfig(cfg Config) *Observer {
+	o := &Observer{
+		reg:     NewRegistry(),
+		timing:  !cfg.DisableTiming,
+		sources: map[string]func() any{},
+	}
+	if cfg.TraceCapacity >= 0 {
+		o.trace = NewTrace(cfg.TraceCapacity)
+	}
+	return o
+}
+
+// Nop creates the default Observer for uninstrumented sites: the
+// registry is live (counters are the same single atomic adds the site
+// performed before this subsystem existed) but tracing and timing are
+// off, so the hot path pays no event records, no allocations, and no
+// wall-clock reads.
+func Nop() *Observer {
+	return NewWithConfig(Config{TraceCapacity: -1, DisableTiming: true})
+}
+
+// Metrics returns the observer's registry. Nil-safe: a nil Observer
+// returns nil, and registry handles obtained from it are nil and
+// therefore no-ops.
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Trace returns the event tracer (nil when tracing is disabled).
+func (o *Observer) Trace() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.trace
+}
+
+// TraceEnabled reports whether Trace().Record stores events.
+func (o *Observer) TraceEnabled() bool { return o != nil && o.trace.Enabled() }
+
+// NowNanos returns the current wall clock in Unix nanoseconds, or 0
+// when timing is disabled. Deterministic packages (engine, gvt) must
+// obtain wall stamps only through this method so their own sources
+// never read the clock (enforced by the decaf-vet wallclock analyzer).
+func (o *Observer) NowNanos() int64 {
+	if o == nil || !o.timing {
+		return 0
+	}
+	return nowNanos()
+}
+
+// ObserveSince records the elapsed seconds from a NowNanos stamp into
+// h. A zero start (timing disabled, or a stamp taken before the
+// observer was attached) records nothing.
+func (o *Observer) ObserveSince(h *Histogram, start int64) {
+	if o == nil || !o.timing || start == 0 || h == nil {
+		return
+	}
+	h.Observe(float64(nowNanos()-start) / 1e9)
+}
+
+// RegisterStateSource installs (or replaces) a named provider of live
+// debug state. fn must be safe to call from any goroutine; it runs on
+// each /debug/decaf/state request.
+func (o *Observer) RegisterStateSource(name string, fn func() any) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sources[name] = fn
+}
+
+// State evaluates every registered state source, keyed by source name.
+func (o *Observer) State() map[string]any {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	names := make([]string, 0, len(o.sources))
+	fns := make([]func() any, 0, len(o.sources))
+	for name := range o.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fns = append(fns, o.sources[name])
+	}
+	o.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, name := range names {
+		out[name] = fns[i]()
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package obs is DECAF's stdlib-only observability subsystem: a typed
+// metrics registry with an atomic, allocation-free record path; a
+// VT-stamped transaction/view event tracer backed by a bounded lock-free
+// ring; and an optional per-site net/http debug server exposing
+// Prometheus-text /metrics, JSON /debug/decaf/state and
+// /debug/decaf/trace, and net/http/pprof.
+//
+// The paper's evaluation (§5) is a set of models over observable events
+// — commit at 2t/3t, pessimistic views at 2t/3t, abort and lost-update
+// rates — and this package turns a running site into the instrument
+// those models are checked against.
+//
+// Determinism note: obs is the ONE place outside cmd/ and the benches
+// allowed to read the wall clock (see internal/analysis.Wallclock). The
+// deterministic packages (engine, history, gvt, vtime) obtain wall
+// stamps exclusively through Observer.NowNanos, so their own sources
+// stay clean and protocol state never depends on real time — wall time
+// feeds metrics only.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic event counter. Add and Inc are lock-free and
+// allocation-free; all methods are nil-safe so an unregistered handle
+// behaves as a no-op.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a settable instantaneous value. All methods are nil-safe.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free and
+// allocation-free: one atomic add per bucket hit plus a CAS loop on the
+// float64-bit sum. Buckets are cumulative at exposition time
+// (Prometheus semantics); internally each slot counts its own range.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+	count  atomic.Uint64
+	name   string
+	help   string
+}
+
+// Observe records one sample. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// WallBuckets are the default upper bounds (seconds) for wall-clock
+// latency histograms: 500µs to 10s, roughly exponential.
+var WallBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// VTBuckets are the default upper bounds for virtual-time-tick
+// histograms (Lamport-clock distance between two protocol events).
+var VTBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// gaugeFunc is a gauge computed at scrape time.
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// metric is one registered exposition entry, in registration order.
+type metric struct {
+	counter *Counter
+	gauge   *Gauge
+	gfn     *gaugeFunc
+	hist    *Histogram
+}
+
+func (m metric) name() string {
+	switch {
+	case m.counter != nil:
+		return m.counter.name
+	case m.gauge != nil:
+		return m.gauge.name
+	case m.gfn != nil:
+		return m.gfn.name
+	default:
+		return m.hist.name
+	}
+}
+
+// Registry holds a site's pre-registered metrics. Registration takes a
+// lock (it happens at site construction); the record path — Counter.Add,
+// Gauge.Set, Histogram.Observe — never does. Registering a name twice
+// returns the existing metric, so layers sharing one Observer
+// (engine + transport + gvt) compose without coordination.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric // guarded by mu
+	byName  map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// Counter registers (or fetches) a counter by name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m.counter
+	}
+	c := &Counter{name: name, help: help}
+	r.add(metric{counter: c})
+	return c
+}
+
+// Gauge registers (or fetches) a settable gauge by name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m.gauge
+	}
+	g := &Gauge{name: name, help: help}
+	r.add(metric{gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time. fn must be
+// safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	r.add(metric{gfn: &gaugeFunc{name: name, help: help, fn: fn}})
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. bounds are
+// ascending upper bounds; a +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m.hist
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		name:   name,
+		help:   help,
+	}
+	r.add(metric{hist: h})
+	return h
+}
+
+// add appends m; every caller holds r.mu.
+func (r *Registry) add(m metric) {
+	//decaf:ignore guardedby helper called only from methods that hold r.mu
+	r.metrics = append(r.metrics, m)
+	r.byName[m.name()] = m
+}
+
+// Value returns the current value of a counter or gauge (histograms:
+// the sample count) by name — a convenience for tests and smoke checks.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	m, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case m.counter != nil:
+		return float64(m.counter.Value()), true
+	case m.gauge != nil:
+		return float64(m.gauge.Value()), true
+	case m.gfn != nil:
+		return m.gfn.fn(), true
+	default:
+		return float64(m.hist.Count()), true
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range ms {
+		switch {
+		case m.counter != nil:
+			header(&b, m.counter.name, m.counter.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", m.counter.name, m.counter.Value())
+		case m.gauge != nil:
+			header(&b, m.gauge.name, m.gauge.help, "gauge")
+			fmt.Fprintf(&b, "%s %d\n", m.gauge.name, m.gauge.Value())
+		case m.gfn != nil:
+			header(&b, m.gfn.name, m.gfn.help, "gauge")
+			fmt.Fprintf(&b, "%s %s\n", m.gfn.name, formatFloat(m.gfn.fn()))
+		case m.hist != nil:
+			h := m.hist
+			header(&b, h.name, h.help, "histogram")
+			cum := uint64(0)
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", h.name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func header(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

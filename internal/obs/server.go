@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler returns the observer's debug mux:
+//
+//	/metrics            Prometheus text exposition of the registry
+//	/debug/decaf/state  JSON map of every registered state source
+//	/debug/decaf/trace  recent VT-stamped spans (?n= caps the span count)
+//	/debug/pprof/...    the standard runtime profiles
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/decaf/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.State())
+	})
+	mux.HandleFunc("/debug/decaf/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := o.Trace()
+		spans := tr.Spans()
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		writeJSON(w, traceDump{
+			Enabled:  tr.Enabled(),
+			Recorded: tr.Recorded(),
+			Dropped:  tr.Dropped(),
+			Spans:    spansJSON(spans),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// traceDump is the JSON shape of /debug/decaf/trace.
+type traceDump struct {
+	Enabled  bool       `json:"enabled"`
+	Recorded uint64     `json:"recorded"`
+	Dropped  uint64     `json:"dropped"`
+	Spans    []spanJSON `json:"spans"`
+}
+
+// spanJSON renders a Span with event kinds as strings.
+type spanJSON struct {
+	VT      string      `json:"vt"`
+	Outcome string      `json:"outcome,omitempty"`
+	Events  []eventJSON `json:"events"`
+}
+
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Site   string `json:"site"`
+	Peer   string `json:"peer,omitempty"`
+	Wall   int64  `json:"wall_ns,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func spansJSON(spans []Span) []spanJSON {
+	out := make([]spanJSON, 0, len(spans))
+	for _, sp := range spans {
+		js := spanJSON{VT: sp.TxnVT.String(), Outcome: sp.Outcome}
+		for _, ev := range sp.Events {
+			ej := eventJSON{
+				Seq:    ev.Seq,
+				Kind:   ev.Kind.String(),
+				Site:   ev.Site.String(),
+				Wall:   ev.Wall,
+				Detail: ev.Detail,
+			}
+			if ev.Peer != 0 {
+				ej.Peer = ev.Peer.String()
+			}
+			js.Events = append(js.Events, ej)
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// DebugServer is a running per-site debug HTTP server.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the observer's debug server on addr (e.g.
+// "127.0.0.1:7944"; port 0 picks a free one). Close releases it.
+func Serve(addr string, o *Observer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }

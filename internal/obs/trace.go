@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"decaf/internal/vtime"
+)
+
+// EventKind names one step of the §3 transaction state machine or the
+// §4 view-notification protocols.
+type EventKind uint8
+
+// Transaction lifecycle and view notification event kinds.
+const (
+	// EvSubmit: a transaction was submitted at its originating site.
+	EvSubmit EventKind = iota + 1
+	// EvExecute: user code ran (optimistic local execution); Detail
+	// carries the attempt number on re-executions.
+	EvExecute
+	// EvPropagate: an update/check message was sent toward Peer; Detail
+	// is "confirm" when that peer hosts a primary copy that must answer,
+	// and "delegate" when the whole decision was delegated to it.
+	EvPropagate
+	// EvPrimaryCheck: this site validated RL/NC guesses as a primary;
+	// Detail carries the verdict ("ok" or the denial reason).
+	EvPrimaryCheck
+	// EvReserve: a primary-copy reservation was placed at this site.
+	EvReserve
+	// EvConfirm: a confirmation verdict from Peer (a primary) reached
+	// the originating site; Detail is "ok" or the denial reason.
+	EvConfirm
+	// EvDelegatedCommit: the single remote primary decided the
+	// transaction on the origin's behalf (paper §3.1); Detail is
+	// "commit" or "abort".
+	EvDelegatedCommit
+	// EvCommit: the transaction committed (summary broadcast at the
+	// origin, or outcome applied at a remote site).
+	EvCommit
+	// EvAbort: the transaction aborted; Detail carries the reason.
+	EvAbort
+	// EvReExecute: an automatic re-execution was scheduled after a
+	// concurrency-control abort.
+	EvReExecute
+	// EvApply: a remote transaction's updates were applied at this site.
+	EvApply
+	// EvOptNotify: an optimistic view update notification was scheduled.
+	EvOptNotify
+	// EvCommitNotify: an optimistic view's commit notification fired
+	// (its latest snapshot is known committed, §4.1).
+	EvCommitNotify
+	// EvPessNotify: a pessimistic view snapshot was delivered (§4.2).
+	EvPessNotify
+)
+
+var eventKindNames = map[EventKind]string{
+	EvSubmit:          "submit",
+	EvExecute:         "execute",
+	EvPropagate:       "propagate",
+	EvPrimaryCheck:    "primary-check",
+	EvReserve:         "reserve",
+	EvConfirm:         "confirm",
+	EvDelegatedCommit: "delegated-commit",
+	EvCommit:          "commit",
+	EvAbort:           "abort",
+	EvReExecute:       "re-execute",
+	EvApply:           "apply",
+	EvOptNotify:       "opt-notify",
+	EvCommitNotify:    "commit-notify",
+	EvPessNotify:      "pess-notify",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Event is one VT-stamped observation. TxnVT identifies the span the
+// event belongs to (for view events: the snapshot's virtual time).
+type Event struct {
+	// Seq is the tracer-assigned global sequence number.
+	Seq uint64 `json:"seq"`
+	// Wall is the wall-clock stamp in Unix nanoseconds (0 when the
+	// tracer's observer has timing disabled).
+	Wall int64 `json:"wall_ns"`
+	// TxnVT is the transaction (or snapshot) virtual time.
+	TxnVT vtime.VT `json:"vt"`
+	// Site is the site that recorded the event.
+	Site vtime.SiteID `json:"site"`
+	// Kind names the protocol step.
+	Kind EventKind `json:"-"`
+	// Peer is the remote site involved, when any.
+	Peer vtime.SiteID `json:"peer,omitempty"`
+	// Detail carries the step's free-form annotation (verdict, reason,
+	// attempt count).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a bounded lock-free ring of recent events. Record claims a
+// slot with one atomic increment and publishes the event with one
+// atomic pointer store; when the ring wraps, the oldest events are
+// overwritten and counted as dropped. A nil or disabled Trace records
+// nothing and costs one predictable branch.
+type Trace struct {
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// DefaultTraceCapacity bounds the ring when no explicit capacity is
+// configured.
+const DefaultTraceCapacity = 8192
+
+// NewTrace creates a ring holding the most recent capacity events
+// (capacity <= 0 selects DefaultTraceCapacity).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Trace{slots: make([]atomic.Pointer[Event], capacity)}
+}
+
+// Enabled reports whether Record stores events.
+func (t *Trace) Enabled() bool { return t != nil && len(t.slots) > 0 }
+
+// Record stores one event, stamping its sequence number. The caller
+// fills every other field; Wall is left as provided so disabled-timing
+// observers record pure VT traces.
+func (t *Trace) Record(ev Event) {
+	if !t.Enabled() {
+		return
+	}
+	e := new(Event)
+	*e = ev
+	e.Seq = t.next.Add(1) - 1
+	t.slots[e.Seq%uint64(len(t.slots))].Store(e)
+}
+
+// Dropped returns how many events have been overwritten by ring wrap.
+func (t *Trace) Dropped() uint64 {
+	if !t.Enabled() {
+		return 0
+	}
+	n := t.next.Load()
+	if c := uint64(len(t.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Recorded returns how many events have been recorded in total.
+func (t *Trace) Recorded() uint64 {
+	if !t.Enabled() {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Events returns a copy of the retained events in sequence order.
+func (t *Trace) Events() []Event {
+	if !t.Enabled() {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		if e := t.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Span is the per-transaction record assembled from retained events:
+// every event sharing one TxnVT, in recording order.
+type Span struct {
+	TxnVT  vtime.VT `json:"vt"`
+	Events []Event  `json:"events"`
+	// Outcome summarizes the span: "committed", "aborted", or "" while
+	// undecided (or when the deciding event was dropped from the ring).
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// Spans groups the retained events into per-transaction spans, ordered
+// by the VT of the transaction.
+func (t *Trace) Spans() []Span {
+	events := t.Events()
+	byVT := map[vtime.VT]*Span{}
+	var order []vtime.VT
+	for _, ev := range events {
+		sp, ok := byVT[ev.TxnVT]
+		if !ok {
+			sp = &Span{TxnVT: ev.TxnVT}
+			byVT[ev.TxnVT] = sp
+			order = append(order, ev.TxnVT)
+		}
+		sp.Events = append(sp.Events, ev)
+		switch ev.Kind {
+		case EvCommit:
+			sp.Outcome = "committed"
+		case EvAbort:
+			sp.Outcome = "aborted"
+		case EvDelegatedCommit:
+			if ev.Detail == "commit" {
+				sp.Outcome = "committed"
+			} else {
+				sp.Outcome = "aborted"
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Less(order[j]) })
+	out := make([]Span, 0, len(order))
+	for _, vt := range order {
+		out = append(out, *byVT[vt])
+	}
+	return out
+}
+
+// nowNanos is obs's single wall-clock read, shared by Observer stamps
+// and the trace JSON rendering.
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decaf/internal/obs"
 	"decaf/internal/vtime"
 	"decaf/internal/wire"
 )
@@ -180,6 +181,11 @@ type TCPOptions struct {
 	// retained as a measurement baseline and differential oracle for the
 	// benchmarks; both ends of a connection must agree on the mode.
 	Legacy bool
+	// Observer receives the endpoint's resilience counters and debug
+	// state. Pass the same Observer as the site's engine so one scrape
+	// covers both layers. nil selects obs.Nop() (counters still back
+	// Stats; no debug exposition).
+	Observer *obs.Observer
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -233,17 +239,33 @@ type TCPStats struct {
 	RecoveryEvents uint64
 }
 
-// tcpStatCounters is the atomic backing store for TCPStats.
+// tcpStatCounters holds the endpoint's registered obs counter handles
+// (lock-free atomics); TCPStats is a thin snapshot over them.
 type tcpStatCounters struct {
-	messagesDropped atomic.Uint64
-	sendQueueDrops  atomic.Uint64
-	unencodable     atomic.Uint64
-	abandoned       atomic.Uint64
-	reconnects      atomic.Uint64
-	retransmits     atomic.Uint64
-	keepalives      atomic.Uint64
-	failureEvents   atomic.Uint64
-	recoveryEvents  atomic.Uint64
+	messagesDropped *obs.Counter
+	sendQueueDrops  *obs.Counter
+	unencodable     *obs.Counter
+	abandoned       *obs.Counter
+	reconnects      *obs.Counter
+	retransmits     *obs.Counter
+	keepalives      *obs.Counter
+	failureEvents   *obs.Counter
+	recoveryEvents  *obs.Counter
+}
+
+// newTCPMetrics registers (or fetches) the transport's counters on reg.
+func newTCPMetrics(reg *obs.Registry) tcpStatCounters {
+	return tcpStatCounters{
+		messagesDropped: reg.Counter("decaf_transport_messages_dropped_total", "inbound message events dropped on a full event buffer"),
+		sendQueueDrops:  reg.Counter("decaf_transport_send_queue_drops_total", "envelopes dropped on a full live-peer outbound queue"),
+		unencodable:     reg.Counter("decaf_transport_unencodable_total", "envelopes dropped because the message could not be encoded"),
+		abandoned:       reg.Counter("decaf_transport_abandoned_total", "accepted envelopes discarded when a peer was declared failed"),
+		reconnects:      reg.Counter("decaf_transport_reconnects_total", "connections re-established to previously connected peers"),
+		retransmits:     reg.Counter("decaf_transport_retransmits_total", "unacknowledged envelopes re-sent after a reconnect"),
+		keepalives:      reg.Counter("decaf_transport_keepalives_total", "idle-probe frames sent"),
+		failureEvents:   reg.Counter("decaf_transport_failure_events_total", "EventSiteFailed control events emitted"),
+		recoveryEvents:  reg.Counter("decaf_transport_recovery_events_total", "EventSiteRecovered control events emitted"),
+	}
 }
 
 // tcpEnvelope is the legacy gob-framed envelope.
@@ -276,6 +298,7 @@ type TCP struct {
 	ln     net.Listener
 	events chan Event
 	opts   TCPOptions
+	obs    *obs.Observer
 	stats  tcpStatCounters
 	stopCh chan struct{}
 
@@ -323,6 +346,13 @@ type tcpPeer struct {
 	// our envelopes (this peer session's incarnation only).
 	ackedSeq atomic.Uint64
 
+	// lastSeq mirrors the writer's highest assigned sequence number and
+	// retainedCount its retransmit-window depth; both feed scrape-time
+	// gauges and the debug state source (the writer's own copies are
+	// goroutine-local).
+	lastSeq       atomic.Uint64
+	retainedCount atomic.Int64
+
 	// deliverMu serializes inbound accept+deliver so per-peer delivery
 	// order is exactly the sequence order, even when a dying connection's
 	// read loop races a fresh one. remoteInc is the peer incarnation the
@@ -356,21 +386,89 @@ func ListenTCPOptions(site vtime.SiteID, addr string, peers map[vtime.SiteID]str
 	for s, a := range peers {
 		book[s] = a
 	}
+	observer := opts.Observer
+	if observer == nil {
+		observer = obs.Nop()
+	}
 	t := &TCP{
 		site:     site,
 		ln:       ln,
 		peers:    book,
 		events:   make(chan Event, 4096),
 		opts:     opts.withDefaults(),
+		obs:      observer,
+		stats:    newTCPMetrics(observer.Metrics()),
 		stopCh:   make(chan struct{}),
 		conns:    map[vtime.SiteID]*tcpPeer{},
 		failed:   map[vtime.SiteID]bool{},
 		ctrlKick: make(chan struct{}, 1),
 	}
+	t.registerObs()
 	t.wg.Add(2)
 	go t.acceptLoop()
 	go t.ctrlLoop()
 	return t, nil
+}
+
+// registerObs installs the endpoint's scrape-time gauges and its debug
+// state source on the observer.
+func (t *TCP) registerObs() {
+	reg := t.obs.Metrics()
+	reg.GaugeFunc("decaf_transport_events_queue_depth", "inbound events awaiting the site's event loop", func() float64 {
+		return float64(len(t.events))
+	})
+	reg.GaugeFunc("decaf_transport_send_queue_depth", "outbound envelopes queued across all peers", func() float64 {
+		n := 0
+		t.mu.Lock()
+		for _, p := range t.conns {
+			n += len(p.queue)
+		}
+		t.mu.Unlock()
+		return float64(n)
+	})
+	reg.GaugeFunc("decaf_transport_retained_envelopes", "encoded envelopes held in retransmit windows across all peers", func() float64 {
+		n := int64(0)
+		t.mu.Lock()
+		for _, p := range t.conns {
+			n += p.retainedCount.Load()
+		}
+		t.mu.Unlock()
+		return float64(n)
+	})
+	t.obs.RegisterStateSource("transport", t.debugState)
+}
+
+// debugState snapshots per-peer transport state for the debug server.
+func (t *TCP) debugState() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	peers := map[string]any{}
+	for site, p := range t.conns {
+		last := p.lastSeq.Load()
+		acked := p.ackedSeq.Load()
+		lag := uint64(0)
+		if last > acked {
+			lag = last - acked
+		}
+		peers[site.String()] = map[string]any{
+			"queue_depth":        len(p.queue),
+			"retained_envelopes": p.retainedCount.Load(),
+			"last_seq":           last,
+			"acked_seq":          acked,
+			"ack_lag":            lag,
+		}
+	}
+	var failed []string
+	for site := range t.failed {
+		failed = append(failed, site.String())
+	}
+	return map[string]any{
+		"site":               t.site.String(),
+		"events_queue_depth": len(t.events),
+		"peers":              peers,
+		"failed_sites":       failed,
+		"closed":             t.closed,
+	}
 }
 
 // Addr returns the listener's actual address (useful with ":0").
@@ -382,18 +480,20 @@ func (t *TCP) Site() vtime.SiteID { return t.site }
 // Events implements Endpoint.
 func (t *TCP) Events() <-chan Event { return t.events }
 
-// Stats returns a snapshot of the endpoint's resilience counters.
+// Stats returns a snapshot of the endpoint's resilience counters. It is
+// a thin read over the obs registry: the same counters serve Stats and
+// /metrics.
 func (t *TCP) Stats() TCPStats {
 	return TCPStats{
-		MessagesDropped: t.stats.messagesDropped.Load(),
-		SendQueueDrops:  t.stats.sendQueueDrops.Load(),
-		Unencodable:     t.stats.unencodable.Load(),
-		Abandoned:       t.stats.abandoned.Load(),
-		Reconnects:      t.stats.reconnects.Load(),
-		Retransmits:     t.stats.retransmits.Load(),
-		Keepalives:      t.stats.keepalives.Load(),
-		FailureEvents:   t.stats.failureEvents.Load(),
-		RecoveryEvents:  t.stats.recoveryEvents.Load(),
+		MessagesDropped: t.stats.messagesDropped.Value(),
+		SendQueueDrops:  t.stats.sendQueueDrops.Value(),
+		Unencodable:     t.stats.unencodable.Value(),
+		Abandoned:       t.stats.abandoned.Value(),
+		Reconnects:      t.stats.reconnects.Value(),
+		Retransmits:     t.stats.retransmits.Value(),
+		Keepalives:      t.stats.keepalives.Value(),
+		FailureEvents:   t.stats.failureEvents.Value(),
+		RecoveryEvents:  t.stats.recoveryEvents.Value(),
 	}
 }
 
@@ -1131,7 +1231,9 @@ func (p *tcpPeer) writeLoop() {
 			return
 		}
 		retained = append(retained, outRec{seq: nextSeq, data: data})
+		p.lastSeq.Store(nextSeq)
 		nextSeq++
+		p.retainedCount.Store(int64(len(retained)))
 	}
 
 	pruneAcked := func() {
@@ -1145,6 +1247,7 @@ func (p *tcpPeer) writeLoop() {
 			if sentIdx -= i; sentIdx < 0 {
 				sentIdx = 0
 			}
+			p.retainedCount.Store(int64(len(retained)))
 		}
 	}
 

@@ -41,7 +41,21 @@ const (
 // behave as if read instantaneously with respect to all transactions
 // (paper §2.5).
 type Snapshot struct {
-	data engine.SnapshotData
+	data    engine.SnapshotData
+	changed map[ids.ObjectID]struct{}
+}
+
+// newSnapshot builds the changed-ID set once so Changed is O(1) per
+// query; built eagerly so concurrent Changed calls need no lock.
+func newSnapshot(d engine.SnapshotData) *Snapshot {
+	s := &Snapshot{data: d}
+	if len(d.Changed) > 0 {
+		s.changed = make(map[ids.ObjectID]struct{}, len(d.Changed))
+		for _, id := range d.Changed {
+			s.changed[id] = struct{}{}
+		}
+	}
+	return s
 }
 
 // VT returns the snapshot's virtual time.
@@ -55,13 +69,8 @@ func (s *Snapshot) IsCommitted() bool { return s.data.Committed }
 // notification (paper §2.5: notifications carry the list of changed
 // objects so views can recompute incrementally).
 func (s *Snapshot) Changed(obj Object) bool {
-	id := obj.Ref().ID()
-	for _, c := range s.data.Changed {
-		if c == id {
-			return true
-		}
-	}
-	return false
+	_, ok := s.changed[obj.Ref().ID()]
+	return ok
 }
 
 // value returns the raw snapshot value for an object.
@@ -134,7 +143,7 @@ func (s *Site) Attach(v View, mode ViewMode, objs ...Object) (*Attachment, error
 		refs = append(refs, o.Ref())
 	}
 	fns := engine.ViewFuncs{
-		Update: func(d engine.SnapshotData) { v.Update(&Snapshot{data: d}) },
+		Update: func(d engine.SnapshotData) { v.Update(newSnapshot(d)) },
 	}
 	if c, ok := v.(Committer); ok {
 		fns.Commit = c.Commit
