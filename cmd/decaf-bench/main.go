@@ -18,12 +18,15 @@
 //	e9  transport hot path: binary codec vs gob, batched vs legacy TCP
 //	e10 transport resilience: committed txn/s across injected link flaps
 //	e11 observability overhead: instrumented vs uninstrumented hot path
+//	e12 engine scaling: batched loop + sharded commit pipeline throughput
 //
 // e9 additionally writes its results to -transport-out (default
 // BENCH_transport.json), e10 to -resilience-out (default
-// BENCH_resilience.json), and e11 to -obs-out (default BENCH_obs.json)
-// so the numbers are diffable across revisions. e11 fails (exit 1) when
-// the measured hot-path overhead exceeds the 3% budget of DESIGN.md §9.
+// BENCH_resilience.json), e11 to -obs-out (default BENCH_obs.json), and
+// e12 to -engine-out (default BENCH_engine.json) so the numbers are
+// diffable across revisions. e11 fails (exit 1) when the measured
+// hot-path overhead exceeds the 3% budget of DESIGN.md §9; e12 fails
+// when pipelined submission commits less than 2x the serial throughput.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		transportOut  = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
 		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "where e10 writes its JSON report ('' disables)")
 		obsOut        = flag.String("obs-out", "BENCH_obs.json", "where e11 writes its JSON report ('' disables)")
+		engineOut     = flag.String("engine-out", "BENCH_engine.json", "where e12 writes its JSON report ('' disables)")
 		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/decaf/{state,trace} and pprof on this address (instruments site 1 of each experiment)")
 	)
 	flag.Parse()
@@ -64,7 +68,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
 			selected[e] = true
 		}
 	} else {
@@ -157,6 +161,26 @@ func main() {
 					"obs overhead %.2f%% exceeds %.0f%% gate", res.OverheadPct, res.GatePct)
 			}
 			return bench.ObsTable(res), nil
+		}},
+		{"e12", func() (*bench.Table, error) {
+			txns, trials := 4000, 5
+			if *quick {
+				txns, trials = 800, 3
+			}
+			res, err := bench.MeasureEngineScaling(txns, trials)
+			if err != nil {
+				return nil, err
+			}
+			if *engineOut != "" {
+				if err := bench.WriteEngineJSON(*engineOut, res); err != nil {
+					return nil, err
+				}
+			}
+			if !res.Pass {
+				return bench.EngineTable(res), fmt.Errorf(
+					"speedup %.2fx vs PR4 baseline below %.1fx gate", res.BaselineSpeedup, res.Gate)
+			}
+			return bench.EngineTable(res), nil
 		}},
 	}
 

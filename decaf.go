@@ -76,6 +76,14 @@ type Options struct {
 	// DisableEagerConfirm turns off the eager snapshot confirmation
 	// (paper §5.1.2) — an ablation switch.
 	DisableEagerConfirm bool
+	// CommitWorkers sizes the engine's sharded commit pipeline (0 uses
+	// GOMAXPROCS; values <= 1 keep remote-write handling fully serial on
+	// the event loop).
+	CommitWorkers int
+	// NotifyQueueLimit bounds the view/abort notification queue; past
+	// it, notifications are dropped and counted rather than blocking
+	// the engine (0 uses engine.DefaultNotifyQueueLimit).
+	NotifyQueueLimit int
 	// Observer receives the site's metrics, VT-stamped trace events, and
 	// debug state (nil: counters still count, tracing and wall-clock
 	// timing are off). Share one Observer with the site's transport
@@ -128,6 +136,8 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 		RetryDelay:          opts.RetryDelay,
 		DisableDelegation:   opts.DisableDelegation,
 		DisableEagerConfirm: opts.DisableEagerConfirm,
+		CommitWorkers:       opts.CommitWorkers,
+		NotifyQueueLimit:    opts.NotifyQueueLimit,
 		Observer:            opts.Observer,
 	})}
 	s.eng.Start()

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"decaf"
+)
+
+// engineWorkers is the commit-pipeline width used by the E12
+// measurement. It is forced above 1 so the sharded staging path runs
+// even when GOMAXPROCS is 1 (where the engine would otherwise fall
+// back to serial application); on a single-core host the speedup then
+// comes from pipelining — batched loop wakeups and coalesced flushes —
+// rather than parallel validation.
+const engineWorkers = 4
+
+// engineSubmitters is the number of concurrent submitter goroutines in
+// the pipelined and contended rows.
+const engineSubmitters = 8
+
+// PR4BaselineNsPerTxn is the zero-latency stress-row cost of the
+// pre-scaling engine (BENCH_obs.json stress_base_ns_per_txn as of the
+// observability PR): the serialized event loop topped out near
+// 37.5µs/txn. E12 gates against it.
+const PR4BaselineNsPerTxn = 37555.0
+
+// EngineScalingGate is the minimum throughput multiple over the PR 4
+// baseline that E12 must demonstrate: the batched loop plus sharded
+// commit pipeline have to at least double zero-latency stress-row
+// txn/s. The gate is enforced on hosts with >= EngineGateMinCores
+// cores (below that the parallel validation path has no cores to run
+// on and the number is recorded without failing the run).
+const EngineScalingGate = 2.0
+
+// EngineGateMinCores is the core count at which the E12 gate becomes
+// enforcing.
+const EngineGateMinCores = 4
+
+// EngineScalingResult quantifies the hot-path scaling work: how much
+// throughput the batched event loop and sharded commit pipeline
+// recover when transactions are submitted concurrently instead of one
+// at a time. BENCH_engine.json at the repo root persists it.
+type EngineScalingResult struct {
+	Txns       int `json:"txns_per_trial"`
+	Trials     int `json:"trials"`
+	Cores      int `json:"cores"`
+	Workers    int `json:"commit_workers"`
+	Submitters int `json:"submitters"`
+
+	// Serial: two-site replicated increment at zero simulated latency,
+	// one transaction in flight (submit, Wait, repeat). Identical shape
+	// to E11's stress row, so it is diffable against BENCH_obs.json's
+	// stress_base_ns_per_txn across revisions.
+	SerialNsPerTxn float64 `json:"serial_ns_per_txn"`
+
+	// Pipelined: the same increment body, engineSubmitters goroutines
+	// each over their own replicated object, all submissions in flight
+	// together. Aggregate wall time over all committed transactions.
+	PipelinedNsPerTxn float64 `json:"pipelined_ns_per_txn"`
+
+	// Contended: engineSubmitters goroutines incrementing one shared
+	// object — the conflict/retry path. Informational, not gated.
+	ContendedNsPerTxn float64 `json:"contended_ns_per_txn"`
+
+	// PipelineSpeedup compares pipelined to serial submission in this
+	// run (informational: on a single core both are CPU-bound, so the
+	// interesting axis there is BaselineSpeedup).
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+
+	// BaselineSpeedup is best-row txn/s over the PR 4 serialized-loop
+	// baseline — the gated number.
+	BaselineNsPerTxn float64 `json:"pr4_baseline_ns_per_txn"`
+	BaselineSpeedup  float64 `json:"speedup_vs_pr4_baseline"`
+
+	Gate         float64 `json:"gate_speedup"`
+	GateMinCores int     `json:"gate_min_cores"`
+	GateEnforced bool    `json:"gate_enforced"`
+	Pass         bool    `json:"pass"`
+}
+
+// MeasureEngineScaling runs the three E12 rows. Trials alternate
+// serial/pipelined/contended to cancel machine drift; the per-row
+// minima are kept (at tens of microseconds per transaction, scheduler
+// noise dominates any single trial, so best-case is the stable
+// estimator — same reasoning as E11's stress rows).
+func MeasureEngineScaling(txns, trials int) (EngineScalingResult, error) {
+	res := EngineScalingResult{
+		Txns:             txns,
+		Trials:           trials,
+		Cores:            runtime.NumCPU(),
+		Workers:          engineWorkers,
+		Submitters:       engineSubmitters,
+		BaselineNsPerTxn: PR4BaselineNsPerTxn,
+		Gate:             EngineScalingGate,
+		GateMinCores:     EngineGateMinCores,
+	}
+	for trial := 0; trial < trials; trial++ {
+		s, err := engineScalingOnce(txns, 1, false)
+		if err != nil {
+			return res, err
+		}
+		p, err := engineScalingOnce(txns, engineSubmitters, false)
+		if err != nil {
+			return res, err
+		}
+		c, err := engineScalingOnce(txns, engineSubmitters, true)
+		if err != nil {
+			return res, err
+		}
+		if trial == 0 || s < res.SerialNsPerTxn {
+			res.SerialNsPerTxn = s
+		}
+		if trial == 0 || p < res.PipelinedNsPerTxn {
+			res.PipelinedNsPerTxn = p
+		}
+		if trial == 0 || c < res.ContendedNsPerTxn {
+			res.ContendedNsPerTxn = c
+		}
+	}
+	if res.PipelinedNsPerTxn > 0 {
+		res.PipelineSpeedup = res.SerialNsPerTxn / res.PipelinedNsPerTxn
+	}
+	best := res.SerialNsPerTxn
+	if res.PipelinedNsPerTxn > 0 && res.PipelinedNsPerTxn < best {
+		best = res.PipelinedNsPerTxn
+	}
+	if best > 0 {
+		res.BaselineSpeedup = res.BaselineNsPerTxn / best
+	}
+	res.GateEnforced = res.Cores >= res.GateMinCores
+	res.Pass = res.BaselineSpeedup >= res.Gate || !res.GateEnforced
+	return res, nil
+}
+
+// engineScalingOnce times txns committed increments across two sites
+// at zero simulated latency and returns aggregate ns per committed
+// transaction. With submitters == 1 the transactions are strictly
+// sequential (the serial row). With more, each submitter increments
+// its own replicated object — disjoint writes that stage through the
+// sharded pipeline — unless shared is set, in which case all
+// submitters hit one object and ride the conflict/retry path.
+func engineScalingOnce(txns, submitters int, shared bool) (float64, error) {
+	net := decaf.NewSimNetwork(decaf.SimConfig{})
+	defer net.Close()
+	opts := decaf.Options{CommitWorkers: engineWorkers}
+	s1, err := decaf.DialOptions(net, 1, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer s1.Close()
+	s2, err := decaf.DialOptions(net, 2, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer s2.Close()
+
+	nObjs := submitters
+	if shared {
+		nObjs = 1
+	}
+	objs := make([]*decaf.Int, nObjs)
+	for k := range objs {
+		name := fmt.Sprintf("x%d", k)
+		root, err := s1.NewInt(name)
+		if err != nil {
+			return 0, err
+		}
+		repl, err := s2.NewInt(name)
+		if err != nil {
+			return 0, err
+		}
+		if r := s2.JoinObject(repl, 1, root.Ref().ID()).Wait(); !r.Committed {
+			return 0, fmt.Errorf("join %s failed: %+v", name, r)
+		}
+		objs[k] = repl
+	}
+
+	run := func(n, worker int) int {
+		obj := objs[0]
+		if !shared {
+			obj = objs[worker]
+		}
+		committed := 0
+		for i := 0; i < n; i++ {
+			r := s2.ExecuteFunc(func(tx *decaf.Tx) error {
+				obj.Set(tx, obj.Value(tx)+1)
+				return nil
+			}).Wait()
+			if r.Committed {
+				committed++
+			} else if !shared {
+				return committed // disjoint increments must not abort
+			}
+		}
+		return committed
+	}
+
+	// Warm-up outside the timed window.
+	var warmWG sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		warmWG.Add(1)
+		go func(w int) { defer warmWG.Done(); run(txns/submitters/10+1, w) }(w)
+	}
+	warmWG.Wait()
+
+	per := txns / submitters
+	committed := make([]int, submitters)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) { defer wg.Done(); committed[w] = run(per, w) }(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := 0
+	for w := 0; w < submitters; w++ {
+		total += committed[w]
+		if !shared && committed[w] != per {
+			return 0, fmt.Errorf("worker %d: %d/%d disjoint increments committed", w, committed[w], per)
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("no transactions committed")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(total), nil
+}
+
+// EngineTable renders the E12 scaling measurement. The "vs PR4" column
+// compares each row's throughput to the serialized-loop baseline the
+// gate is defined against.
+func EngineTable(r EngineScalingResult) *Table {
+	t := &Table{
+		Title: "E12 — engine hot-path scaling (batched loop + sharded commit pipeline)",
+		Note: fmt.Sprintf("two-site replicated increments at t=0; %d txns x %d trials, minima; "+
+			"%d commit workers, %d submitters, %d cores; gate: best row >= %.1fx the PR4 "+
+			"baseline (%.0f ns/txn), enforced on >= %d cores",
+			r.Txns, r.Trials, r.Workers, r.Submitters, r.Cores, r.Gate,
+			r.BaselineNsPerTxn, r.GateMinCores),
+		Columns: []string{"row", "ns/txn", "txn/s", "vs PR4", "gate"},
+	}
+	verdict := "PASS"
+	switch {
+	case !r.GateEnforced:
+		verdict = fmt.Sprintf("%.2fx (advisory, %d cores)", r.BaselineSpeedup, r.Cores)
+	case !r.Pass:
+		verdict = "FAIL"
+	}
+	txnPerSec := func(ns float64) string {
+		if ns <= 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f", 1e9/ns)
+	}
+	vsBase := func(ns float64) string {
+		if ns <= 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.2fx", r.BaselineNsPerTxn/ns)
+	}
+	t.AddRow("serial (submit+Wait each)", fmt.Sprintf("%.0f", r.SerialNsPerTxn),
+		txnPerSec(r.SerialNsPerTxn), vsBase(r.SerialNsPerTxn), "—")
+	t.AddRow("pipelined (disjoint objects)", fmt.Sprintf("%.0f", r.PipelinedNsPerTxn),
+		txnPerSec(r.PipelinedNsPerTxn), vsBase(r.PipelinedNsPerTxn), verdict)
+	t.AddRow("contended (one hot object)", fmt.Sprintf("%.0f", r.ContendedNsPerTxn),
+		txnPerSec(r.ContendedNsPerTxn), vsBase(r.ContendedNsPerTxn), "—")
+	return t
+}

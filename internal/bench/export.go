@@ -68,3 +68,13 @@ func WriteObsJSON(path string, r ObsOverheadResult) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// WriteEngineJSON writes the E12 engine-scaling report to path
+// (BENCH_engine.json at the repo root).
+func WriteEngineJSON(path string, r EngineScalingResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

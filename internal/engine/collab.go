@@ -120,7 +120,10 @@ func (s *Site) ImportAssociation(inv Invitation, desc string) (ObjRef, *Handle, 
 		return ObjRef{}, nil, err
 	}
 	h := newHandle()
-	s.do(func() { s.startJoin(h, local.o, inv.Site, inv.Assoc, nil, "") })
+	s.doOrDrop(
+		func() { s.startJoin(h, local.o, inv.Site, inv.Assoc, nil, "") },
+		func() { h.finish(Result{Err: ErrSiteStopped}) },
+	)
 	return local, h, nil
 }
 
@@ -130,13 +133,16 @@ func (s *Site) ImportAssociation(inv Invitation, desc string) (ObjRef, *Handle, 
 // normally use associations (ImportAssociation / JoinRelationship).
 func (s *Site) JoinObject(local ObjRef, remoteSite vtime.SiteID, remoteObj ids.ObjectID) *Handle {
 	h := newHandle()
-	s.do(func() {
-		if local.o == nil {
-			h.finish(Result{Err: fmt.Errorf("%w: invalid local object", ErrAborted)})
-			return
-		}
-		s.startJoin(h, local.o, remoteSite, remoteObj, nil, "")
-	})
+	s.doOrDrop(
+		func() {
+			if local.o == nil {
+				h.finish(Result{Err: fmt.Errorf("%w: invalid local object", ErrAborted)})
+				return
+			}
+			s.startJoin(h, local.o, remoteSite, remoteObj, nil, "")
+		},
+		func() { h.finish(Result{Err: ErrSiteStopped}) },
+	)
 	return h
 }
 
@@ -147,7 +153,7 @@ func (s *Site) JoinObject(local ObjRef, remoteSite vtime.SiteID, remoteObj ids.O
 // obj and B.
 func (s *Site) JoinRelationship(assoc ObjRef, relName string, obj ObjRef) *Handle {
 	h := newHandle()
-	s.do(func() {
+	s.doOrDrop(func() {
 		if assoc.o == nil || assoc.o.kind != KindAssociation || obj.o == nil {
 			h.finish(Result{Err: fmt.Errorf("%w: join needs an association and an object", ErrAborted)})
 			return
@@ -170,7 +176,7 @@ func (s *Site) JoinRelationship(assoc ObjRef, relName string, obj ObjRef) *Handl
 			return
 		}
 		s.startJoin(h, obj.o, target.Site, target.Obj, assoc.o, relName)
-	})
+	}, func() { h.finish(Result{Err: ErrSiteStopped}) })
 	return h
 }
 
@@ -201,7 +207,10 @@ func (s *Site) startJoinAttempt(h *Handle, local *object, remoteSite vtime.SiteI
 					h.finish(Result{Err: fmt.Errorf("%w: promotion before join failed: %v", ErrAborted, res.Err)})
 					return
 				}
-				s.do(func() { s.startJoinAttempt(h, local, remoteSite, remoteObj, assoc, relName, retries) })
+				s.doOrDrop(
+					func() { s.startJoinAttempt(h, local, remoteSite, remoteObj, assoc, relName, retries) },
+					func() { h.finish(Result{Err: ErrSiteStopped}) },
+				)
 			case <-s.stop:
 				h.finish(Result{Err: ErrSiteStopped})
 			}

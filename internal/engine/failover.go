@@ -394,6 +394,13 @@ func (s *Site) unparkRetries() {
 	for _, p := range parked {
 		p := p
 		s.stats.Retries.Add(1)
-		s.do(func() { s.execute(p.txn, p.handle, p.retries) })
+		s.doOrDrop(
+			func() { s.execute(p.txn, p.handle, p.retries) },
+			func() {
+				if p.handle != nil {
+					p.handle.finish(Result{Err: ErrSiteStopped})
+				}
+			},
+		)
 	}
 }

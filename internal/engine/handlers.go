@@ -430,7 +430,10 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 			s.stats.Retries.Add(1)
 			s.trace(obs.EvReExecute, m.TxnVT, 0, "")
 			txn, h, retries := st.txn, st.handle, st.retries+1
-			s.do(func() { s.execute(txn, h, retries) })
+			s.doOrDrop(
+				func() { s.execute(txn, h, retries) },
+				func() { h.finish(Result{Err: ErrSiteStopped}) },
+			)
 		}
 	default:
 		// Already decided locally; nothing to do.

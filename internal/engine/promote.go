@@ -52,7 +52,10 @@ type promoteState struct {
 // succeeds immediately.
 func (s *Site) Promote(ref ObjRef) *Handle {
 	h := newHandle()
-	s.do(func() { s.startPromote(ref.o, h) })
+	s.doOrDrop(
+		func() { s.startPromote(ref.o, h) },
+		func() { h.finish(Result{Err: ErrSiteStopped}) },
+	)
 	return h
 }
 

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+
+	"decaf/internal/history"
+	"decaf/internal/ids"
+	"decaf/internal/obs"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// The sharded commit pipeline parallelizes the per-site hot path:
+// applying and validating remote Writes whose targets are disjoint
+// top-level objects. Under the paper's primary-copy checks (§3.1) such
+// transactions are independent — RL scans the target's history, NC its
+// reservation table, and the append lands in the same history — so the
+// work partitions cleanly by object.
+//
+// Object IDs are striped into numStripes shards. During a loop batch,
+// eligible Writes are STAGED in arrival order; at a flush point the
+// loop forks them to the worker pool (one goroutine per occupied
+// stripe, the loop itself serving one stripe), PARKS at the join
+// barrier, and then FINISHES each task back on the loop in the original
+// arrival order. The event loop therefore remains the single
+// linearization point: workers run only while the loop is parked, they
+// write only state owned by their stripe (the target objects' histories
+// and reservations, plus the task's own txnState), and everything
+// cross-object — view scheduling, delegation decisions, outcome
+// bookkeeping, the VT clock — happens on the loop, in order.
+const numStripes = 16
+
+// stripeOf maps an object ID to its shard (fibonacci-style hash so
+// sequential per-site Seq values spread across stripes).
+func stripeOf(id ids.ObjectID) int {
+	h := uint64(id.Site)*0x9e3779b97f4a7c15 + id.Seq*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return int(h % numStripes)
+}
+
+// writeTask is one staged remote Write: applied and validated on a
+// shard worker, finished (views, delegation, confirms) on the loop.
+type writeTask struct {
+	from             vtime.SiteID
+	m                wire.Write
+	st               *txnState
+	status           history.Status
+	committedAlready bool
+	stripe           int
+
+	// Results written by the worker, read by the loop after the join
+	// barrier.
+	verdict bool
+	reason  string
+}
+
+// shardJob hands one stripe's ordered task run to a worker.
+type shardJob struct {
+	tasks []*writeTask
+	wg    *sync.WaitGroup
+}
+
+// startWorkers launches the pool. With workers <= 1 the pipeline is
+// serial and no goroutines exist.
+func (s *Site) startWorkers() {
+	if s.workers <= 1 {
+		return
+	}
+	// Buffered to numStripes so the forking loop never blocks handing
+	// out jobs while it runs its own stripe.
+	s.shardJobs = make(chan shardJob, numStripes)
+	for i := 1; i < s.workers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for job := range s.shardJobs {
+				for _, t := range job.tasks {
+					s.runWriteTask(t)
+				}
+				job.wg.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers shuts the pool down; called by the exiting event loop, so
+// no further jobs can be in flight.
+func (s *Site) stopWorkers() {
+	if s.shardJobs != nil {
+		close(s.shardJobs)
+		s.workerWG.Wait()
+	}
+}
+
+// stageWrite queues an eligible Write for the batch's fork-join run,
+// performing the loop-owned prologue (outcome lookup, txnState
+// creation, apply trace) so the worker touches only stripe-owned state.
+// It returns false when the message must take the serial path.
+func (s *Site) stageWrite(from vtime.SiteID, m wire.Write) bool {
+	if s.workers <= 1 || s.inFlush || s.authorizer != nil {
+		return false
+	}
+	stripe, ok := s.writeStripe(m)
+	if !ok {
+		return false
+	}
+	if s.stagedVTs[m.TxnVT] {
+		// A second message of the same transaction would share its
+		// txnState across workers; land the first run before staging.
+		s.flushWrites()
+	}
+	if known, ok := s.outcomes[m.TxnVT]; ok && !known {
+		return true // already aborted: ignore late updates (paper §3.1)
+	}
+	committedAlready := false
+	if known, ok := s.outcomes[m.TxnVT]; ok && known {
+		committedAlready = true
+	}
+	st := s.ensureTxn(m.TxnVT, m.Origin)
+	if st.appliedWall == 0 {
+		st.appliedWall = s.obs.NowNanos()
+	}
+	s.trace(obs.EvApply, m.TxnVT, m.Origin, "")
+	status := history.Pending
+	if committedAlready {
+		status = history.Committed
+	}
+	s.staged = append(s.staged, &writeTask{
+		from:             from,
+		m:                m,
+		st:               st,
+		status:           status,
+		committedAlready: committedAlready,
+		stripe:           stripe,
+	})
+	s.stagedVTs[m.TxnVT] = true
+	return true
+}
+
+// writeStripe decides parallel eligibility and the stripe. Eligible
+// writes keep everything the worker touches inside one stripe:
+// top-level scalar/association updates (OpSet/OpAssoc with an empty
+// path) on known replication roots with no pending indirect updates,
+// read checks of the same shape, and all targets on a single stripe.
+// Everything else — structural ops, pathed updates, composites, unknown
+// objects — takes the serial path, where blocking and drainPending
+// semantics apply unchanged.
+func (s *Site) writeStripe(m wire.Write) (int, bool) {
+	if len(m.Updates) == 0 {
+		return 0, false
+	}
+	stripe := -1
+	for _, upd := range m.Updates {
+		switch upd.Op.(type) {
+		case wire.OpSet, wire.OpAssoc:
+		default:
+			return 0, false
+		}
+		if len(upd.Path) != 0 {
+			return 0, false
+		}
+		root, ok := s.objects[upd.Target]
+		if !ok || root.parent != nil || root.graph == nil || len(root.pending) > 0 {
+			return 0, false
+		}
+		if root.kind == KindList || root.kind == KindTuple {
+			return 0, false
+		}
+		sp := stripeOf(upd.Target)
+		if stripe >= 0 && sp != stripe {
+			return 0, false
+		}
+		stripe = sp
+	}
+	for _, c := range m.Checks {
+		if len(c.Path) != 0 {
+			return 0, false
+		}
+		root, ok := s.objects[c.Target]
+		if !ok || root.parent != nil || root.graph == nil {
+			return 0, false
+		}
+		if stripeOf(c.Target) != stripe {
+			return 0, false
+		}
+	}
+	return stripe, true
+}
+
+// runWriteTask applies and validates one staged Write. It runs on a
+// shard worker (or inline on the loop) while the event loop is parked
+// at the join barrier: loop-owned maps are read-only here, and all
+// mutations land in the task's stripe (object histories/reservations)
+// or the task's own txnState.
+func (s *Site) runWriteTask(t *writeTask) {
+	for _, upd := range t.m.Updates {
+		// Eligible updates never block (empty path, no structure), so
+		// the pending bookkeeping of the serial path cannot trigger.
+		if s.applyUpdate(t.st, upd, t.status) {
+			s.stats.UpdatesApplied.Add(1)
+		}
+	}
+	if t.m.NeedsConfirm {
+		t.verdict, _, t.reason = s.validateAsPrimary(t.st, t.m.TxnVT, t.m.Updates, t.m.Checks)
+	}
+}
+
+// flushWrites is the pipeline's flush point: fork staged tasks across
+// the occupied stripes, park at the join barrier, then finish each task
+// on the loop in arrival order. Serial-path handlers call it before
+// touching any state a staged write could own.
+func (s *Site) flushWrites() {
+	if len(s.staged) == 0 {
+		return
+	}
+	tasks := s.staged
+	s.staged = nil
+	clear(s.stagedVTs)
+	s.inFlush = true
+	defer func() { s.inFlush = false }()
+
+	byStripe := map[int][]*writeTask{}
+	var stripes []int
+	for _, t := range tasks {
+		if _, ok := byStripe[t.stripe]; !ok {
+			stripes = append(stripes, t.stripe)
+		}
+		byStripe[t.stripe] = append(byStripe[t.stripe], t)
+	}
+	if s.shardJobs == nil || len(stripes) == 1 {
+		for _, t := range tasks {
+			s.runWriteTask(t)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(stripes) - 1)
+		for _, sp := range stripes[1:] {
+			s.shardJobs <- shardJob{tasks: byStripe[sp], wg: &wg}
+		}
+		for _, t := range byStripe[stripes[0]] {
+			s.runWriteTask(t) // the loop doubles as the first stripe's worker
+		}
+		wg.Wait()
+	}
+	s.stats.ShardedWrites.Add(uint64(len(tasks)))
+
+	for _, t := range tasks {
+		s.finishWrite(t)
+	}
+}
+
+// finishWrite completes a staged Write on the loop: optimistic view
+// scheduling, commit bookkeeping for already-decided transactions, and
+// the primary verdict (delegated decision or Confirm back to the
+// origin). This mirrors the serial handleWrite epilogue with blocked
+// always zero.
+func (s *Site) finishWrite(t *writeTask) {
+	st, m := t.st, t.m
+	s.scheduleOptimistic(st.appliedObjects())
+	if t.committedAlready {
+		s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+		st.status = txnCommitted
+	}
+	if !m.NeedsConfirm {
+		return
+	}
+	if !t.verdict {
+		s.log.Debug("primary denial", "txn", m.TxnVT.String(), "reason", t.reason)
+	}
+	if s.obs.TraceEnabled() {
+		verdict := "ok"
+		if !t.verdict {
+			verdict = t.reason
+		}
+		s.trace(obs.EvPrimaryCheck, m.TxnVT, m.Origin, verdict)
+		if t.verdict && len(st.reservedObjs) > 0 {
+			s.trace(obs.EvReserve, m.TxnVT, 0, strconv.Itoa(len(st.reservedObjs))+" objects")
+		}
+	}
+	if m.Delegate != nil {
+		s.decideAsDelegate(st, m, t.verdict)
+		return
+	}
+	s.send(m.Origin, wire.Confirm{TxnVT: m.TxnVT, From: s.id, OK: t.verdict, Reason: t.reason})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,18 @@ type Options struct {
 	// optimization for pessimistic snapshots (ablation: every snapshot
 	// then pays an explicit CONFIRM-READ round trip to each primary).
 	DisableEagerConfirm bool
+	// CommitWorkers sizes the sharded commit pipeline: remote writes
+	// over disjoint top-level objects are validated and applied on this
+	// many goroutines (one of which is the event loop itself), striped
+	// by object ID. 0 means GOMAXPROCS; values <= 1 keep the pipeline
+	// fully serial on the event loop.
+	CommitWorkers int
+	// NotifyQueueLimit bounds the view/abort notification queue. The
+	// queue grows on demand (the event loop never blocks on a slow
+	// consumer); past the limit new notifications are dropped and
+	// counted on decaf_notify_dropped_total. 0 means
+	// DefaultNotifyQueueLimit.
+	NotifyQueueLimit int
 	// Observer receives the site's metrics, trace events, and debug
 	// state. nil selects obs.Nop(): counters still count (Stats reads
 	// them) but tracing and wall-clock timing are off. One Observer
@@ -48,6 +61,17 @@ type Options struct {
 
 // DefaultMaxRetries bounds automatic transaction re-execution.
 const DefaultMaxRetries = 100
+
+// DefaultNotifyQueueLimit bounds the notification queue when Options
+// leaves NotifyQueueLimit zero. It is deliberately deep: dropping a
+// notification loses a view update for the application, so the limit
+// exists only to keep a wedged consumer from consuming all memory.
+const DefaultNotifyQueueLimit = 1 << 20
+
+// maxBatch bounds how many stimuli (calls + transport events) one event
+// loop wakeup drains before flushing staged writes and coalesced
+// messages. The bound keeps Stop responsive under a saturated intake.
+const maxBatch = 256
 
 // Stats are the site's monotonic event counters, readable via Site.Stats.
 type Stats struct {
@@ -81,6 +105,14 @@ type Stats struct {
 	UpdateInconsistencies uint64
 	// SnapshotReruns counts optimistic snapshots rerun after an abort.
 	SnapshotReruns uint64
+	// NotifyEnqueued counts user callbacks accepted by the notifier.
+	NotifyEnqueued uint64
+	// NotifyDelivered counts user callbacks that ran. After Stop,
+	// NotifyEnqueued == NotifyDelivered + NotifyDropped.
+	NotifyDelivered uint64
+	// NotifyDropped counts user callbacks dropped by the notifier's
+	// overflow policy (queue past NotifyQueueLimit).
+	NotifyDropped uint64
 }
 
 // Site is one collaborating application instance: it hosts model objects,
@@ -96,13 +128,15 @@ type Site struct {
 	opts  Options
 	log   *slog.Logger
 
-	calls chan func()
+	calls chan loopCall
 	stop  chan struct{}
 	done  chan struct{}
 
 	// notifier delivers user callbacks (view update/commit, abort
-	// handlers) outside the event loop, in order.
-	notifier     chan func()
+	// handlers) outside the event loop, in order. Only the event loop
+	// pushes into it, so after the loop exits the queue is complete and
+	// Stop can drain it deterministically.
+	notifier     *notifyQueue
 	notifierDone chan struct{}
 
 	// Loop-confined state.
@@ -135,6 +169,31 @@ type Site struct {
 	// authorizer is the site's authorization monitor (nil: allow all).
 	authorizer Authorizer
 
+	// outbox coalesces outbound protocol messages per peer for the
+	// current loop batch; flushOutbox transmits them at batch end.
+	// Loop-confined.
+	outbox      map[vtime.SiteID][]wire.Message
+	outboxOrder []vtime.SiteID
+
+	// Sharded commit pipeline (see shards.go). staged holds the current
+	// batch's parallel-eligible remote writes; stagedVTs prevents two
+	// messages of one transaction sharing a fork-join run; inFlush makes
+	// re-entrant message handling (loopback sends from a finishing
+	// write) fall back to the serial path. Loop-confined.
+	staged    []*writeTask
+	stagedVTs map[vtime.VT]bool
+	inFlush   bool
+	workers   int
+	shardJobs chan shardJob
+	workerWG  sync.WaitGroup
+
+	// gcFloor caches the combined decided/snapshot GC floor for the
+	// current loop batch (the quadratic-floors fix: one O(txns+objects)
+	// pass per batch instead of one per object per commit).
+	// Loop-confined.
+	gcFloor      vtime.VT
+	gcFloorValid bool
+
 	// obs is the site's observer (never nil; defaults to obs.Nop()).
 	obs *obs.Observer
 	// stats are lock-free obs counters: bumps happen on every message
@@ -146,6 +205,14 @@ type Site struct {
 
 	startOnce sync.Once
 	stopOnce  sync.Once
+}
+
+// loopCall is one posted event-loop closure. onDrop, when set, runs if
+// the site shuts down without running fn — the hook that lets Submit
+// and the retry paths settle their Handles instead of leaking waiters.
+type loopCall struct {
+	fn     func()
+	onDrop func()
 }
 
 // siteMetrics holds the site's registered metric handles. The counter
@@ -166,6 +233,17 @@ type siteMetrics struct {
 	LostUpdates           *obs.Counter
 	UpdateInconsistencies *obs.Counter
 	SnapshotReruns        *obs.Counter
+
+	// Hot-path pipeline counters.
+	Batches         *obs.Counter // event-loop batches processed
+	BatchEvents     *obs.Counter // stimuli drained across all batches
+	ShardedWrites   *obs.Counter // remote writes through the shard pipeline
+	SerialWrites    *obs.Counter // remote writes on the serial path
+	CoalescedSends  *obs.Counter // messages sent piggybacked on a batch send
+	GCFloorReuse    *obs.Counter // GC floor served from the batch cache
+	NotifyEnqueued  *obs.Counter
+	NotifyDelivered *obs.Counter
+	NotifyDropped   *obs.Counter
 
 	// Latency histograms (wall seconds unless noted). Samples only
 	// arrive when the observer has timing enabled.
@@ -193,6 +271,16 @@ func newSiteMetrics(reg *obs.Registry) siteMetrics {
 		UpdateInconsistencies: reg.Counter("decaf_view_update_inconsistencies_total", "optimistic notifications that exposed rolled-back state"),
 		SnapshotReruns:        reg.Counter("decaf_view_snapshot_reruns_total", "optimistic snapshots rerun after an abort"),
 
+		Batches:         reg.Counter("decaf_engine_batches_total", "event-loop batches processed"),
+		BatchEvents:     reg.Counter("decaf_engine_batch_events_total", "calls and transport events drained across all batches"),
+		ShardedWrites:   reg.Counter("decaf_engine_sharded_writes_total", "remote writes handled by the sharded commit pipeline"),
+		SerialWrites:    reg.Counter("decaf_engine_serial_writes_total", "remote writes handled serially on the event loop"),
+		CoalescedSends:  reg.Counter("decaf_engine_coalesced_sends_total", "outbound messages piggybacked on a coalesced batch send"),
+		GCFloorReuse:    reg.Counter("decaf_engine_gc_floor_reuse_total", "GC floor computations served from the per-batch cache"),
+		NotifyEnqueued:  reg.Counter("decaf_notify_enqueued_total", "user callbacks accepted by the notifier queue"),
+		NotifyDelivered: reg.Counter("decaf_notify_delivered_total", "user callbacks delivered by the notifier goroutine"),
+		NotifyDropped:   reg.Counter("decaf_notify_dropped_total", "user callbacks dropped by the notifier overflow policy"),
+
 		CommitLatency:       reg.Histogram("decaf_txn_commit_latency_seconds", "submit-to-commit wall latency of locally originated transactions", obs.WallBuckets),
 		CommitLatencyVT:     reg.Histogram("decaf_txn_commit_latency_vt_ticks", "execute-to-commit Lamport-clock distance of locally originated transactions", obs.VTBuckets),
 		RemoteCommitLatency: reg.Histogram("decaf_txn_remote_commit_latency_seconds", "apply-to-outcome wall latency of remotely originated transactions", obs.WallBuckets),
@@ -211,6 +299,9 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = DefaultMaxRetries
 	}
+	if opts.NotifyQueueLimit <= 0 {
+		opts.NotifyQueueLimit = DefaultNotifyQueueLimit
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -219,16 +310,22 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 	if observer == nil {
 		observer = obs.Nop()
 	}
+	workers := opts.CommitWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numStripes {
+		workers = numStripes
+	}
 	s := &Site{
 		id:             ep.Site(),
 		clock:          vtime.NewClock(ep.Site()),
 		ep:             ep,
 		opts:           opts,
 		log:            logger.With("site", ep.Site().String()),
-		calls:          make(chan func(), 1024),
+		calls:          make(chan loopCall, 1024),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
-		notifier:       make(chan func(), 4096),
 		notifierDone:   make(chan struct{}),
 		objects:        map[ids.ObjectID]*object{},
 		txns:           map[vtime.VT]*txnState{},
@@ -240,8 +337,18 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 		repairs:        map[vtime.SiteID]*repairState{},
 		commitQueries:  map[vtime.VT]*queryState{},
 		failed:         map[vtime.SiteID]bool{},
+		outbox:         map[vtime.SiteID][]wire.Message{},
+		stagedVTs:      map[vtime.VT]bool{},
+		workers:        workers,
 		obs:            observer,
 		stats:          newSiteMetrics(observer.Metrics()),
+	}
+	s.notifier = &notifyQueue{
+		wake:      make(chan struct{}, 1),
+		limit:     opts.NotifyQueueLimit,
+		enqueued:  s.stats.NotifyEnqueued,
+		delivered: s.stats.NotifyDelivered,
+		dropped:   s.stats.NotifyDropped,
 	}
 	s.registerObs()
 	return s
@@ -251,9 +358,10 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 // source on the site's observer.
 func (s *Site) registerObs() {
 	reg := s.obs.Metrics()
-	// Channel depths are safe to read from any goroutine.
+	// Queue depths are safe to read from any goroutine.
 	reg.GaugeFunc("decaf_engine_calls_queue_depth", "pending event-loop calls", func() float64 { return float64(len(s.calls)) })
-	reg.GaugeFunc("decaf_engine_notifier_queue_depth", "pending view/user callbacks", func() float64 { return float64(len(s.notifier)) })
+	reg.GaugeFunc("decaf_engine_notifier_queue_depth", "pending view/user callbacks", func() float64 { return float64(s.notifier.depth()) })
+	reg.GaugeFunc("decaf_engine_commit_workers", "goroutines serving the sharded commit pipeline", func() float64 { return float64(s.workers) })
 	s.obs.RegisterStateSource("engine", s.debugState)
 }
 
@@ -319,7 +427,8 @@ func (s *Site) collectDebugState() map[string]any {
 		"failed_sites":         failedSites,
 		"attached_views":       views,
 		"calls_queue_depth":    len(s.calls),
-		"notifier_queue_depth": len(s.notifier),
+		"notifier_queue_depth": s.notifier.depth(),
+		"commit_workers":       s.workers,
 	}
 }
 
@@ -346,21 +455,46 @@ func (s *Site) Observer() *obs.Observer { return s.obs }
 // ID returns the site identifier.
 func (s *Site) ID() vtime.SiteID { return s.id }
 
-// Start launches the event loop and the notifier goroutine.
+// Start launches the event loop, the shard workers, and the notifier
+// goroutine.
 func (s *Site) Start() {
 	s.startOnce.Do(func() {
 		s.started.Store(true)
+		s.startWorkers()
 		go s.loop()
 		go s.notifyLoop()
 	})
 }
 
-// Stop shuts the site down and waits for its goroutines to exit.
-// In-flight transactions are abandoned.
+// Stop shuts the site down deterministically: it stops the event loop,
+// settles every call still queued behind it (their onDrop hooks finish
+// outstanding Handles with ErrSiteStopped), closes notification intake
+// — by then complete, because only the event loop produces
+// notifications — and waits for the notifier to drain in full. After
+// Stop, NotifyEnqueued == NotifyDelivered + NotifyDropped: nothing that
+// was accepted is lost to the shutdown race. In-flight transactions are
+// abandoned.
 func (s *Site) Stop() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	s.drainCalls()
+	s.notifier.closeIntake()
 	<-s.notifierDone
+}
+
+// drainCalls settles calls that were accepted but never reached the
+// (now exited) event loop.
+func (s *Site) drainCalls() {
+	for {
+		select {
+		case c := <-s.calls:
+			if c.onDrop != nil {
+				c.onDrop()
+			}
+		default:
+			return
+		}
+	}
 }
 
 // Stats returns a snapshot of the site's counters. It is a thin read
@@ -380,66 +514,219 @@ func (s *Site) Stats() Stats {
 		LostUpdates:           s.stats.LostUpdates.Value(),
 		UpdateInconsistencies: s.stats.UpdateInconsistencies.Value(),
 		SnapshotReruns:        s.stats.SnapshotReruns.Value(),
+		NotifyEnqueued:        s.stats.NotifyEnqueued.Value(),
+		NotifyDelivered:       s.stats.NotifyDelivered.Value(),
+		NotifyDropped:         s.stats.NotifyDropped.Value(),
 	}
 }
 
-// loop is the site's event loop: it owns all site state.
+// loop is the site's event loop: it owns all site state. Each wakeup
+// processes a batch: the blocking stimulus plus up to maxBatch-1
+// already-queued ones, then the batch epilogue runs staged writes
+// through the shard pipeline and flushes coalesced outbound messages.
 func (s *Site) loop() {
 	defer close(s.done)
+	defer s.stopWorkers()
 	events := s.ep.Events()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case fn := <-s.calls:
-			fn()
+		case c := <-s.calls:
+			s.beginBatch()
+			c.fn()
+			s.drainBatch(events, 1)
 		case ev, ok := <-events:
 			if !ok {
 				// Transport killed this site (fail-stop crash in a
 				// simulation, or endpoint closed).
 				return
 			}
+			s.beginBatch()
 			s.handleEvent(ev)
+			s.drainBatch(events, 1)
 		}
 	}
 }
 
-// notifyLoop runs user callbacks in order, outside the event loop.
-func (s *Site) notifyLoop() {
-	defer close(s.notifierDone)
-	for {
+// drainBatch consumes already-queued stimuli without blocking, then
+// closes out the batch. n counts stimuli handled so far.
+func (s *Site) drainBatch(events <-chan transport.Event, n int) {
+	for n < maxBatch {
 		select {
 		case <-s.stop:
-			// Drain anything already queued so tests observe final
-			// notifications, then exit.
-			for {
-				select {
-				case fn := <-s.notifier:
-					fn()
-				default:
-					return
-				}
+			s.endBatch(n)
+			return
+		case c := <-s.calls:
+			// Posted closures may read any object, so staged writes
+			// must land first.
+			s.flushWrites()
+			c.fn()
+			n++
+		case ev, ok := <-events:
+			if !ok {
+				s.endBatch(n)
+				return
 			}
-		case fn := <-s.notifier:
-			fn()
+			s.handleEvent(ev)
+			n++
+		default:
+			s.endBatch(n)
+			return
 		}
 	}
+	s.endBatch(n)
 }
 
-// notify queues a user callback.
-func (s *Site) notify(fn func()) {
+// beginBatch resets per-batch state (the GC floor cache; see
+// combinedGCFloor).
+func (s *Site) beginBatch() {
+	s.gcFloorValid = false
+}
+
+// endBatch runs the batch epilogue: staged writes, then the coalesced
+// outbox.
+func (s *Site) endBatch(n int) {
+	s.flushWrites()
+	s.flushOutbox()
+	s.stats.Batches.Inc()
+	s.stats.BatchEvents.Add(uint64(n))
+}
+
+// notifyQueue delivers user callbacks in order on the notifier
+// goroutine. It grows on demand so the event loop never blocks on a
+// slow consumer — a full fixed-size buffer used to deadlock the site
+// whenever a callback re-entered the API while the loop was wedged in
+// notify(). Past limit, new callbacks are dropped and counted.
+type notifyQueue struct {
+	mu     sync.Mutex
+	queue  []func() // guarded by mu
+	closed bool     // guarded by mu
+	// wake (capacity 1) signals the notifier goroutine; senders never
+	// block.
+	wake  chan struct{}
+	limit int
+
+	enqueued  *obs.Counter
+	delivered *obs.Counter
+	dropped   *obs.Counter
+}
+
+// push appends fn unless the queue is closed or full; overflow and
+// post-close pushes are dropped and counted. It reports whether fn was
+// accepted, so callers that coalesce (the view proxies) can re-arm on
+// a later trigger instead of losing their delivery slot.
+func (q *notifyQueue) push(fn func()) bool {
+	q.mu.Lock()
+	if q.closed || len(q.queue) >= q.limit {
+		q.mu.Unlock()
+		q.dropped.Inc()
+		return false
+	}
+	q.queue = append(q.queue, fn)
+	q.mu.Unlock()
+	q.enqueued.Inc()
 	select {
-	case s.notifier <- fn:
-	case <-s.stop:
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// take removes and returns everything queued, plus whether intake is
+// closed; an empty result with closed=true means the queue is fully
+// drained.
+func (q *notifyQueue) take() ([]func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fns := q.queue
+	q.queue = nil
+	return fns, q.closed
+}
+
+// closeIntake stops accepting callbacks and wakes the notifier so it
+// can finish draining.
+func (q *notifyQueue) closeIntake() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
 	}
 }
 
-// do posts fn into the event loop without waiting.
-func (s *Site) do(fn func()) {
+// depth returns the number of queued callbacks.
+func (q *notifyQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
+// notifyLoop runs user callbacks in order, outside the event loop. It
+// exits only once intake is closed and the queue is empty, so every
+// accepted notification is delivered.
+func (s *Site) notifyLoop() {
+	defer close(s.notifierDone)
+	q := s.notifier
+	for {
+		fns, closed := q.take()
+		for _, fn := range fns {
+			fn()
+			q.delivered.Inc()
+		}
+		if len(fns) > 0 {
+			continue // re-check before sleeping: more may have queued
+		}
+		if closed {
+			return
+		}
+		<-q.wake
+	}
+}
+
+// notify queues a user callback and reports whether it was accepted.
+// Only the event loop calls it.
+func (s *Site) notify(fn func()) bool {
+	return s.notifier.push(fn)
+}
+
+// do posts fn into the event loop without waiting. It reports whether
+// the call was accepted; false means the site is stopped and fn will
+// never run. An accepted call either runs on the loop or — if the site
+// stops first — has its onDrop hook run by Stop, so callers that hold a
+// Handle pass onDrop to settle it (see doOrDrop).
+func (s *Site) do(fn func()) bool {
+	return s.post(loopCall{fn: fn})
+}
+
+// doOrDrop posts fn with a shutdown hook: exactly one of fn (on the
+// loop) or onDrop (during Stop) runs for an accepted call. When the
+// post itself is rejected, doOrDrop runs onDrop inline and returns
+// false.
+func (s *Site) doOrDrop(fn, onDrop func()) bool {
+	if s.post(loopCall{fn: fn, onDrop: onDrop}) {
+		return true
+	}
+	onDrop()
+	return false
+}
+
+func (s *Site) post(c loopCall) bool {
 	select {
-	case s.calls <- fn:
 	case <-s.stop:
+		return false
 	case <-s.done:
+		return false
+	default:
+	}
+	select {
+	case s.calls <- c:
+		return true
+	case <-s.stop:
+		return false
+	case <-s.done:
+		return false
 	}
 }
 
@@ -451,11 +738,7 @@ func (s *Site) call(fn func()) error {
 		fn()
 		close(ch)
 	}
-	select {
-	case s.calls <- wrapped:
-	case <-s.stop:
-		return ErrSiteStopped
-	case <-s.done:
+	if !s.post(loopCall{fn: wrapped, onDrop: func() { close(ch) }}) {
 		return ErrSiteStopped
 	}
 	select {
@@ -469,7 +752,10 @@ func (s *Site) call(fn func()) error {
 // ErrSiteStopped is returned by API calls on a stopped site.
 var ErrSiteStopped = errors.New("engine: site stopped")
 
-// send stamps and transmits a protocol message.
+// send stamps and transmits a protocol message. Non-loopback sends are
+// coalesced into the batch outbox and leave in flushOutbox; the Lamport
+// stamp is taken at flush time, which still follows every event the
+// message reflects.
 func (s *Site) send(to vtime.SiteID, msg wire.Message) {
 	if to == s.id {
 		// Loop back locally without the transport; used by protocol
@@ -480,11 +766,46 @@ func (s *Site) send(to vtime.SiteID, msg wire.Message) {
 	if s.failed[to] {
 		return
 	}
-	if err := s.ep.Send(to, s.clock.Now(), msg); err != nil {
-		s.log.Debug("send failed", "to", to.String(), "kind", msg.Kind(), "err", err)
+	if _, ok := s.outbox[to]; !ok {
+		s.outboxOrder = append(s.outboxOrder, to)
+	}
+	s.outbox[to] = append(s.outbox[to], msg)
+}
+
+// flushOutbox transmits the batch's coalesced messages, one transport
+// handoff per peer when the endpoint supports batching.
+func (s *Site) flushOutbox() {
+	if len(s.outboxOrder) == 0 {
 		return
 	}
-	s.stats.MessagesSent.Add(1)
+	now := s.clock.Now()
+	batcher, canBatch := s.ep.(transport.BatchSender)
+	for _, to := range s.outboxOrder {
+		msgs := s.outbox[to]
+		delete(s.outbox, to)
+		if len(msgs) == 0 || s.failed[to] {
+			continue
+		}
+		if canBatch {
+			if err := batcher.SendBatch(to, now, msgs); err != nil {
+				s.log.Debug("send failed", "to", to.String(), "batch", len(msgs), "err", err)
+				continue
+			}
+			s.stats.MessagesSent.Add(uint64(len(msgs)))
+			if len(msgs) > 1 {
+				s.stats.CoalescedSends.Add(uint64(len(msgs) - 1))
+			}
+			continue
+		}
+		for _, msg := range msgs {
+			if err := s.ep.Send(to, now, msg); err != nil {
+				s.log.Debug("send failed", "to", to.String(), "kind", msg.Kind(), "err", err)
+				continue
+			}
+			s.stats.MessagesSent.Add(1)
+		}
+	}
+	s.outboxOrder = s.outboxOrder[:0]
 }
 
 // handleEvent dispatches one transport event inside the loop.
@@ -494,17 +815,29 @@ func (s *Site) handleEvent(ev transport.Event) {
 		s.clock.Observe(ev.SentAt)
 		s.handleMessage(ev.From, ev.Msg)
 	case transport.EventSiteFailed:
+		s.flushWrites()
 		s.handleSiteFailure(ev.Failed)
 	case transport.EventSiteRecovered:
+		s.flushWrites()
 		s.handleSiteRecovered(ev.Failed)
 	}
 }
 
-// handleMessage dispatches a protocol message inside the loop.
+// handleMessage dispatches a protocol message inside the loop. Writes
+// may stage into the shard pipeline; every other kind first forces
+// staged writes to land, preserving arrival order at the state level.
 func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
-	switch m := msg.(type) {
-	case wire.Write:
+	if m, ok := msg.(wire.Write); ok {
+		if s.stageWrite(from, m) {
+			return
+		}
+		s.flushWrites()
+		s.stats.SerialWrites.Inc()
 		s.handleWrite(from, m)
+		return
+	}
+	s.flushWrites()
+	switch m := msg.(type) {
 	case wire.ConfirmRead:
 		s.handleConfirmRead(from, m)
 	case wire.Confirm:
@@ -569,15 +902,47 @@ func (s *Site) snapshotFloor() vtime.VT {
 	return floor
 }
 
-// maybeGC prunes the given object's histories and reservations.
-func (s *Site) maybeGC(o *object) {
-	if s.opts.DisableGC {
-		return
+// combinedGCFloor returns the batch-cached GC floor, computing it on
+// first use within the batch. Committing a transaction only raises the
+// true floor, so a stale-low cache merely defers pruning to the next
+// batch; events that can lower the floor (new view snapshots) call
+// invalidateGCFloor.
+func (s *Site) combinedGCFloor() vtime.VT {
+	if s.gcFloorValid {
+		s.stats.GCFloorReuse.Inc()
+		return s.gcFloor
 	}
 	floor := s.decidedFloor()
 	if sf := s.snapshotFloor(); sf.Less(floor) {
 		floor = sf
 	}
+	s.gcFloor = floor
+	s.gcFloorValid = true
+	// Retire decided transaction states below the floor. They are kept
+	// only so late/duplicate messages can find them, and the outcomes
+	// map already answers those; without this sweep s.txns grows with
+	// every transaction ever seen and decidedFloor's scan turns the
+	// commit hot path quadratic in transaction count.
+	for vt, st := range s.txns {
+		if (st.status == txnCommitted || st.status == txnAborted) && vt.LessEq(floor) {
+			delete(s.txns, vt)
+		}
+	}
+	return floor
+}
+
+// invalidateGCFloor drops the batch floor cache. Called where the floor
+// can move down: snapshot creation.
+func (s *Site) invalidateGCFloor() {
+	s.gcFloorValid = false
+}
+
+// maybeGC prunes the given object's histories and reservations.
+func (s *Site) maybeGC(o *object) {
+	if s.opts.DisableGC {
+		return
+	}
+	floor := s.combinedGCFloor()
 	o.hist.GC(floor)
 	o.graphHist.GC(floor)
 	o.res.GCBelow(floor)

@@ -346,7 +346,10 @@ func (s *Site) Submit(txn *Txn) *Handle {
 	h := newHandle()
 	h.submittedWall = s.obs.NowNanos()
 	s.stats.Submitted.Add(1)
-	s.do(func() { s.execute(txn, h, 0) })
+	s.doOrDrop(
+		func() { s.execute(txn, h, 0) },
+		func() { h.finish(Result{Err: ErrSiteStopped}) },
+	)
 	return h
 }
 
@@ -884,8 +887,15 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 		}
 		s.stats.Retries.Add(1)
 		s.trace(obs.EvReExecute, st.vt, 0, "")
-		retry, attempts := st.retryFn, st.retries+1
-		s.do(func() { retry(attempts) })
+		retry, attempts, rh := st.retryFn, st.retries+1, st.handle
+		s.doOrDrop(
+			func() { retry(attempts) },
+			func() {
+				if rh != nil {
+					rh.finish(Result{Err: ErrSiteStopped})
+				}
+			},
+		)
 		return
 	}
 	if st.txn == nil {
@@ -913,10 +923,16 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 	s.stats.Retries.Add(1)
 	s.trace(obs.EvReExecute, st.vt, 0, "")
 	txn, h, retries := st.txn, st.handle, st.retries+1
+	resubmit := func() {
+		s.doOrDrop(
+			func() { s.execute(txn, h, retries) },
+			func() { h.finish(Result{Err: ErrSiteStopped}) },
+		)
+	}
 	if d := s.opts.RetryDelay; d > 0 {
-		time.AfterFunc(d, func() { s.do(func() { s.execute(txn, h, retries) }) })
+		time.AfterFunc(d, resubmit)
 	} else {
-		s.do(func() { s.execute(txn, h, retries) })
+		resubmit()
 	}
 }
 

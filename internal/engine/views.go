@@ -92,6 +92,16 @@ type viewProxy struct {
 	gen       uint64
 	latestGen atomic.Uint64
 
+	// Optimistic update deliveries coalesce: optPending always holds the
+	// newest undelivered payload (written by the event loop, read by the
+	// notifier), optQueued arms at most one delivery closure in the
+	// notify queue, and optDelivered is the last generation actually
+	// handed to the user. Keeping a single armed closure per view means
+	// queue overflow can delay the latest snapshot but never lose it.
+	optPending   atomic.Pointer[optPayload]
+	optQueued    atomic.Bool
+	optDelivered atomic.Uint64
+
 	// cur is the single uncommitted optimistic snapshot (paper §4.1:
 	// "An optimistic view proxy maintains at most one uncommitted
 	// snapshot").
@@ -120,6 +130,9 @@ func (h *ViewHandle) Detach() {
 	}
 	_ = h.s.call(func() {
 		h.p.detached = true
+		// Invalidate the generation gates so deliveries already queued
+		// (or armed) in the notifier never reach the detached view.
+		h.p.latestGen.Add(1)
 		for _, o := range h.p.attached {
 			for i, p := range o.proxies {
 				if p == h.p {
@@ -228,6 +241,8 @@ func (o *object) collectPendingAt(at vtime.VT, into map[vtime.VT]bool) {
 // buildSnapshot materializes a snapshot of the proxy's attached objects at
 // ts.
 func (p *viewProxy) buildSnapshot(ts vtime.VT, committedOnly, markAllChanged bool) *snapshot {
+	// A new snapshot can lower the GC floor below the batch cache.
+	p.site.invalidateGCFloor()
 	snap := &snapshot{
 		ts:       ts,
 		values:   make(map[ids.ObjectID]any, len(p.attached)),
@@ -372,25 +387,48 @@ func (p *viewProxy) runOptimistic() {
 	}
 	p.latestGen.Store(snap.gen)
 
-	data := snap.data(false)
-	gen := snap.gen
 	s := p.site
 	s.stats.OptNotifications.Add(1)
 	s.trace(obs.EvOptNotify, snap.ts, 0, "")
-	wall := snap.wall
-	s.notify(func() {
-		// Lossy delivery: only the newest queued snapshot reaches the
-		// view (paper §4.1: "optimistic views are only notified of the
-		// latest update").
-		if p.latestGen.Load() != gen {
-			return
-		}
-		s.obs.ObserveSince(s.stats.OptNotifyLatency, wall)
-		p.fns.Update(data)
-	})
+	p.optPending.Store(&optPayload{gen: snap.gen, data: snap.data(false), wall: snap.wall})
+	p.armOptDelivery()
 
 	p.requestOptimisticGuesses(snap)
 	p.checkOptimisticCommit(snap)
+}
+
+// optPayload is one optimistic update ready for delivery.
+type optPayload struct {
+	gen  uint64
+	data SnapshotData
+	wall int64
+}
+
+// armOptDelivery queues at most one delivery closure for this proxy.
+// The closure reads optPending at delivery time, so payloads
+// superseded while queued coalesce into the newest one (paper §4.1:
+// "optimistic views are only notified of the latest update"). If the
+// notify queue rejects the closure (overflow), the arm is released and
+// the next trigger retries — backpressure delays the latest snapshot
+// but cannot lose it.
+func (p *viewProxy) armOptDelivery() {
+	if !p.optQueued.CompareAndSwap(false, true) {
+		return // a queued closure will pick up the new payload
+	}
+	s := p.site
+	if s.notify(func() {
+		p.optQueued.Store(false)
+		d := p.optPending.Load()
+		if d == nil || d.gen == p.optDelivered.Load() || p.latestGen.Load() != d.gen {
+			return // already delivered, superseded mid-swap, or detached
+		}
+		p.optDelivered.Store(d.gen)
+		s.obs.ObserveSince(s.stats.OptNotifyLatency, d.wall)
+		p.fns.Update(d.data)
+	}) {
+		return
+	}
+	p.optQueued.Store(false)
 }
 
 // versionsEqual compares per-object state tokens.
@@ -551,6 +589,8 @@ func (p *viewProxy) onCommitted(cvt vtime.VT) {
 			break
 		}
 	}
+	// A new snapshot can lower the GC floor below the batch cache.
+	p.site.invalidateGCFloor()
 	snap := &snapshot{ts: cvt, rcDeps: map[vtime.VT]bool{}, wall: p.site.obs.NowNanos()}
 	p.snaps = append(p.snaps, nil)
 	copy(p.snaps[idx+1:], p.snaps[idx:])

@@ -243,6 +243,12 @@ func (h *History) Versions() []Version {
 // It returns the number of versions discarded. The latest committed
 // version is always retained.
 func (h *History) GC(floor vtime.VT) int {
+	// Fast path: pruning needs a committed version at index >= 1 with
+	// VT <= floor; a steady-state history (already pruned to its latest
+	// committed version plus pending tail) exits without scanning.
+	if len(h.versions) <= 1 || !h.versions[1].VT.LessEq(floor) {
+		return 0
+	}
 	// Find latest committed version at or below floor.
 	keep := -1
 	for i := 0; i < len(h.versions); i++ {

@@ -79,6 +79,9 @@ func (r *Reservations) Release(owner vtime.VT) int {
 // every transaction at or below floor is decided. It returns the number
 // discarded.
 func (r *Reservations) GCBelow(floor vtime.VT) int {
+	if len(r.rs) == 0 {
+		return 0
+	}
 	kept := r.rs[:0]
 	removed := 0
 	for _, res := range r.rs {

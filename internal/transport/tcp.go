@@ -1008,6 +1008,38 @@ func (t *TCP) Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {
 	}
 }
 
+// SendBatch implements BatchSender: one peer lookup for the whole
+// batch, then the per-message enqueue semantics of Send (including its
+// overflow drops). Legacy mode falls back to sequential blocking sends.
+func (t *TCP) SendBatch(to vtime.SiteID, sentAt vtime.VT, msgs []wire.Message) error {
+	p, err := t.peerFor(to)
+	if err != nil {
+		return err
+	}
+	for _, msg := range msgs {
+		if t.opts.Legacy {
+			if err := t.sendLegacy(p, to, sentAt, msg); err != nil {
+				return err
+			}
+			continue
+		}
+		select {
+		case <-p.stop:
+			return ErrSiteDown
+		case p.queue <- tcpOut{sentAt: sentAt, msg: msg}:
+			continue
+		default:
+		}
+		select {
+		case <-p.stop:
+			return ErrSiteDown
+		default:
+			t.stats.sendQueueDrops.Add(1)
+		}
+	}
+	return nil
+}
+
 // sendLegacy is the pre-batching path: dial if needed, then a blocking
 // gob encode straight onto the socket under the peer mutex.
 func (t *TCP) sendLegacy(p *tcpPeer, to vtime.SiteID, sentAt vtime.VT, msg wire.Message) error {

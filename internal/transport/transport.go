@@ -81,6 +81,16 @@ type Endpoint interface {
 	Close() error
 }
 
+// BatchSender is an optional Endpoint extension: SendBatch transmits
+// several messages to one destination with a single transport handoff.
+// The engine uses it to coalesce the outbound messages of one event-loop
+// batch per peer. Semantics match len(msgs) sequential Send calls:
+// per-message fault injection and latency jitter still apply, and FIFO
+// delivery order is preserved.
+type BatchSender interface {
+	SendBatch(to vtime.SiteID, sentAt vtime.VT, msgs []wire.Message) error
+}
+
 // ErrSiteDown is returned by Send when the destination site has failed or
 // closed its endpoint.
 var ErrSiteDown = errors.New("transport: destination site is down")
@@ -245,6 +255,38 @@ func (n *Network) send(from, to vtime.SiteID, sentAt vtime.VT, msg wire.Message)
 	}
 	ev := Event{Kind: EventMessage, From: from, SentAt: sentAt, Msg: msg}
 	n.link(from, to).enqueue(ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
+	return nil
+}
+
+// sendBatch enqueues a batch of messages for delivery: one pass over
+// the link-state checks and one link lookup for the whole batch, with
+// per-message fault injection and jitter (FIFO order is preserved by
+// the link's due-time clamp).
+func (n *Network) sendBatch(from, to vtime.SiteID, sentAt vtime.VT, msgs []wire.Message) error {
+	n.mu.Lock()
+	if n.dead[from] || n.dead[to] {
+		n.mu.Unlock()
+		return ErrSiteDown
+	}
+	if _, ok := n.endpoints[to]; !ok {
+		n.mu.Unlock()
+		return ErrUnknownSite
+	}
+	if n.blocked[linkKey{from, to}] {
+		// Partitioned: silently dropped, like a real network.
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	l := n.link(from, to)
+	for _, msg := range msgs {
+		if n.cfg.Faults.dropFrame(to) {
+			continue // injected loss, per message
+		}
+		ev := Event{Kind: EventMessage, From: from, SentAt: sentAt, Msg: msg}
+		l.enqueue(ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
+	}
 	return nil
 }
 
@@ -414,7 +456,10 @@ type memEndpoint struct {
 	closed bool // guarded by mu
 }
 
-var _ Endpoint = (*memEndpoint)(nil)
+var (
+	_ Endpoint    = (*memEndpoint)(nil)
+	_ BatchSender = (*memEndpoint)(nil)
+)
 
 func (ep *memEndpoint) Site() vtime.SiteID { return ep.site }
 
@@ -426,6 +471,16 @@ func (ep *memEndpoint) Send(to vtime.SiteID, sentAt vtime.VT, msg wire.Message) 
 	}
 	ep.mu.Unlock()
 	return ep.net.send(ep.site, to, sentAt, msg)
+}
+
+func (ep *memEndpoint) SendBatch(to vtime.SiteID, sentAt vtime.VT, msgs []wire.Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrSiteDown
+	}
+	ep.mu.Unlock()
+	return ep.net.sendBatch(ep.site, to, sentAt, msgs)
 }
 
 func (ep *memEndpoint) Events() <-chan Event { return ep.events }
