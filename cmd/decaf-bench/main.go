@@ -19,14 +19,19 @@
 //	e10 transport resilience: committed txn/s across injected link flaps
 //	e11 observability overhead: instrumented vs uninstrumented hot path
 //	e12 engine scaling: batched loop + sharded commit pipeline throughput
+//	e13 commutative fast path: local-commit adds vs guessed RMW latency
 //
 // e9 additionally writes its results to -transport-out (default
 // BENCH_transport.json), e10 to -resilience-out (default
-// BENCH_resilience.json), e11 to -obs-out (default BENCH_obs.json), and
-// e12 to -engine-out (default BENCH_engine.json) so the numbers are
+// BENCH_resilience.json), e11 to -obs-out (default BENCH_obs.json),
+// e12 to -engine-out (default BENCH_engine.json), and e13 to
+// -fastpath-out (default BENCH_fastpath.json) so the numbers are
 // diffable across revisions. e11 fails (exit 1) when the measured
 // hot-path overhead exceeds the 3% budget of DESIGN.md §9; e12 fails
-// when pipelined submission commits less than 2x the serial throughput.
+// when pipelined submission commits less than 2x the serial throughput
+// (enforced on machines with enough cores); e13 fails when fast-path
+// p50 latency reaches the simulated one-way delay at t=5ms or when any
+// run fails to converge.
 package main
 
 import (
@@ -50,6 +55,7 @@ func main() {
 		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "where e10 writes its JSON report ('' disables)")
 		obsOut        = flag.String("obs-out", "BENCH_obs.json", "where e11 writes its JSON report ('' disables)")
 		engineOut     = flag.String("engine-out", "BENCH_engine.json", "where e12 writes its JSON report ('' disables)")
+		fastpathOut   = flag.String("fastpath-out", "BENCH_fastpath.json", "where e13 writes its JSON report ('' disables)")
 		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/decaf/{state,trace} and pprof on this address (instruments site 1 of each experiment)")
 	)
 	flag.Parse()
@@ -68,7 +74,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
 			selected[e] = true
 		}
 	} else {
@@ -176,11 +182,35 @@ func main() {
 					return nil, err
 				}
 			}
-			if !res.Pass {
+			// The run fails only when the gate was enforced AND missed;
+			// below GateMinCores the result is advisory (Pass=false there
+			// records that the gate claim is unsupported, not that it
+			// failed).
+			if res.GateEnforced && !res.Pass {
 				return bench.EngineTable(res), fmt.Errorf(
 					"speedup %.2fx vs PR4 baseline below %.1fx gate", res.BaselineSpeedup, res.Gate)
 			}
 			return bench.EngineTable(res), nil
+		}},
+		{"e13", func() (*bench.Table, error) {
+			txns := 60
+			if *quick {
+				txns = 30
+			}
+			res, err := bench.MeasureFastpath(txns)
+			if err != nil {
+				return nil, err
+			}
+			if *fastpathOut != "" {
+				if err := bench.WriteFastpathJSON(*fastpathOut, res); err != nil {
+					return nil, err
+				}
+			}
+			if !res.Pass {
+				return bench.FastpathTable(res), fmt.Errorf(
+					"fast-path p50 not below t at t=%.0fms, or a run failed to converge", res.GateLatencyMS)
+			}
+			return bench.FastpathTable(res), nil
 		}},
 	}
 

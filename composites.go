@@ -39,8 +39,39 @@ func (l *List) At(tx *Tx, i int) Object {
 }
 
 // Insert embeds a new child of the given kind at index i and returns it.
+//
+// Index-based inserts race under concurrent submitters: two sites that
+// both insert "at index 2" resolve their index against different local
+// states, so the elements land relative to whatever each site saw. For
+// concurrent editing, anchor on an element instead with InsertAfter.
 func (l *List) Insert(tx *Tx, i int, kind Kind, initial any) Object {
 	ref, err := tx.inner.ListInsert(l.ref, i, wire.ChildDecl{Kind: kind.k, Value: normalizeValue(initial)})
+	if err != nil {
+		return nil
+	}
+	return wrapRef(l.site, ref)
+}
+
+// ElemTag is the stable identity of a list element, independent of its
+// current index. Obtain one with TagAt and use it as the anchor of
+// InsertAfter.
+type ElemTag = wire.ElemTag
+
+// TagAt returns the stable tag of the element at index i, recording a
+// structural read.
+func (l *List) TagAt(tx *Tx, i int) (ElemTag, error) {
+	return tx.inner.ListTagAt(l.ref, i)
+}
+
+// InsertAfter embeds a new child directly after the element tagged
+// `after` (the zero ElemTag anchors at the head) and returns it. The
+// position names an element rather than an index, so concurrent inserts
+// at different sites interleave deterministically — this is the
+// sanctioned op for concurrent editing, and (when the transaction does
+// nothing else) it commits on the commutative fast path without a
+// primary round-trip.
+func (l *List) InsertAfter(tx *Tx, after ElemTag, kind Kind, initial any) Object {
+	ref, err := tx.inner.ListInsertAfter(l.ref, after, wire.ChildDecl{Kind: kind.k, Value: normalizeValue(initial)})
 	if err != nil {
 		return nil
 	}

@@ -181,6 +181,7 @@ func DefaultAnalyzers() []*Analyzer {
 		RawVT(),
 		Wallclock(DefaultDeterministic...),
 		AtomicMix(),
+		Fastpath(),
 	}
 }
 

@@ -47,6 +47,7 @@ func TestFixtures(t *testing.T) {
 		// here the fixture's synthetic import path is protected instead.
 		{"wallclock", Wallclock("fixture/wallclock")},
 		{"atomicmix", AtomicMix()},
+		{"fastpath", Fastpath()},
 	}
 	loader := fixtureLoader(t)
 	for _, tc := range cases {

@@ -78,3 +78,13 @@ func WriteEngineJSON(path string, r EngineScalingResult) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// WriteFastpathJSON writes the E13 commutative fast-path report to path
+// (BENCH_fastpath.json at the repo root).
+func WriteFastpathJSON(path string, r FastpathResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"decaf"
+	"decaf/internal/vtime"
+)
+
+// Experiment E13: the commutative fast path. A transaction built only
+// from commutative ops (counter adds here) commits locally without the
+// §3 confirm round-trip, so its commit latency is independent of the
+// network delay t; a guessed read-modify-write still pays 2t to its
+// remote primary. E13 sweeps t, drives a 70% commutative / 30% guessed
+// mixed workload, and reports per-cohort commit latency against a
+// control run with the fast path disabled (where adds ride the guessed
+// path like everything else). Replicas must converge to the exact total
+// in every run.
+
+// FastpathGateLatency is the sweep point the gate is evaluated at: with
+// t = 5ms, a fast-path commit must complete in under t (it does no
+// network round-trip, so in practice it is sub-millisecond).
+const FastpathGateLatency = 5 * time.Millisecond
+
+// FastpathRow is one latency point of the E13 sweep.
+type FastpathRow struct {
+	LatencyMS float64 `json:"latency_ms"`
+
+	// The mixed run, fast path enabled.
+	FastP50MS    float64 `json:"fast_p50_ms"`
+	FastP95MS    float64 `json:"fast_p95_ms"`
+	GuessedP50MS float64 `json:"guessed_p50_ms"`
+	GuessedP95MS float64 `json:"guessed_p95_ms"`
+
+	// The control run, fast path disabled: the same adds commit as
+	// ordinary blind writes (2t), the guessed cohort is unchanged.
+	ControlAddP50MS     float64 `json:"control_add_p50_ms"`
+	ControlGuessedP50MS float64 `json:"control_guessed_p50_ms"`
+
+	// FastpathCommits counted at the submitting site (must equal the
+	// committed adds of the mixed run); Demotions summed across sites.
+	FastpathCommits uint64 `json:"fastpath_commits"`
+	Demotions       uint64 `json:"fastpath_demotions"`
+
+	// Converged reports that every replica reached the exact expected
+	// total in both runs.
+	Converged bool `json:"converged"`
+}
+
+// FastpathResult is the persisted E13 report (BENCH_fastpath.json).
+type FastpathResult struct {
+	Txns          int           `json:"txns_per_run"`
+	AddFraction   float64       `json:"add_fraction"`
+	Rows          []FastpathRow `json:"rows"`
+	GateLatencyMS float64       `json:"gate_latency_ms"`
+	// Pass: at the gate latency, fast-path p50 < t and all runs
+	// converged. The guessed-cohort comparison is informational (on a
+	// noisy box the 2t cohort jitters; convergence and the fast cohort's
+	// latency are the claims the fast path makes).
+	Pass bool `json:"pass"`
+}
+
+// MeasureFastpath runs the E13 sweep: txns transactions per run, 70%
+// adds, at one-way delays of 2, 5, and 10ms.
+func MeasureFastpath(txns int) (FastpathResult, error) {
+	res := FastpathResult{
+		Txns:          txns,
+		AddFraction:   0.7,
+		GateLatencyMS: float64(FastpathGateLatency) / float64(time.Millisecond),
+	}
+	res.Pass = true
+	for _, t := range []time.Duration{2 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond} {
+		mixed, err := runFastpathOnce(t, txns, false)
+		if err != nil {
+			return res, fmt.Errorf("E13 t=%v: %w", t, err)
+		}
+		control, err := runFastpathOnce(t, txns, true)
+		if err != nil {
+			return res, fmt.Errorf("E13 control t=%v: %w", t, err)
+		}
+		row := FastpathRow{
+			LatencyMS:           float64(t) / float64(time.Millisecond),
+			FastP50MS:           msF(percentile(mixed.addSamples, 0.50)),
+			FastP95MS:           msF(percentile(mixed.addSamples, 0.95)),
+			GuessedP50MS:        msF(percentile(mixed.rmwSamples, 0.50)),
+			GuessedP95MS:        msF(percentile(mixed.rmwSamples, 0.95)),
+			ControlAddP50MS:     msF(percentile(control.addSamples, 0.50)),
+			ControlGuessedP50MS: msF(percentile(control.rmwSamples, 0.50)),
+			FastpathCommits:     mixed.fastCommits,
+			Demotions:           mixed.demotions,
+			Converged:           mixed.converged && control.converged,
+		}
+		res.Rows = append(res.Rows, row)
+		if !row.Converged {
+			res.Pass = false
+		}
+		if t == FastpathGateLatency && row.FastP50MS >= row.LatencyMS {
+			res.Pass = false
+		}
+	}
+	return res, nil
+}
+
+// fastpathRun is one measured workload run.
+type fastpathRun struct {
+	addSamples  []time.Duration
+	rmwSamples  []time.Duration
+	fastCommits uint64
+	demotions   uint64
+	converged   bool
+}
+
+// runFastpathOnce drives txns transactions (70% adds, 30% RMW, shuffled)
+// from site 2 against a primary at site 1, one at a time so each sample
+// is a clean submit-to-commit latency. Every transaction increments by
+// one, so both replicas must converge to exactly txns.
+func runFastpathOnce(t time.Duration, txns int, disableFast bool) (fastpathRun, error) {
+	var run fastpathRun
+	c := &cluster{net: decaf.NewSimNetwork(decaf.SimConfig{Latency: t})}
+	for i := 1; i <= 2; i++ {
+		s, err := decaf.DialOptions(c.net, vtime.SiteID(i), decaf.Options{DisableFastPath: disableFast})
+		if err != nil {
+			c.close()
+			return run, err
+		}
+		c.sites = append(c.sites, s)
+	}
+	defer c.close()
+
+	objs, err := c.joinedInts("x", 1, 2)
+	if err != nil {
+		return run, err
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	isAdd := make([]bool, txns)
+	nAdds := int(0.7 * float64(txns))
+	for i := 0; i < nAdds; i++ {
+		isAdd[i] = true
+	}
+	rng.Shuffle(txns, func(a, b int) { isAdd[a], isAdd[b] = isAdd[b], isAdd[a] })
+
+	o := objs[2]
+	for _, add := range isAdd {
+		var fn func(tx *decaf.Tx) error
+		if add {
+			fn = func(tx *decaf.Tx) error { o.Add(tx, 1); return nil }
+		} else {
+			fn = func(tx *decaf.Tx) error {
+				v := o.Value(tx)
+				o.Set(tx, v+1)
+				return nil
+			}
+		}
+		start := time.Now()
+		if r := c.site(2).ExecuteFunc(fn).Wait(); !r.Committed {
+			return run, fmt.Errorf("txn did not commit: %+v", r)
+		}
+		sample := time.Since(start)
+		if add {
+			run.addSamples = append(run.addSamples, sample)
+		} else {
+			run.rmwSamples = append(run.rmwSamples, sample)
+		}
+	}
+
+	want := int64(txns)
+	run.converged = true
+	for i := 1; i <= 2; i++ {
+		if _, err := waitCommittedInt(objs[i], want, 10*time.Second); err != nil {
+			run.converged = false
+		}
+	}
+	st := c.site(2).Stats()
+	run.fastCommits = st.FastpathCommits
+	for i := 1; i <= 2; i++ {
+		run.demotions += c.site(i).Stats().FastpathDemotions
+	}
+	if disableFast && run.fastCommits != 0 {
+		return run, fmt.Errorf("control run took the fast path %d times", run.fastCommits)
+	}
+	if !disableFast && run.fastCommits != uint64(len(run.addSamples)) {
+		return run, fmt.Errorf("fast commits %d != committed adds %d", run.fastCommits, len(run.addSamples))
+	}
+	return run, nil
+}
+
+// msF renders a duration in fractional milliseconds for the JSON report.
+func msF(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// FastpathTable renders the E13 sweep.
+func FastpathTable(r FastpathResult) *Table {
+	tab := &Table{
+		Title: "E13 — commutative fast path (adds commit locally; guessed RMW pays 2t)",
+		Note: fmt.Sprintf("2 sites, primary remote; %d txns/run, %.0f%% adds; control = fast path disabled;\n"+
+			"gate: fast p50 < t at t=%.0fms, exact convergence everywhere",
+			r.Txns, 100*r.AddFraction, r.GateLatencyMS),
+		Columns: []string{"t(ms)", "fast p50", "fast p95", "guessed p50", "ctl add p50", "ctl guessed p50", "fast commits", "demotions", "converged"},
+	}
+	for _, row := range r.Rows {
+		tab.AddRow(
+			fmt.Sprintf("%.0f", row.LatencyMS),
+			fmt.Sprintf("%.3fms", row.FastP50MS),
+			fmt.Sprintf("%.3fms", row.FastP95MS),
+			fmt.Sprintf("%.2fms", row.GuessedP50MS),
+			fmt.Sprintf("%.2fms", row.ControlAddP50MS),
+			fmt.Sprintf("%.2fms", row.ControlGuessedP50MS),
+			fmt.Sprintf("%d", row.FastpathCommits),
+			fmt.Sprintf("%d", row.Demotions),
+			fmt.Sprintf("%v", row.Converged),
+		)
+	}
+	return tab
+}

@@ -149,6 +149,36 @@ func (tx *Tx) Write(ref ObjRef, value any) error {
 	return nil
 }
 
+// Add increments a numeric scalar object by delta (int64 for KindInt,
+// float64 for KindFloat) inside a transaction. Adds commute: a
+// transaction built only from adds and other commutative ops commits on
+// the fast path, without a primary round-trip.
+func (tx *Tx) Add(ref ObjRef, delta any) error {
+	if ref.o == nil {
+		return ErrInvalidRef
+	}
+	switch n := delta.(type) {
+	case int:
+		delta = int64(n)
+	case int32:
+		delta = int64(n)
+	}
+	switch ref.o.kind {
+	case KindInt:
+		if _, ok := delta.(int64); !ok {
+			return fmt.Errorf("%w: delta %T does not fit %s", ErrWrongKind, delta, ref.o.kind)
+		}
+	case KindFloat:
+		if _, ok := delta.(float64); !ok {
+			return fmt.Errorf("%w: delta %T does not fit %s", ErrWrongKind, delta, ref.o.kind)
+		}
+	default:
+		return fmt.Errorf("%w: cannot Add to %s", ErrWrongKind, ref.o.kind)
+	}
+	tx.AddScalar(ref.o, delta)
+	return nil
+}
+
 // checkValueKind validates a scalar value against the object kind.
 func checkValueKind(kind Kind, v any) error {
 	ok := false

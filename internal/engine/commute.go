@@ -1,0 +1,274 @@
+package engine
+
+// The commutative fast path. A transaction whose updates are all provably
+// commutative — counter adds (OpAdd), add-wins association inserts
+// (OpAssocInsert), stable-position list inserts (OpListInsertAfter) — and
+// whose read set is empty cannot fail the paper's §3.1 guess checks in any
+// serialization: every interleaving of such ops merges to the same state.
+// It therefore skips guess creation, RL/NC reservation, and the confirm
+// exchange entirely: it commits locally at its VT stamp and propagates as
+// already-confirmed over FastWrite, applied via deterministic merge on
+// receipt.
+//
+// Coexistence with guessed transactions is the delicate part. A fast-path
+// commit at vtF landing inside another transaction's reserved write-free
+// interval (tR, tT] invalidates that RL guess; the guess is DEMOTED to
+// re-validation (aborted and retried at its origin, which re-reads the
+// merged value). In the other direction, fast-path versions sit in the
+// object history like any other version, so a later guess over them is
+// denied by the ordinary RL scan — the primary accounts for
+// confirmed-on-arrival versions it never reserved.
+//
+// INVARIANT (enforced by the decaf-vet fastpath analyzer): functions in
+// this file never call into the reservation/confirm machinery — no
+// Reserve, no Conflicts, no primaryCheck*, no validateAsPrimary, no
+// propagate. The fast path stays fast, and honest, by construction.
+
+import (
+	"fmt"
+
+	"decaf/internal/history"
+	"decaf/internal/obs"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// addDelta adds an OpAdd delta to a previous numeric value (nil reads as
+// the kind's zero).
+func addDelta(prev any, delta any) any {
+	switch d := delta.(type) {
+	case int64:
+		n, _ := prev.(int64)
+		return n + d
+	case float64:
+		f, _ := prev.(float64)
+		return f + d
+	}
+	return prev
+}
+
+// mergeAdd builds the history-layer merge function of one counter add.
+func mergeAdd(delta any) func(prev any) any {
+	return func(prev any) any { return addDelta(prev, delta) }
+}
+
+// mergeRel builds the merge function of one add-wins relationship insert.
+func mergeRel(rel wire.Relationship) func(prev any) any {
+	return func(prev any) any {
+		rels, _ := prev.([]wire.Relationship)
+		return mergeRelationships(rels, rel)
+	}
+}
+
+// mergeRelationships inserts rel into rels, replacing a same-name entry
+// (deterministic under concurrency: versions recompute in VT order, so the
+// greatest-VT insert of a name wins at every replica).
+func mergeRelationships(rels []wire.Relationship, rel wire.Relationship) []wire.Relationship {
+	out := make([]wire.Relationship, 0, len(rels)+1)
+	replaced := false
+	for _, r := range rels {
+		if r.Name == rel.Name {
+			out = append(out, rel)
+			replaced = true
+			continue
+		}
+		out = append(out, r)
+	}
+	if !replaced {
+		out = append(out, rel)
+	}
+	return out
+}
+
+// isCommutativeOp reports whether op commutes with every concurrent
+// instance of the commutative op set.
+func isCommutativeOp(op wire.Op) bool {
+	switch op.(type) {
+	case wire.OpAdd, wire.OpAssocInsert, wire.OpListInsertAfter:
+		return true
+	default:
+		return false
+	}
+}
+
+// tryFastPath classifies st at the end of local execution. When every
+// update is commutative and there is nothing to check — no reads, no RC
+// dependencies, no graph ops, no join machinery — it commits the
+// transaction on the fast path and returns true; the caller then skips
+// propagate() entirely.
+func (s *Site) tryFastPath(st *txnState) bool {
+	if s.opts.DisableFastPath || st.denied {
+		return false
+	}
+	if len(st.writes) == 0 || len(st.reads) != 0 || len(st.rcDeps) != 0 ||
+		st.extraPending != 0 || st.hasGraphOp {
+		return false
+	}
+	for _, w := range st.writes {
+		// Protocol-level overrides (leaves, promotions) and non-blind
+		// writes carry context a merge cannot express.
+		if w.targetGraph != nil || w.pathOverride != nil || w.readVT != st.vt {
+			return false
+		}
+		if len(w.ops) == 0 {
+			return false
+		}
+		for _, op := range w.ops {
+			if !isCommutativeOp(op) {
+				return false
+			}
+		}
+	}
+	s.commitFastPath(st)
+	return true
+}
+
+// commitFastPath commits st locally at its VT stamp and ships the updates
+// as already-confirmed FastWrites — no reservation, no confirm exchange,
+// no summary outcome.
+func (s *Site) commitFastPath(st *txnState) {
+	st.status = txnCommitted
+	s.outcomes[st.vt] = true
+	st.commitApplied()
+
+	out := map[vtime.SiteID][]wire.Update{}
+	for _, w := range st.writes {
+		root := w.obj.replicationRoot()
+		g := root.graph
+		path := w.obj.pathFromRoot()
+		for _, node := range g.Nodes() {
+			nodeSite, _ := g.SiteOf(node)
+			if node == root.id {
+				continue // applied during execution
+			}
+			if nodeSite == s.id {
+				// A sibling replica at this very site: merge directly,
+				// already committed.
+				if target, ok := s.objects[node]; ok {
+					for _, op := range w.ops {
+						s.applyOpRead(st, target, path, op, history.Committed, w.readVT)
+					}
+				}
+				continue
+			}
+			for _, op := range w.ops {
+				out[nodeSite] = append(out[nodeSite], wire.Update{
+					Target:  node,
+					Path:    path,
+					ReadVT:  w.readVT,
+					GraphVT: w.graphVT,
+					Op:      op,
+				})
+			}
+		}
+	}
+	for site, updates := range out {
+		st.involved[site] = true
+		s.trace(obs.EvPropagate, st.vt, site, "fastpath")
+		s.send(site, wire.FastWrite{TxnVT: st.vt, Origin: s.id, Updates: updates})
+	}
+
+	s.resolveRC(st.vt, true)
+	s.onLocalCommit(st.appliedObjects(), st.vt)
+	s.demoteGuessesFor(st.appliedObjects(), st.vt)
+	s.stats.Commits.Add(1)
+	s.stats.FastpathCommits.Add(1)
+	s.trace(obs.EvCommit, st.vt, 0, "fastpath")
+	s.stats.CommitLatencyVT.Observe(float64(s.clock.Now().Time - st.vt.Time))
+	if st.handle != nil {
+		s.obs.ObserveSince(s.stats.CommitLatency, st.handle.submittedWall)
+		st.handle.finish(Result{Committed: true, Retries: st.retries, VT: st.vt})
+	}
+	s.gcTxnObjects(st)
+}
+
+// handleFastWrite applies a remote fast-path transaction: the updates are
+// already confirmed, so they merge in as committed versions immediately.
+// An update blocked on unseen structure (a list insert whose After element
+// has not arrived) parks on the root's pending queue like any indirect
+// update; drainPending later applies it as committed because the outcome
+// is recorded first.
+func (s *Site) handleFastWrite(from vtime.SiteID, m wire.FastWrite) {
+	s.outcomes[m.TxnVT] = true
+	st := s.ensureTxn(m.TxnVT, m.Origin)
+	if st.appliedWall == 0 {
+		st.appliedWall = s.obs.NowNanos()
+	}
+	s.trace(obs.EvApply, m.TxnVT, m.Origin, "fastpath")
+
+	for _, upd := range m.Updates {
+		upd := upd
+		if s.applyUpdate(st, upd, history.Committed) {
+			s.stats.UpdatesApplied.Add(1)
+			continue
+		}
+		if root := s.objects[upd.Target]; root != nil {
+			root.pending = append(root.pending, pendingIndirect{
+				txnVT:  m.TxnVT,
+				origin: m.Origin,
+				upd:    upd,
+			})
+		}
+	}
+	st.status = txnCommitted
+	s.scheduleOptimistic(st.appliedObjects())
+	s.onLocalCommit(st.appliedObjects(), m.TxnVT)
+	s.resolveRC(m.TxnVT, true)
+	s.demoteGuessesFor(st.appliedObjects(), m.TxnVT)
+	s.trace(obs.EvCommit, m.TxnVT, m.Origin, "fastpath")
+	s.gcTxnObjects(st)
+}
+
+// demoteGuessesFor finds open RL reservations on the given objects whose
+// write-free interval contains the fast-path commit vt, and demotes their
+// guesses to re-validation: the reserved interval was promised write-free,
+// and the fast-path version just landed inside it. A local guess aborts
+// and retries here (re-reading the merged value); a remote guess gets its
+// confirmation retracted via a transient denial, which its origin treats
+// as a conflict abort + retry if the transaction is still undecided.
+func (s *Site) demoteGuessesFor(objs []*object, vt vtime.VT) {
+	for _, obj := range objs {
+		// Primary-side sweep: open reservations whose interval contains
+		// the fast commit.
+		for _, owner := range obj.res.Intersecting(vt, vt) {
+			if _, decided := s.outcomes[owner]; decided {
+				continue
+			}
+			reason := fmt.Sprintf("demoted: fast-path commit %s inside reserved interval of %s", vt, owner)
+			s.stats.FastpathDemotions.Add(1)
+			if st2, ok := s.txns[owner]; ok && st2.origin == s.id && st2.status == txnWaiting {
+				s.abortTxn(st2, reason)
+				continue
+			}
+			if owner.Site != s.id {
+				// Retract the confirmation. If the origin already decided
+				// (the commit raced the retraction), the fast version still
+				// merged deterministically everywhere; the demotion only
+				// closes the window for still-undecided guesses.
+				s.send(owner.Site, wire.Confirm{
+					TxnVT: owner, From: s.id, OK: false, Transient: true, Reason: reason,
+				})
+			}
+		}
+		// Origin-side sweep: a pending version here whose write-free
+		// interval (ReadVT, VT] contains the fast commit belongs to a
+		// guess whose read the fast write just invalidated. If that guess
+		// originated here and is still waiting, abort it before a stale
+		// confirmation can commit it.
+		for _, v := range obj.hist.Versions() {
+			if v.Status != history.Pending || v.VT == vt || v.ReadVT == v.VT {
+				continue
+			}
+			iv := vtime.Interval{Lo: v.ReadVT, Hi: v.VT}
+			if !iv.Contains(vt) {
+				continue
+			}
+			st2, ok := s.txns[v.VT]
+			if !ok || st2.origin != s.id || st2.status != txnWaiting {
+				continue
+			}
+			s.stats.FastpathDemotions.Add(1)
+			s.abortTxn(st2, fmt.Sprintf("demoted: fast-path commit %s inside read interval of %s", vt, v.VT))
+		}
+	}
+}

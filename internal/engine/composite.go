@@ -41,7 +41,8 @@ func (tx *Tx) applyLocalOp(comp *object, op wire.Op) {
 func (tx *Tx) countInsertsBy(w *writeRec) uint32 {
 	var n uint32
 	for _, op := range w.ops {
-		if _, ok := op.(wire.OpListInsert); ok {
+		switch op.(type) {
+		case wire.OpListInsert, wire.OpListInsertAfter:
 			n++
 		}
 	}
@@ -114,6 +115,70 @@ func (tx *Tx) ListInsert(ref ObjRef, idx int, decl wire.ChildDecl) (ObjRef, erro
 	op := wire.OpListInsert{
 		Tag:   wire.ElemTag{VT: tx.st.vt, N: tx.countInsertsBy(w)},
 		Index: idx,
+		Child: decl,
+		After: after,
+	}
+	w.ops = append(w.ops, op)
+	tx.applyLocalOp(l, op)
+	_, le := l.findChildByTag(op.Tag)
+	if le == nil {
+		return ObjRef{}, fmt.Errorf("engine: insert did not materialize element %s", op.Tag)
+	}
+	return ObjRef{o: le.child}, nil
+}
+
+// ListTagAt returns the stable tag of the element at index idx, for use
+// as the anchor of ListInsertAfter. It records a structural read.
+func (tx *Tx) ListTagAt(ref ObjRef, idx int) (wire.ElemTag, error) {
+	l := ref.o
+	if l == nil {
+		return wire.ElemTag{}, ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return wire.ElemTag{}, fmt.Errorf("%w: ListTagAt on %s", ErrWrongKind, l.kind)
+	}
+	tx.recordRead(l)
+	vis := l.visibleElems(l.latestVT(), false)
+	if idx < 0 || idx >= len(vis) {
+		return wire.ElemTag{}, fmt.Errorf("%w: index %d of %d", ErrNoSuchElement, idx, len(vis))
+	}
+	return l.elems[vis[idx]].tag, nil
+}
+
+// ListInsertAfter embeds a new child directly after the element tagged
+// `after` (the zero tag anchors at the head) and returns its ref. The
+// position is stable — it names an element, not an index — so concurrent
+// inserts at different sites interleave deterministically (RGA order:
+// ties resolve by tag) instead of racing over shifting indices. This is
+// the sanctioned op for concurrent editing, and the only list insert the
+// commutative fast path accepts: unlike ListInsert it records no read and
+// needs no index agreement.
+func (tx *Tx) ListInsertAfter(ref ObjRef, after wire.ElemTag, decl wire.ChildDecl) (ObjRef, error) {
+	l := ref.o
+	if l == nil {
+		return ObjRef{}, ErrInvalidRef
+	}
+	if l.kind != KindList {
+		return ObjRef{}, fmt.Errorf("%w: ListInsertAfter on %s", ErrWrongKind, l.kind)
+	}
+	if err := validDecl(decl); err != nil {
+		return ObjRef{}, err
+	}
+	if after != (wire.ElemTag{}) {
+		_, ale := l.findChildByTag(after)
+		if ale == nil {
+			return ObjRef{}, fmt.Errorf("%w: no element tagged %s", ErrNoSuchElement, after)
+		}
+		// Causal dependency on a still-pending anchor routes this
+		// transaction through the guessed path (RC guess, paper §3.2.1);
+		// an anchor from committed state keeps it fast-path eligible.
+		if v, ok := l.hist.Get(ale.insertVT); ok && v.Status == history.Pending && v.VT != tx.st.vt {
+			tx.st.rcDeps[v.VT] = true
+		}
+	}
+	w := tx.ensureCompositeWrite(l)
+	op := wire.OpListInsertAfter{
+		Tag:   wire.ElemTag{VT: tx.st.vt, N: tx.countInsertsBy(w)},
 		Child: decl,
 		After: after,
 	}

@@ -226,7 +226,7 @@ func (s *Site) validateAsPrimary(st *txnState, vt vtime.VT, updates []wire.Updat
 // validates against the composite itself rather than a child).
 func isStructuralOp(op wire.Op) bool {
 	switch op.(type) {
-	case wire.OpListInsert, wire.OpListRemove, wire.OpTupleSet, wire.OpTupleRemove:
+	case wire.OpListInsert, wire.OpListInsertAfter, wire.OpListRemove, wire.OpTupleSet, wire.OpTupleRemove:
 		return true
 	default:
 		return false
@@ -497,6 +497,25 @@ func (s *Site) applyOpRead(st *txnState, target *object, path wire.Path, op wire
 			return true
 		}
 		st.applied = append(st.applied, appliedUpdate{obj: obj, undo: func() { obj.hist.Abort(vt) }})
+	case wire.OpAdd:
+		if err := obj.hist.InsertMerge(vt, status, readVT, mergeAdd(o.Delta)); err != nil {
+			s.log.Debug("duplicate update ignored", "obj", obj.id.String(), "vt", vt.String())
+			return true
+		}
+		st.applied = append(st.applied, appliedUpdate{obj: obj, undo: func() { obj.hist.Abort(vt) }})
+	case wire.OpAssocInsert:
+		if err := obj.hist.InsertMerge(vt, status, readVT, mergeRel(o.Rel)); err != nil {
+			return true
+		}
+		st.applied = append(st.applied, appliedUpdate{obj: obj, undo: func() { obj.hist.Abort(vt) }})
+	case wire.OpListInsertAfter:
+		// Position comes solely from the After anchor and tag order, so
+		// receivers can reuse the index-op applier, which already ignores
+		// the (origin-only) Index field.
+		eq := wire.OpListInsert{Tag: o.Tag, Child: o.Child, After: o.After}
+		if !s.applyListInsert(st, obj, eq, status) {
+			return false // the After element's insert not yet received
+		}
 	case wire.OpGraph:
 		s.applyGraphOp(st, obj, o, status)
 		st.hasGraphOp = true

@@ -206,3 +206,117 @@ func TestCommittedSpansContainConfirms(t *testing.T) {
 		}
 	}
 }
+
+// TestFastpathCounterInvariants drives a mixed fast-path/guessed workload
+// and checks the accounting identities the commutative fast path adds:
+//
+//	FastpathCommits <= Commits            (fast commits are commits)
+//	Σ FastpathCommits == committed adds   (every add commits fast, once)
+//	Submitted == Commits + ProgrammedAborts + abandoned   (still holds)
+//
+// plus the registry names and the "committed-fastpath" span outcome, and
+// that fast-path spans never contain a confirm exchange.
+func TestFastpathCounterInvariants(t *testing.T) {
+	h, observers := newObsHarness(t, 3, transport.Config{}, Options{})
+	refs := h.joined(KindInt, "x", int64(0), 1, 2, 3)
+
+	rng := rand.New(rand.NewSource(11))
+	const perSite = 30
+	sites := []int{1, 2, 3}
+	abandoned := map[int]uint64{}
+	committedAdds := map[int]uint64{}
+
+	type sub struct {
+		site  int
+		isAdd bool
+		hd    *Handle
+	}
+	var subs []sub
+	for k := 0; k < perSite; k++ {
+		for _, i := range sites {
+			ref := refs[i]
+			isAdd := rng.Intn(10) < 7
+			var txn *Txn
+			if isAdd {
+				txn = &Txn{Name: "add", Execute: func(tx *Tx) error {
+					return tx.Add(ref, int64(1))
+				}}
+			} else {
+				txn = &Txn{Name: "rmw", Execute: func(tx *Tx) error {
+					v, err := tx.Read(ref)
+					if err != nil {
+						return err
+					}
+					n, _ := v.(int64)
+					return tx.Write(ref, n+1)
+				}}
+			}
+			subs = append(subs, sub{site: i, isAdd: isAdd, hd: h.site(i).Submit(txn)})
+		}
+	}
+
+	for _, sb := range subs {
+		res := sb.hd.Wait()
+		switch {
+		case res.Committed:
+			if sb.isAdd {
+				committedAdds[sb.site]++
+			}
+		case errors.Is(res.Err, ErrTooManyRetries):
+			abandoned[sb.site]++
+		default:
+			t.Fatalf("site %d: unexpected result %+v", sb.site, res)
+		}
+	}
+
+	h.eventually(5*time.Second, "all sites quiescent", func() bool {
+		for _, i := range sites {
+			if !h.noPendingTxns(i) {
+				return false
+			}
+		}
+		return true
+	})
+
+	for _, i := range sites {
+		st := h.site(i).Stats()
+		if st.FastpathCommits > st.Commits {
+			t.Errorf("site %d: FastpathCommits=%d > Commits=%d", i, st.FastpathCommits, st.Commits)
+		}
+		if st.FastpathCommits != committedAdds[i] {
+			t.Errorf("site %d: FastpathCommits=%d, committed adds=%d", i, st.FastpathCommits, committedAdds[i])
+		}
+		if st.Submitted != st.Commits+st.ProgrammedAborts+abandoned[i] {
+			t.Errorf("site %d: Submitted=%d != Commits=%d + ProgrammedAborts=%d + abandoned=%d",
+				i, st.Submitted, st.Commits, st.ProgrammedAborts, abandoned[i])
+		}
+		reg := observers[i].Metrics()
+		if v, ok := reg.Value("decaf_fastpath_commits_total"); !ok || uint64(v) != st.FastpathCommits {
+			t.Errorf("site %d: registry fastpath commits=%v (ok=%v) != Stats.FastpathCommits=%d", i, v, ok, st.FastpathCommits)
+		}
+		if v, ok := reg.Value("decaf_fastpath_demotions_total"); !ok || uint64(v) != st.FastpathDemotions {
+			t.Errorf("site %d: registry fastpath demotions=%v (ok=%v) != Stats.FastpathDemotions=%d", i, v, ok, st.FastpathDemotions)
+		}
+
+		// Fast-path spans carry the dedicated outcome and, by
+		// construction, no confirm exchange.
+		fastSpans := 0
+		for _, sp := range observers[i].Trace().Spans() {
+			if sp.Outcome != "committed-fastpath" {
+				continue
+			}
+			if sp.TxnVT.Site != vtime.SiteID(i) {
+				continue // remote fast write applied here
+			}
+			fastSpans++
+			for _, ev := range sp.Events {
+				if ev.Kind == obs.EvConfirm || (ev.Kind == obs.EvPropagate && ev.Detail == "confirm") {
+					t.Errorf("site %d: fast-path span %s contains confirm traffic: %+v", i, sp.TxnVT, ev)
+				}
+			}
+		}
+		if committedAdds[i] > 0 && fastSpans == 0 {
+			t.Errorf("site %d: committed %d adds but traced no committed-fastpath spans", i, committedAdds[i])
+		}
+	}
+}

@@ -47,7 +47,10 @@ type writeTask struct {
 	st               *txnState
 	status           history.Status
 	committedAlready bool
-	stripe           int
+	// fast marks a staged FastWrite (m is its Write-shaped equivalent):
+	// committed on arrival, with the demotion sweep run at finish time.
+	fast   bool
+	stripe int
 
 	// Results written by the worker, read by the loop after the join
 	// barrier.
@@ -138,6 +141,42 @@ func (s *Site) stageWrite(from vtime.SiteID, m wire.Write) bool {
 	return true
 }
 
+// stageFastWrite queues an eligible FastWrite for the batch's fork-join
+// run. Fast-path transactions are committed on arrival, so the task
+// carries no confirm work; the loop-owned prologue records the outcome
+// before workers touch histories, letting blocked-update bookkeeping (not
+// possible for eligible shapes anyway) and drainPending see it committed.
+func (s *Site) stageFastWrite(from vtime.SiteID, m wire.FastWrite) bool {
+	if s.workers <= 1 || s.inFlush || s.authorizer != nil {
+		return false
+	}
+	w := wire.Write{TxnVT: m.TxnVT, Origin: m.Origin, Updates: m.Updates}
+	stripe, ok := s.writeStripe(w)
+	if !ok {
+		return false
+	}
+	if s.stagedVTs[m.TxnVT] {
+		s.flushWrites()
+	}
+	s.outcomes[m.TxnVT] = true
+	st := s.ensureTxn(m.TxnVT, m.Origin)
+	if st.appliedWall == 0 {
+		st.appliedWall = s.obs.NowNanos()
+	}
+	s.trace(obs.EvApply, m.TxnVT, m.Origin, "fastpath")
+	s.staged = append(s.staged, &writeTask{
+		from:             from,
+		m:                w,
+		st:               st,
+		status:           history.Committed,
+		committedAlready: true,
+		fast:             true,
+		stripe:           stripe,
+	})
+	s.stagedVTs[m.TxnVT] = true
+	return true
+}
+
 // writeStripe decides parallel eligibility and the stripe. Eligible
 // writes keep everything the worker touches inside one stripe:
 // top-level scalar/association updates (OpSet/OpAssoc with an empty
@@ -153,7 +192,7 @@ func (s *Site) writeStripe(m wire.Write) (int, bool) {
 	stripe := -1
 	for _, upd := range m.Updates {
 		switch upd.Op.(type) {
-		case wire.OpSet, wire.OpAssoc:
+		case wire.OpSet, wire.OpAssoc, wire.OpAdd, wire.OpAssocInsert:
 		default:
 			return 0, false
 		}
@@ -261,6 +300,13 @@ func (s *Site) finishWrite(t *writeTask) {
 	if t.committedAlready {
 		s.onLocalCommit(st.appliedObjects(), m.TxnVT)
 		st.status = txnCommitted
+	}
+	if t.fast {
+		s.resolveRC(m.TxnVT, true)
+		s.demoteGuessesFor(st.appliedObjects(), m.TxnVT)
+		s.trace(obs.EvCommit, m.TxnVT, m.Origin, "fastpath")
+		s.gcTxnObjects(st)
+		return
 	}
 	if !m.NeedsConfirm {
 		return

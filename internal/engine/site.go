@@ -39,6 +39,10 @@ type Options struct {
 	// optimization for pessimistic snapshots (ablation: every snapshot
 	// then pays an explicit CONFIRM-READ round trip to each primary).
 	DisableEagerConfirm bool
+	// DisableFastPath turns off the commutative fast path (ablation:
+	// purely commutative transactions then go through the ordinary
+	// guess/confirm protocol like everything else).
+	DisableFastPath bool
 	// CommitWorkers sizes the sharded commit pipeline: remote writes
 	// over disjoint top-level objects are validated and applied on this
 	// many goroutines (one of which is the event loop itself), striped
@@ -113,6 +117,13 @@ type Stats struct {
 	// NotifyDropped counts user callbacks dropped by the notifier's
 	// overflow policy (queue past NotifyQueueLimit).
 	NotifyDropped uint64
+	// FastpathCommits counts locally originated transactions that
+	// committed on the commutative fast path (no primary round-trip).
+	// These are included in Commits.
+	FastpathCommits uint64
+	// FastpathDemotions counts RL guesses demoted to re-validation
+	// because a fast-path commit landed inside their reserved interval.
+	FastpathDemotions uint64
 }
 
 // Site is one collaborating application instance: it hosts model objects,
@@ -233,6 +244,8 @@ type siteMetrics struct {
 	LostUpdates           *obs.Counter
 	UpdateInconsistencies *obs.Counter
 	SnapshotReruns        *obs.Counter
+	FastpathCommits       *obs.Counter
+	FastpathDemotions     *obs.Counter
 
 	// Hot-path pipeline counters.
 	Batches         *obs.Counter // event-loop batches processed
@@ -270,6 +283,8 @@ func newSiteMetrics(reg *obs.Registry) siteMetrics {
 		LostUpdates:           reg.Counter("decaf_view_lost_updates_total", "straggler updates subsumed by a later optimistic snapshot"),
 		UpdateInconsistencies: reg.Counter("decaf_view_update_inconsistencies_total", "optimistic notifications that exposed rolled-back state"),
 		SnapshotReruns:        reg.Counter("decaf_view_snapshot_reruns_total", "optimistic snapshots rerun after an abort"),
+		FastpathCommits:       reg.Counter("decaf_fastpath_commits_total", "transactions committed on the commutative fast path"),
+		FastpathDemotions:     reg.Counter("decaf_fastpath_demotions_total", "RL guesses demoted to re-validation by a fast-path commit"),
 
 		Batches:         reg.Counter("decaf_engine_batches_total", "event-loop batches processed"),
 		BatchEvents:     reg.Counter("decaf_engine_batch_events_total", "calls and transport events drained across all batches"),
@@ -517,6 +532,8 @@ func (s *Site) Stats() Stats {
 		NotifyEnqueued:        s.stats.NotifyEnqueued.Value(),
 		NotifyDelivered:       s.stats.NotifyDelivered.Value(),
 		NotifyDropped:         s.stats.NotifyDropped.Value(),
+		FastpathCommits:       s.stats.FastpathCommits.Value(),
+		FastpathDemotions:     s.stats.FastpathDemotions.Value(),
 	}
 }
 
@@ -834,6 +851,15 @@ func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
 		s.flushWrites()
 		s.stats.SerialWrites.Inc()
 		s.handleWrite(from, m)
+		return
+	}
+	if m, ok := msg.(wire.FastWrite); ok {
+		if s.stageFastWrite(from, m) {
+			return
+		}
+		s.flushWrites()
+		s.stats.SerialWrites.Inc()
+		s.handleFastWrite(from, m)
 		return
 	}
 	s.flushWrites()

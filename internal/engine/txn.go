@@ -341,6 +341,59 @@ func (tx *Tx) WriteScalar(obj *object, value any) {
 	tx.recordPathDeps(obj)
 }
 
+// AddScalar applies a commutative numeric increment to obj at the
+// transaction's VT. Unlike WriteScalar, an add that reads nothing is
+// order-independent: it becomes a merge version in the history and — when
+// the whole transaction is commutative — commits on the fast path without
+// the primary round-trip.
+func (tx *Tx) AddScalar(obj *object, delta any) {
+	vt := tx.st.vt
+	if w := tx.findWrite(obj); w != nil {
+		// Second op by the same transaction on obj: fold into one op.
+		if len(w.ops) == 1 {
+			switch prev := w.ops[0].(type) {
+			case wire.OpAdd:
+				combined := addDelta(prev.Delta, delta)
+				w.ops = []wire.Op{wire.OpAdd{Delta: combined}}
+				obj.hist.Abort(vt)
+				if err := obj.hist.InsertMerge(vt, history.Pending, w.readVT, mergeAdd(combined)); err != nil {
+					tx.fail(fmt.Errorf("engine: apply add: %w", err))
+				}
+				return
+			case wire.OpSet:
+				// Add over the transaction's own absolute write stays
+				// absolute.
+				nv := addDelta(prev.Value, delta)
+				if !obj.hist.SetValue(vt, nv) {
+					tx.fail(fmt.Errorf("engine: lost own version of %s at %s", obj.id, vt))
+					return
+				}
+				w.ops = []wire.Op{wire.OpSet{Value: nv}}
+				return
+			}
+		}
+		tx.fail(fmt.Errorf("engine: Add after structural ops on %s", obj.id))
+		return
+	}
+	readVT := vt // an add reads nothing: tR = tT
+	if r := tx.findRead(obj); r != nil {
+		readVT = r.readVT
+		r.absorbed = true // the RL check rides the update message
+	}
+	root := obj.replicationRoot()
+	w := &writeRec{obj: obj, readVT: readVT, graphVT: root.graphVT, ops: []wire.Op{wire.OpAdd{Delta: delta}}}
+	tx.st.writes = append(tx.st.writes, w)
+	if err := obj.hist.InsertMerge(vt, history.Pending, readVT, mergeAdd(delta)); err != nil {
+		tx.fail(fmt.Errorf("engine: apply add: %w", err))
+		return
+	}
+	tx.st.applied = append(tx.st.applied, appliedUpdate{
+		obj:  obj,
+		undo: func() { obj.hist.Abort(vt) },
+	})
+	tx.recordPathDeps(obj)
+}
+
 // Submit schedules txn for execution at this site and returns its handle.
 func (s *Site) Submit(txn *Txn) *Handle {
 	h := newHandle()
@@ -422,6 +475,12 @@ func (s *Site) finishExecution(st *txnState) {
 	// Optimistic views see the update as soon as it executes locally
 	// (paper §4.1).
 	s.scheduleOptimistic(st.appliedObjects())
+
+	// A transaction made purely of commutative ops commits here and now —
+	// no guess, no reservation, no confirm round-trip.
+	if s.tryFastPath(st) {
+		return
+	}
 
 	s.propagate(st)
 

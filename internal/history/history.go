@@ -53,6 +53,18 @@ type Version struct {
 	// view engine uses it to tell whether the writer's own RL
 	// reservation covers a snapshot interval (paper §5.1.2).
 	ReadVT vtime.VT
+	// merge, when non-nil, marks a commutative version: its Value is
+	// derived from the predecessor's value via this function rather than
+	// being absolute. Value is kept eagerly recomputed, so reads never
+	// consult merge; it is re-invoked only when predecessors change
+	// (out-of-order insert, abort, overwrite).
+	merge func(prev any) any
+	// materialized marks a merge version whose dropped predecessors were
+	// folded into Value by GC. It is no longer recomputable (merge is
+	// nil), but unlike a genuine absolute write it must still absorb
+	// commutative versions that arrive below it: their deltas fold
+	// directly into Value (legal precisely because merges commute).
+	materialized bool
 }
 
 // History is a virtual-time-indexed set of versions of a single model
@@ -91,7 +103,66 @@ func (h *History) InsertRead(vt vtime.VT, value any, st Status, readVT vtime.VT)
 	h.versions = append(h.versions, Version{})
 	copy(h.versions[i+1:], h.versions[i:])
 	h.versions[i] = Version{VT: vt, Value: value, Status: st, ReadVT: readVT}
+	// An out-of-order absolute insert changes what any merge versions
+	// directly above it derive from.
+	h.recomputeFrom(i + 1)
 	return nil
+}
+
+// InsertMerge records a commutative version at vt whose value is derived
+// from its predecessor via merge (e.g. a counter increment). The version's
+// value stays correct under out-of-order arrival: whenever a predecessor
+// changes, the chain of merge versions above it is recomputed.
+func (h *History) InsertMerge(vt vtime.VT, st Status, readVT vtime.VT, merge func(prev any) any) error {
+	if merge == nil {
+		return fmt.Errorf("history: nil merge for version at %s", vt)
+	}
+	i := h.search(vt)
+	if i < len(h.versions) && h.versions[i].VT == vt {
+		return fmt.Errorf("history: duplicate version at %s", vt)
+	}
+	h.versions = append(h.versions, Version{})
+	copy(h.versions[i+1:], h.versions[i:])
+	h.versions[i] = Version{VT: vt, Status: st, ReadVT: readVT, merge: merge}
+	h.recomputeFrom(i)
+	// A committed merge landing below a GC-materialized base would be
+	// shadowed by it; fold the delta in instead. Pending merges fold at
+	// Commit time (an abort must leave the base untouched).
+	if st == Committed {
+		h.foldIntoMaterialized(i, merge)
+	}
+	return nil
+}
+
+// foldIntoMaterialized folds one merge delta into the materialized base
+// (if any) that shadows the version at index i, and propagates the change
+// to the merge run above the base.
+func (h *History) foldIntoMaterialized(i int, merge func(prev any) any) {
+	j := i
+	for j < len(h.versions) && h.versions[j].merge != nil {
+		j++
+	}
+	if j >= len(h.versions) || !h.versions[j].materialized {
+		return
+	}
+	h.versions[j].Value = merge(h.versions[j].Value)
+	h.recomputeFrom(j + 1)
+}
+
+// recomputeFrom re-derives the values of the run of merge versions starting
+// at index i. The run ends at the first absolute (nil-merge) version, whose
+// value does not depend on its predecessors.
+func (h *History) recomputeFrom(i int) {
+	for ; i < len(h.versions); i++ {
+		if h.versions[i].merge == nil {
+			return
+		}
+		var prev any
+		if i > 0 {
+			prev = h.versions[i-1].Value
+		}
+		h.versions[i].Value = h.versions[i].merge(prev)
+	}
 }
 
 // Current returns the version with the latest virtual time, i.e. the
@@ -161,6 +232,11 @@ func (h *History) SetValue(vt vtime.VT, value any) bool {
 	i := h.search(vt)
 	if i < len(h.versions) && h.versions[i].VT == vt {
 		h.versions[i].Value = value
+		// An overwrite is absolute even if the original write was a
+		// merge; and it changes what merge versions above derive from.
+		h.versions[i].merge = nil
+		h.versions[i].materialized = false
+		h.recomputeFrom(i + 1)
 		return true
 	}
 	return false
@@ -171,7 +247,15 @@ func (h *History) SetValue(vt vtime.VT, value any) bool {
 func (h *History) Commit(vt vtime.VT) bool {
 	i := h.search(vt)
 	if i < len(h.versions) && h.versions[i].VT == vt {
+		if h.versions[i].Status == Committed {
+			return true
+		}
 		h.versions[i].Status = Committed
+		// A merge version deciding below a materialized base folds its
+		// delta in now (see InsertMerge).
+		if h.versions[i].merge != nil {
+			h.foldIntoMaterialized(i, h.versions[i].merge)
+		}
 		return true
 	}
 	return false
@@ -183,6 +267,7 @@ func (h *History) Abort(vt vtime.VT) bool {
 	i := h.search(vt)
 	if i < len(h.versions) && h.versions[i].VT == vt {
 		h.versions = append(h.versions[:i], h.versions[i+1:]...)
+		h.recomputeFrom(i)
 		return true
 	}
 	return false
@@ -264,6 +349,16 @@ func (h *History) GC(floor vtime.VT) int {
 		return 0
 	}
 	dropped := keep
+	// The retained base becomes the history's floor: materialize its
+	// (already computed) value so it no longer derives from dropped
+	// predecessors. A materialized MERGE base keeps absorbing committed
+	// merge stragglers that arrive below it (foldIntoMaterialized); a
+	// genuine absolute base shadows them, exactly as the full history
+	// would have.
+	if h.versions[keep].merge != nil {
+		h.versions[keep].merge = nil
+		h.versions[keep].materialized = true
+	}
 	h.versions = append(h.versions[:0], h.versions[keep:]...)
 	return dropped
 }

@@ -371,3 +371,208 @@ func TestInsertReadCarriesReadVT(t *testing.T) {
 		t.Fatalf("plain Insert ReadVT = %v, want zero", v.ReadVT)
 	}
 }
+
+// addMerge returns a counter-increment merge function: prev (nil = 0) + d.
+func addMerge(d int64) func(any) any {
+	return func(prev any) any {
+		n, _ := prev.(int64)
+		return n + d
+	}
+}
+
+func mustInsertMerge(t *testing.T, h *History, at uint64, d int64, st Status) {
+	t.Helper()
+	if err := h.InsertMerge(vt(at), st, vt(at), addMerge(d)); err != nil {
+		t.Fatalf("InsertMerge(%d): %v", at, err)
+	}
+}
+
+func TestMergeVersionsInOrder(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, int64(100), Committed)
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	cur, _ := h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current = %v, want 112", cur.Value)
+	}
+}
+
+func TestMergeVersionsOutOfOrder(t *testing.T) {
+	// A straggling merge version arriving below existing merge versions
+	// must recompute the chain above it — final value independent of
+	// arrival order.
+	var h History
+	mustInsert(t, &h, 10, int64(100), Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	mustInsertMerge(t, &h, 20, 5, Committed) // straggler
+	if v, _ := h.Get(vt(20)); v.Value != int64(105) {
+		t.Fatalf("mid value = %v, want 105", v.Value)
+	}
+	cur, _ := h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current = %v, want 112", cur.Value)
+	}
+	// A straggling absolute insert below the merge chain rebases it.
+	if err := h.Insert(vt(15), int64(0), Committed); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ = h.Current()
+	if cur.Value != int64(12) {
+		t.Fatalf("current after rebase = %v, want 12", cur.Value)
+	}
+}
+
+func TestMergeChainStopsAtAbsoluteVersion(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, int64(100), Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	mustInsert(t, &h, 40, int64(1000), Committed) // absolute overwrite above
+	mustInsertMerge(t, &h, 50, 1, Committed)
+	// Straggler below: recomputation must stop at the absolute 40.
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	if v, _ := h.Get(vt(30)); v.Value != int64(112) {
+		t.Fatalf("value@30 = %v, want 112", v.Value)
+	}
+	if v, _ := h.Get(vt(40)); v.Value != int64(1000) {
+		t.Fatalf("value@40 = %v, want 1000 (absolute)", v.Value)
+	}
+	cur, _ := h.Current()
+	if cur.Value != int64(1001) {
+		t.Fatalf("current = %v, want 1001", cur.Value)
+	}
+}
+
+func TestMergeRecomputeOnAbort(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, int64(100), Pending)
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	// The base aborts: the merge chain rebases onto nothing (zero).
+	if !h.Abort(vt(10)) {
+		t.Fatal("abort failed")
+	}
+	cur, _ := h.Current()
+	if cur.Value != int64(12) {
+		t.Fatalf("current after abort = %v, want 12", cur.Value)
+	}
+}
+
+func TestMergeSetValueBecomesAbsolute(t *testing.T) {
+	// A transaction overwriting its own Add with a Set makes the version
+	// absolute: later predecessor changes must not re-derive it.
+	var h History
+	mustInsert(t, &h, 10, int64(100), Pending)
+	mustInsertMerge(t, &h, 20, 5, Pending)
+	if !h.SetValue(vt(20), int64(42)) {
+		t.Fatal("SetValue failed")
+	}
+	h.Abort(vt(10))
+	if v, _ := h.Get(vt(20)); v.Value != int64(42) {
+		t.Fatalf("value = %v, want absolute 42", v.Value)
+	}
+}
+
+func TestMergeGCMaterializesBase(t *testing.T) {
+	var h History
+	mustInsert(t, &h, 10, int64(100), Committed)
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	if n := h.GC(vt(30)); n != 2 {
+		t.Fatalf("GC dropped %d, want 2", n)
+	}
+	cur, _ := h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current after GC = %v, want 112", cur.Value)
+	}
+	// The retained base is now absolute: inserting below must not change it.
+	if err := h.Insert(vt(5), int64(0), Committed); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ = h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current after under-insert = %v, want 112", cur.Value)
+	}
+}
+
+func TestMergeGCBaseAbsorbsStragglerMerges(t *testing.T) {
+	// A committed merge straggler arriving below a materialized merge base
+	// folds its delta into the base — commutativity makes the fold legal —
+	// instead of being shadowed and lost.
+	var h History
+	mustInsert(t, &h, 10, int64(100), Committed)
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	h.GC(vt(30)) // base is the merge version at 30, value 112
+	mustInsertMerge(t, &h, 15, 3, Committed)
+	cur, _ := h.Current()
+	if cur.Value != int64(115) {
+		t.Fatalf("current after straggler fold = %v, want 115", cur.Value)
+	}
+	// Merge versions above the base re-derive from the folded value.
+	mustInsertMerge(t, &h, 40, 2, Committed)
+	mustInsertMerge(t, &h, 12, 1, Committed)
+	cur, _ = h.Current()
+	if cur.Value != int64(118) {
+		t.Fatalf("current after second fold = %v, want 118", cur.Value)
+	}
+	// A genuine absolute base (GC kept a plain Insert) shadows stragglers,
+	// exactly as the full history would.
+	var g History
+	mustInsertMerge(t, &g, 20, 5, Committed)
+	mustInsert(t, &g, 30, int64(200), Committed)
+	g.GC(vt(30))
+	mustInsertMerge(t, &g, 25, 9, Committed)
+	cur, _ = g.Current()
+	if cur.Value != int64(200) {
+		t.Fatalf("current with absolute base = %v, want 200", cur.Value)
+	}
+}
+
+func TestMergeGCBaseFoldsOnCommitNotInsert(t *testing.T) {
+	// A PENDING merge below a materialized base must not fold on insert:
+	// its transaction may abort. It folds when the commit outcome arrives.
+	var h History
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	h.GC(vt(30)) // base value 12
+	mustInsertMerge(t, &h, 15, 100, Pending)
+	cur, _ := h.Current()
+	if cur.Value != int64(12) {
+		t.Fatalf("current with pending straggler = %v, want 12", cur.Value)
+	}
+	if !h.Commit(vt(15)) {
+		t.Fatal("commit failed")
+	}
+	cur, _ = h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current after straggler commit = %v, want 112", cur.Value)
+	}
+	// A second Commit of the same VT is idempotent — no double fold.
+	h.Commit(vt(15))
+	cur, _ = h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current after re-commit = %v, want 112 (no double fold)", cur.Value)
+	}
+	// And an aborted pending straggler leaves the base untouched.
+	mustInsertMerge(t, &h, 16, 50, Pending)
+	h.Abort(vt(16))
+	cur, _ = h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current after straggler abort = %v, want 112", cur.Value)
+	}
+}
+
+func TestReservationsIntersecting(t *testing.T) {
+	var r Reservations
+	r.Reserve(vtime.Interval{Lo: vt(10), Hi: vt(30)}, vt(31))
+	r.Reserve(vtime.Interval{Lo: vt(20), Hi: vt(40)}, vt(41))
+	r.Reserve(vtime.Interval{Lo: vt(50), Hi: vt(60)}, vt(61))
+	got := r.Intersecting(vt(25), vt(31))
+	if len(got) != 1 || got[0] != vt(41) {
+		t.Fatalf("Intersecting(25, excl 31) = %v, want [41]", got)
+	}
+	if got := r.Intersecting(vt(45), vtime.Zero); got != nil {
+		t.Fatalf("Intersecting(45) = %v, want none", got)
+	}
+}

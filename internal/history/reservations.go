@@ -57,6 +57,20 @@ func (r *Reservations) Conflicts(vt vtime.VT, writer vtime.VT) bool {
 	return false
 }
 
+// Intersecting returns the owners (other than exclude) of reservations
+// whose interval contains vt. A commutative fast-path commit landing at vt
+// uses this to find the open RL guesses its write invalidates, so they can
+// be demoted to re-validation.
+func (r *Reservations) Intersecting(vt vtime.VT, exclude vtime.VT) []vtime.VT {
+	var owners []vtime.VT
+	for _, res := range r.rs {
+		if res.Owner != exclude && res.Interval.Contains(vt) {
+			owners = append(owners, res.Owner)
+		}
+	}
+	return owners
+}
+
 // Release removes every reservation held by owner (called when the owning
 // transaction aborts: its confirmed reads no longer constrain writers).
 // It returns the number of reservations removed.

@@ -200,7 +200,11 @@ func (t *Trace) Spans() []Span {
 		sp.Events = append(sp.Events, ev)
 		switch ev.Kind {
 		case EvCommit:
-			sp.Outcome = "committed"
+			if ev.Detail == "fastpath" {
+				sp.Outcome = "committed-fastpath"
+			} else {
+				sp.Outcome = "committed"
+			}
 		case EvAbort:
 			sp.Outcome = "aborted"
 		case EvDelegatedCommit:

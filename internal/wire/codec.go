@@ -55,6 +55,7 @@ const (
 	tagGVTToken
 	tagCenWrite
 	tagCenEcho
+	tagFastWrite
 
 	// tagGobMessage escapes to a gob-encoded message: a length-prefixed
 	// gob stream. Used only for message types the hand codec does not
@@ -71,6 +72,9 @@ const (
 	opTagTupleRemove
 	opTagGraph
 	opTagAssoc
+	opTagAdd
+	opTagListInsertAfter
+	opTagAssocInsert
 )
 
 // Dynamic value tags.
@@ -316,6 +320,21 @@ func appendOp(b []byte, op Op) ([]byte, error) {
 	case OpAssoc:
 		b = append(b, opTagAssoc)
 		return appendRelationships(b, op.Relationships), nil
+	case OpAdd:
+		b = append(b, opTagAdd)
+		return appendValue(b, op.Delta)
+	case OpListInsertAfter:
+		b = append(b, opTagListInsertAfter)
+		b = appendTag(b, op.Tag)
+		var err error
+		b, err = appendChildDecl(b, op.Child)
+		if err != nil {
+			return b, err
+		}
+		return appendTag(b, op.After), nil
+	case OpAssocInsert:
+		b = append(b, opTagAssocInsert)
+		return appendRelationships(b, []Relationship{op.Rel}), nil
 	default:
 		return b, fmt.Errorf("wire: unknown op type %T", op)
 	}
@@ -356,6 +375,17 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 			b = appendSites(b, m.Delegate.Sites)
 		} else {
 			b = appendBool(b, false)
+		}
+		return b, nil
+	case FastWrite:
+		b = append(b, tagFastWrite)
+		b = appendVT(b, m.TxnVT)
+		b = appendSite(b, m.Origin)
+		b = binary.AppendUvarint(b, uint64(len(m.Updates)))
+		for _, u := range m.Updates {
+			if b, err = appendUpdate(b, u); err != nil {
+				return b, err
+			}
 		}
 		return b, nil
 	case ConfirmRead:
@@ -802,6 +832,21 @@ func (r *reader) op() Op {
 		return OpGraph{Graph: r.graph()}
 	case opTagAssoc:
 		return OpAssoc{Relationships: r.relationships()}
+	case opTagAdd:
+		return OpAdd{Delta: r.value()}
+	case opTagListInsertAfter:
+		return OpListInsertAfter{
+			Tag:   r.tag(),
+			Child: r.childDecl(),
+			After: r.tag(),
+		}
+	case opTagAssocInsert:
+		rels := r.relationships()
+		if len(rels) != 1 {
+			r.fail(fmt.Errorf("wire: assoc-insert carries %d relationships", len(rels)))
+			return nil
+		}
+		return OpAssocInsert{Rel: rels[0]}
 	default:
 		r.fail(fmt.Errorf("wire: unknown op tag %d", t))
 		return nil
@@ -836,6 +881,15 @@ func DecodeMessage(b []byte) (Message, int, error) {
 		w.NeedsConfirm = r.bool_()
 		if r.bool_() {
 			w.Delegate = &Delegation{Sites: r.sites()}
+		}
+		m = w
+	case tagFastWrite:
+		w := FastWrite{TxnVT: r.vt(), Origin: r.site()}
+		if n := r.count(); n > 0 {
+			w.Updates = make([]Update, n)
+			for i := range w.Updates {
+				w.Updates[i] = r.update()
+			}
 		}
 		m = w
 	case tagConfirmRead:

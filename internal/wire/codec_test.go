@@ -190,7 +190,7 @@ func (g *gen) value() any {
 }
 
 func (g *gen) op() Op {
-	switch g.rng.Intn(7) {
+	switch g.rng.Intn(10) {
 	case 0:
 		return OpSet{Value: g.value()}
 	case 1:
@@ -203,6 +203,15 @@ func (g *gen) op() Op {
 		return OpTupleRemove{Key: g.str(), Of: g.vt()}
 	case 5:
 		return OpGraph{Graph: g.graph()}
+	case 6:
+		if g.rng.Intn(2) == 0 {
+			return OpAdd{Delta: g.rng.Int63() - (1 << 62)}
+		}
+		return OpAdd{Delta: g.rng.NormFloat64()}
+	case 7:
+		return OpListInsertAfter{Tag: g.tag(), Child: g.childDecl(), After: g.tag()}
+	case 8:
+		return OpAssocInsert{Rel: g.relationships()[0]}
 	default:
 		return OpAssoc{Relationships: g.relationships()}
 	}
@@ -237,7 +246,7 @@ func (g *gen) update() Update {
 
 // message produces a random instance of the i-th message type.
 func (g *gen) message(i int) Message {
-	switch i % 18 {
+	switch i % 19 {
 	case 0:
 		w := Write{TxnVT: g.vt(), Origin: g.site(), NeedsConfirm: g.rng.Intn(2) == 0, Checks: g.checks()}
 		for j := 0; j < 1+g.rng.Intn(4); j++ {
@@ -288,8 +297,14 @@ func (g *gen) message(i int) Message {
 		return GVTToken{Round: g.rng.Uint64(), Min: g.vt(), MinValid: g.rng.Intn(2) == 0, GVT: g.vt()}
 	case 16:
 		return CenWrite{Seq: g.rng.Uint64(), From: g.site(), Name: g.str(), Value: g.scalar()}
-	default:
+	case 17:
 		return CenEcho{Seq: g.rng.Uint64(), Name: g.str(), Value: g.scalar()}
+	default:
+		w := FastWrite{TxnVT: g.vt(), Origin: g.site()}
+		for j := 0; j < 1+g.rng.Intn(4); j++ {
+			w.Updates = append(w.Updates, g.update())
+		}
+		return w
 	}
 }
 
@@ -302,7 +317,7 @@ func (g *gen) message(i int) Message {
 func TestBinaryCodecDifferential(t *testing.T) {
 	g := &gen{rng: rand.New(rand.NewSource(7))}
 	const perType = 50
-	for i := 0; i < 18*perType; i++ {
+	for i := 0; i < 19*perType; i++ {
 		m := g.message(i)
 		want := gobRoundTrip(t, m)
 		got := binRoundTrip(t, m)
@@ -331,6 +346,16 @@ func TestBinaryCodecFixedMessages(t *testing.T) {
 			Checks:       []ReadCheck{{Target: target, ReadVT: vt, CommittedOnly: true, NoReserve: true}},
 			NeedsConfirm: true,
 			Delegate:     &Delegation{Sites: []vtime.SiteID{1, 4}},
+		},
+		FastWrite{
+			TxnVT:  vt,
+			Origin: 2,
+			Updates: []Update{
+				{Target: target, ReadVT: vt, Op: OpAdd{Delta: int64(3)}},
+				{Target: target, ReadVT: vt, Op: OpAdd{Delta: 1.5}},
+				{Target: target, Op: OpListInsertAfter{Tag: ElemTag{VT: vt, N: 1}, Child: ChildDecl{Kind: KindString, Value: "v"}, After: ElemTag{VT: vt, N: 0}}},
+				{Target: target, Op: OpAssocInsert{Rel: Relationship{Name: "r", Members: []Member{{Site: 1, Obj: target, Desc: "d"}}}}},
+			},
 		},
 		ConfirmRead{TxnVT: vt, Origin: 2, ReqID: 9, Checks: []ReadCheck{{Target: target, ReadVT: vt}}},
 		Confirm{TxnVT: vt, ReqID: 9, From: 3, OK: false, Transient: true, Reason: "pending straggler"},

@@ -44,6 +44,18 @@ type OpSet struct {
 func (OpSet) isOp()              {}
 func (o OpSet) Describe() string { return fmt.Sprintf("set(%v)", o.Value) }
 
+// OpAdd increments a numeric scalar object by Delta (int64 or float64).
+// Unlike OpSet it commutes with every other OpAdd, so transactions built
+// solely from adds qualify for the commutative fast path: they commit at
+// their VT stamp without a reservation and merge deterministically at every
+// replica regardless of arrival order.
+type OpAdd struct {
+	Delta any
+}
+
+func (OpAdd) isOp()              {}
+func (o OpAdd) Describe() string { return fmt.Sprintf("add(%v)", o.Delta) }
+
 // ChildKind enumerates the kinds of model objects that can be embedded in
 // composites or created standalone.
 type ChildKind int
@@ -109,6 +121,26 @@ func (o OpListInsert) Describe() string {
 	return fmt.Sprintf("list-insert(%v@%d)", o.Tag, o.Index)
 }
 
+// OpListInsertAfter inserts a new child into a list at a stable position:
+// directly after the element tagged After (zero tag = list head), with ties
+// between concurrent same-position inserts broken by Tag order (RGA). It
+// carries no index, so it commutes with every concurrent structural update
+// and qualifies for the commutative fast path. This is the sanctioned op
+// for concurrent editing; index-based OpListInsert resolves its index at
+// the origin and can interleave surprisingly under concurrency.
+type OpListInsertAfter struct {
+	Tag   ElemTag
+	Child ChildDecl
+	After ElemTag
+}
+
+func (OpListInsertAfter) isOp() {}
+
+// Describe implements Op.
+func (o OpListInsertAfter) Describe() string {
+	return fmt.Sprintf("list-insert-after(%v after %v)", o.Tag, o.After)
+}
+
 // OpListRemove removes the element with the given tag from a list.
 type OpListRemove struct {
 	Tag ElemTag
@@ -171,6 +203,20 @@ func (OpAssoc) isOp() {}
 
 // Describe implements Op.
 func (o OpAssoc) Describe() string { return fmt.Sprintf("assoc(%d rels)", len(o.Relationships)) }
+
+// OpAssocInsert adds (or replaces, add-wins by VT order) a single named
+// relationship in an association object. Inserts under distinct names
+// commute, and concurrent inserts under the same name converge to the
+// merge-order winner, so this op qualifies for the commutative fast path —
+// unlike OpAssoc, which replaces the whole relationship set.
+type OpAssocInsert struct {
+	Rel Relationship
+}
+
+func (OpAssocInsert) isOp() {}
+
+// Describe implements Op.
+func (o OpAssocInsert) Describe() string { return fmt.Sprintf("assoc-insert(%s)", o.Rel.Name) }
 
 // Relationship names one replica relationship within an association: the
 // set of member objects with their sites.
@@ -306,6 +352,22 @@ func (Write) isMessage() {}
 
 // Kind implements Message.
 func (Write) Kind() string { return "WRITE" }
+
+// FastWrite propagates a commutatively-committed transaction: every update
+// is a provably commutative op, so the transaction committed locally at its
+// VT stamp without guesses, reservations, or a confirm exchange. Receivers
+// apply the updates as already-committed via deterministic merge — there is
+// no NeedsConfirm, no Checks, and no Outcome follow-up.
+type FastWrite struct {
+	TxnVT   vtime.VT
+	Origin  vtime.SiteID
+	Updates []Update
+}
+
+func (FastWrite) isMessage() {}
+
+// Kind implements Message.
+func (FastWrite) Kind() string { return "FAST-WRITE" }
 
 // ConfirmRead asks a primary site to validate RL guesses for objects that
 // were read but not written — by a transaction (paper §3.1) or by a view
@@ -535,6 +597,7 @@ func (RepairDecide) Kind() string { return "REPAIR-DECIDE" }
 // inconsistent re-registration).
 func RegisterGob() {
 	gob.Register(Write{})
+	gob.Register(FastWrite{})
 	gob.Register(ConfirmRead{})
 	gob.Register(Confirm{})
 	gob.Register(Outcome{})
@@ -549,7 +612,10 @@ func RegisterGob() {
 	gob.Register(RepairDecide{})
 
 	gob.Register(OpSet{})
+	gob.Register(OpAdd{})
 	gob.Register(OpListInsert{})
+	gob.Register(OpListInsertAfter{})
+	gob.Register(OpAssocInsert{})
 	gob.Register(OpListRemove{})
 	gob.Register(OpTupleSet{})
 	gob.Register(OpTupleRemove{})

@@ -73,6 +73,11 @@ func (i *Int) Value(tx *Tx) int64 {
 // Set writes the value inside a transaction.
 func (i *Int) Set(tx *Tx, v int64) { _ = tx.inner.Write(i.ref, v) }
 
+// Add increments the value by delta inside a transaction. Adds commute:
+// a transaction built only from adds (and other commutative ops) commits
+// on the fast path, without a primary round-trip.
+func (i *Int) Add(tx *Tx, delta int64) { _ = tx.inner.Add(i.ref, delta) }
+
 // Committed reads the latest committed value outside any transaction.
 func (i *Int) Committed() int64 {
 	v, _ := i.site.eng.ReadCommitted(i.ref)
@@ -111,6 +116,9 @@ func (f *Float) Value(tx *Tx) float64 {
 
 // Set writes the value inside a transaction.
 func (f *Float) Set(tx *Tx, v float64) { _ = tx.inner.Write(f.ref, v) }
+
+// Add increments the value by delta inside a transaction; see Int.Add.
+func (f *Float) Add(tx *Tx, delta float64) { _ = tx.inner.Add(f.ref, delta) }
 
 // Committed reads the latest committed value.
 func (f *Float) Committed() float64 {
