@@ -180,6 +180,7 @@ func DefaultAnalyzers() []*Analyzer {
 		GuardedBy(),
 		RawVT(),
 		Wallclock(DefaultDeterministic...),
+		Timers(DefaultTimerFree...),
 		AtomicMix(),
 		Fastpath(),
 	}

@@ -46,6 +46,7 @@ func TestFixtures(t *testing.T) {
 		// The production suite protects internal/{engine,history,gvt,vtime};
 		// here the fixture's synthetic import path is protected instead.
 		{"wallclock", Wallclock("fixture/wallclock")},
+		{"timers", Timers("fixture/timers")},
 		{"atomicmix", AtomicMix()},
 		{"fastpath", Fastpath()},
 	}

@@ -1,0 +1,31 @@
+// Package timers is a fixture exercising the timers analyzer.
+package timers
+
+import "time"
+
+func badAfter(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}
+
+func badAfterFunc(d time.Duration, f func()) *time.Timer {
+	return time.AfterFunc(d, f)
+}
+
+func badSleep(d time.Duration) {
+	time.Sleep(d)
+}
+
+func badTicker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d)
+}
+
+func goodDuration(d time.Duration) time.Duration {
+	// Arithmetic on durations is fine; only constructing a real timer
+	// escapes the virtual clock.
+	return 2 * d
+}
+
+func suppressed(d time.Duration) <-chan time.Time {
+	//decaf:ignore timers fixture demonstrating the explicit allowlist
+	return time.After(d)
+}

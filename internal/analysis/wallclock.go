@@ -13,11 +13,15 @@ import (
 // pruning, or GVT sweeps depend on scheduling, which breaks replay
 // determinism and the paper's correctness argument.
 //
-// internal/obs is the sanctioned wall-clock reader: the deterministic
-// packages obtain wall stamps exclusively through obs.Observer.NowNanos
-// / ObserveSince, which return 0 / record nothing when timing is off.
-// Wall time therefore feeds latency metrics only and never protocol
-// state, and obs itself is deliberately NOT in this list.
+// Two packages are sanctioned wall-clock readers and deliberately NOT
+// in this list. internal/obs: the deterministic packages obtain wall
+// stamps exclusively through obs.Observer.NowNanos / ObserveSince,
+// which return 0 / record nothing when timing is off, so wall time
+// feeds latency metrics only and never protocol state. internal/sim:
+// the simulation harness reads the wall clock solely as a liveness
+// watchdog — a deadline that fails a run whose sites never quiesce —
+// while everything the run's trace and final state depend on advances
+// on the harness's virtual clock.
 var DefaultDeterministic = []string{
 	"internal/engine",
 	"internal/history",

@@ -598,9 +598,10 @@ func (s *Site) handleJoinReply(m wire.JoinReply) {
 			st.waitConfirms[site] = true
 		}
 	}
-	// Apply any confirms that raced ahead of the reply.
-	for from, okc := range st.earlyConfirms {
-		if okc {
+	// Apply any confirms that raced ahead of the reply (sorted: the
+	// deny-abort below must pick the same site deterministically).
+	for _, from := range sortedSites(st.earlyConfirms) {
+		if st.earlyConfirms[from] {
 			delete(st.waitConfirms, from)
 		} else {
 			s.abortJoin(st, fmt.Sprintf("denied by %s", from))

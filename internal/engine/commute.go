@@ -162,10 +162,10 @@ func (s *Site) commitFastPath(st *txnState) {
 			}
 		}
 	}
-	for site, updates := range out {
+	for _, site := range sortedSites(out) {
 		st.involved[site] = true
 		s.trace(obs.EvPropagate, st.vt, site, "fastpath")
-		s.send(site, wire.FastWrite{TxnVT: st.vt, Origin: s.id, Updates: updates})
+		s.send(site, wire.FastWrite{TxnVT: st.vt, Origin: s.id, Updates: out[site]})
 	}
 
 	s.resolveRC(st.vt, true)

@@ -1,0 +1,24 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DescribeVersions returns a debug listing of ref's version history —
+// one line per version with VT, read interval, status, and value. The
+// simulation harness prints it when replicas diverge, so a failing seed
+// report shows exactly which version one site holds and another lacks.
+func (s *Site) DescribeVersions(ref ObjRef) (string, error) {
+	if ref.o == nil {
+		return "", ErrInvalidRef
+	}
+	var b strings.Builder
+	err := s.call(func() {
+		fmt.Fprintf(&b, "%s %s @S%d", ref.o.kind, ref.o.id, s.id)
+		for _, v := range ref.o.hist.Versions() {
+			fmt.Fprintf(&b, "\n  vt=%s read=%s %s value=%#v", v.VT, v.ReadVT, v.Status, v.Value)
+		}
+	})
+	return b.String(), err
+}

@@ -61,13 +61,16 @@ func (s *Site) handleSiteFailure(f vtime.SiteID) {
 	s.log.Info("site failed", "failed", f.String())
 
 	// (1) Resolve in-flight transactions originated at the failed site.
-	for vt, st := range s.txns {
-		if st.origin == f && st.status == txnApplied {
+	// Iteration is VT-sorted so the resulting message schedule is
+	// deterministic (see order.go).
+	for _, vt := range sortedVTs(s.txns) {
+		if st := s.txns[vt]; st.origin == f && st.status == txnApplied {
 			s.startCommitQuery(vt, st)
 		}
 	}
 	// (2) Abort local transactions waiting on the failed site.
-	for _, st := range s.txns {
+	for _, vt := range sortedVTs(s.txns) {
+		st := s.txns[vt]
 		if st.origin != s.id || st.status != txnWaiting {
 			continue
 		}
@@ -162,7 +165,8 @@ func (s *Site) handleCommitQueryReply(m wire.CommitQueryReply) {
 func (s *Site) repairGraphsFor(f vtime.SiteID) {
 	needConsensus := false
 	var consensusSites map[vtime.SiteID]bool
-	for _, o := range s.objects {
+	for _, id := range sortedObjectIDs(s.objects) {
+		o := s.objects[id]
 		if o.graph == nil || len(o.graph.RemoveSiteDryRun(f)) == 0 {
 			continue
 		}
@@ -189,6 +193,10 @@ func (s *Site) repairGraphsFor(f vtime.SiteID) {
 			repaired := obj.graph.Clone()
 			repaired.RemoveSiteContract(f)
 			repaired = repaired.Component(obj.id)
+			// Engine-initiated, so it bypasses Submit: counted on its
+			// own counter to keep the quiescent accounting identity
+			// (Submitted + InternalTxns balance against decisions).
+			s.stats.InternalTxns.Add(1)
 			s.execute(&Txn{
 				Name: "graph-repair",
 				Execute: func(tx *Tx) error {
@@ -263,8 +271,8 @@ func (s *Site) handleRepairPropose(m wire.RepairPropose) {
 		}
 	}
 	var known []vtime.VT
-	for vt, committed := range s.outcomes {
-		if committed && vt.Site == m.FailedSite {
+	for _, vt := range sortedVTs(s.outcomes) {
+		if s.outcomes[vt] && vt.Site == m.FailedSite {
 			known = append(known, vt)
 		}
 	}
@@ -326,15 +334,16 @@ func (s *Site) handleRepairDecide(m wire.RepairDecide) {
 		inCommit[vt] = true
 	}
 	// Decide conflicting in-flight transactions.
-	for vt, st := range s.txns {
-		if st.status != txnApplied || vt.Site != m.FailedSite {
+	for _, vt := range sortedVTs(s.txns) {
+		if st := s.txns[vt]; st.status != txnApplied || vt.Site != m.FailedSite {
 			continue
 		}
 		delete(s.commitQueries, vt)
 		s.handleOutcome(wire.Outcome{TxnVT: vt, Committed: inCommit[vt]})
 	}
 	// Install repaired graphs at the common virtual time.
-	for _, o := range s.objects {
+	for _, id := range sortedObjectIDs(s.objects) {
+		o := s.objects[id]
 		if o.graph == nil || len(o.graph.RemoveSiteDryRun(m.FailedSite)) == 0 {
 			continue
 		}

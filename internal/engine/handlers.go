@@ -734,21 +734,28 @@ func (s *Site) applyTupleRemove(st *txnState, tup *object, o wire.OpTupleRemove,
 // drainPending retries indirect updates blocked on structure below root,
 // applying any that have become resolvable (paper §3.2.1).
 func (s *Site) drainPending(root *object) {
-	if len(root.pending) == 0 {
-		return
-	}
-	progress := true
-	for progress {
-		progress = false
-		kept := root.pending[:0]
-		for _, p := range root.pending {
+	for len(root.pending) > 0 {
+		// Detach the queue before applying anything: applyOp re-enters
+		// drainPending from its tail (an applied structural op can
+		// unblock further indirect updates), and a re-entrant pass over
+		// a shared queue finds the very entry the outer frame is midway
+		// through applying, applies it again (the duplicate is ignored),
+		// re-enters, and so on — unbounded mutual recursion that
+		// overflows the stack. Found by the simulation sweep: profile
+		// fastpath-faulty, seed 93. Detached, every frame owns exactly
+		// the entries it took; still-blocked ones are re-appended for
+		// the next pass (here or in an outer frame).
+		pending := root.pending
+		root.pending = nil
+		progress := false
+		for _, p := range pending {
 			if known, ok := s.outcomes[p.txnVT]; ok && !known {
 				progress = true
 				continue // aborted while blocked
 			}
 			_, _, blocked := root.resolvePath(p.upd.Path)
 			if blocked {
-				kept = append(kept, p)
+				root.pending = append(root.pending, p)
 				continue
 			}
 			st := s.ensureTxn(p.txnVT, p.origin)
@@ -771,6 +778,8 @@ func (s *Site) drainPending(root *object) {
 			}
 			progress = true
 		}
-		root.pending = kept
+		if !progress {
+			break
+		}
 	}
 }

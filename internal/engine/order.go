@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"sort"
+
+	"decaf/internal/ids"
+	"decaf/internal/vtime"
+)
+
+// Deterministic iteration helpers. Go randomizes map iteration order,
+// which is fine for state that only needs set semantics — but protocol
+// fan-out (who gets which message first) feeds straight into the
+// network schedule. Under the deterministic simulation harness the
+// whole run must be a pure function of the seed, so every map-driven
+// send loop iterates through one of these instead of ranging the map
+// directly. The cost is one small sort per fan-out, off the per-message
+// hot path.
+
+// sortedSites returns the keys of a site-keyed map in ascending order.
+func sortedSites[V any](m map[vtime.SiteID]V) []vtime.SiteID {
+	out := make([]vtime.SiteID, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedVTs returns the keys of a VT-keyed map in VT order.
+func sortedVTs[V any](m map[vtime.VT]V) []vtime.VT {
+	out := make([]vtime.VT, 0, len(m))
+	for vt := range m {
+		out = append(out, vt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// sortedObjectIDs returns the keys of an object-keyed map in ID order.
+func sortedObjectIDs[V any](m map[ids.ObjectID]V) []ids.ObjectID {
+	out := make([]ids.ObjectID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

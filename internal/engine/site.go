@@ -61,6 +61,20 @@ type Options struct {
 	// serves one site; layers of the same site (engine, transport, gvt)
 	// share it so a single scrape covers the whole process.
 	Observer *obs.Observer
+	// Scheduler defers engine work — today only the RetryDelay pause
+	// before a conflict retry. nil selects transport.WallClock (real
+	// timers). The deterministic simulation harness injects its virtual
+	// clock here so retry timing is part of the explored, replayable
+	// schedule; the engine itself constructs no timers (enforced by the
+	// decaf-vet timers analyzer).
+	Scheduler Scheduler
+}
+
+// Scheduler schedules deferred engine work. Implemented by
+// transport.WallClock (real timers, the default) and sim.Clock (virtual
+// time).
+type Scheduler interface {
+	AfterFunc(d time.Duration, fn func()) (cancel func())
 }
 
 // DefaultMaxRetries bounds automatic transaction re-execution.
@@ -81,6 +95,12 @@ const maxBatch = 256
 type Stats struct {
 	// Submitted counts transactions submitted at this site.
 	Submitted uint64
+	// InternalTxns counts transactions the engine initiated on its own
+	// behalf (graph repair after a site failure). They commit and abort
+	// like user transactions but never pass through Submit; the
+	// quiescent accounting identity (see invariants.go) balances
+	// Submitted + InternalTxns against decisions.
+	InternalTxns uint64
 	// Commits counts transactions (originated here) that committed.
 	Commits uint64
 	// ConflictAborts counts concurrency-control aborts of transactions
@@ -232,6 +252,7 @@ type loopCall struct {
 // sites behave exactly as the former private atomic counters did.
 type siteMetrics struct {
 	Submitted             *obs.Counter
+	InternalTxns          *obs.Counter
 	Commits               *obs.Counter
 	ConflictAborts        *obs.Counter
 	ProgrammedAborts      *obs.Counter
@@ -271,6 +292,7 @@ type siteMetrics struct {
 func newSiteMetrics(reg *obs.Registry) siteMetrics {
 	return siteMetrics{
 		Submitted:             reg.Counter("decaf_txn_submitted_total", "transactions submitted at this site"),
+		InternalTxns:          reg.Counter("decaf_txn_internal_total", "transactions initiated by the engine itself (graph repair)"),
 		Commits:               reg.Counter("decaf_txn_committed_total", "locally originated transactions that committed"),
 		ConflictAborts:        reg.Counter("decaf_txn_conflict_aborts_total", "concurrency-control aborts of local transactions"),
 		ProgrammedAborts:      reg.Counter("decaf_txn_programmed_aborts_total", "transactions aborted by user code"),
@@ -324,6 +346,9 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 	observer := opts.Observer
 	if observer == nil {
 		observer = obs.Nop()
+	}
+	if opts.Scheduler == nil {
+		opts.Scheduler = transport.WallClock{}
 	}
 	workers := opts.CommitWorkers
 	if workers == 0 {
@@ -512,11 +537,52 @@ func (s *Site) drainCalls() {
 	}
 }
 
+// Quiescent reports whether the site has no runnable work: the event
+// loop is parked over empty intake queues and the notifier is idle.
+// Protocol messages still queued in the transport do not count — under
+// the deterministic simulation those sit in the virtual clock's event
+// queue, and the harness only advances it while every site is
+// quiescent (see internal/sim). The check round-trips through the
+// event loop, so the verdict is exact: a stimulus is either visibly
+// queued or has fully run, never invisibly in between. A stopped or
+// crashed site is quiescent once its notifier has drained.
+func (s *Site) Quiescent() bool {
+	quiet := false
+	if err := s.call(func() {
+		// The outbox/staged checks matter when this probe is drained
+		// into the middle of an active batch: sends staged by earlier
+		// stimuli of that batch only reach the transport at batch end,
+		// so the site is not quiescent until they flush.
+		quiet = len(s.calls) == 0 && len(s.ep.Events()) == 0 &&
+			len(s.outbox) == 0 && len(s.staged) == 0
+	}); err != nil {
+		return s.notifier.idle()
+	}
+	return quiet && s.notifier.idle()
+}
+
+// PendingUndecided reports how many remotely originated transactions
+// are applied but still undecided at this site. After global quiescence
+// with no messages left in flight it must be zero — a nonzero count
+// means an outcome was lost. Returns 0 for a stopped site.
+func (s *Site) PendingUndecided() int {
+	n := 0
+	_ = s.call(func() {
+		for _, st := range s.txns {
+			if st.status == txnApplied {
+				n++
+			}
+		}
+	})
+	return n
+}
+
 // Stats returns a snapshot of the site's counters. It is a thin read
 // over the obs registry: the same counters serve Stats and /metrics.
 func (s *Site) Stats() Stats {
 	return Stats{
 		Submitted:             s.stats.Submitted.Value(),
+		InternalTxns:          s.stats.InternalTxns.Value(),
 		Commits:               s.stats.Commits.Value(),
 		ConflictAborts:        s.stats.ConflictAborts.Value(),
 		ProgrammedAborts:      s.stats.ProgrammedAborts.Value(),
@@ -616,9 +682,10 @@ func (s *Site) endBatch(n int) {
 // whenever a callback re-entered the API while the loop was wedged in
 // notify(). Past limit, new callbacks are dropped and counted.
 type notifyQueue struct {
-	mu     sync.Mutex
-	queue  []func() // guarded by mu
-	closed bool     // guarded by mu
+	mu      sync.Mutex
+	queue   []func() // guarded by mu
+	closed  bool     // guarded by mu
+	running bool     // guarded by mu; the notifier goroutine is mid-delivery
 	// wake (capacity 1) signals the notifier goroutine; senders never
 	// block.
 	wake  chan struct{}
@@ -658,7 +725,23 @@ func (q *notifyQueue) take() ([]func(), bool) {
 	defer q.mu.Unlock()
 	fns := q.queue
 	q.queue = nil
+	q.running = len(fns) > 0
 	return fns, q.closed
+}
+
+// settle marks the notifier goroutine idle again after delivering a
+// take()'s batch.
+func (q *notifyQueue) settle() {
+	q.mu.Lock()
+	q.running = false
+	q.mu.Unlock()
+}
+
+// idle reports whether nothing is queued and no delivery is in flight.
+func (q *notifyQueue) idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue) == 0 && !q.running
 }
 
 // closeIntake stops accepting callbacks and wakes the notifier so it
@@ -693,6 +776,7 @@ func (s *Site) notifyLoop() {
 			q.delivered.Inc()
 		}
 		if len(fns) > 0 {
+			q.settle()
 			continue // re-check before sleeping: more may have queued
 		}
 		if closed {
@@ -854,7 +938,15 @@ func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
 		return
 	}
 	if m, ok := msg.(wire.FastWrite); ok {
-		if s.stageFastWrite(from, m) {
+		if _, decided := s.outcomes[m.TxnVT]; decided {
+			// A fast-path transaction ships exactly one FastWrite per
+			// destination, so a recorded outcome means this copy is a
+			// transport-level duplicate (or the repair protocol already
+			// decided the transaction). Its ops are NOT idempotent —
+			// re-applying an Add doubles the increment — so the copy
+			// must be dropped, not merged. Found by the simulation
+			// sweep: profile fastpath-faulty, seed 5 diverged replicas
+			// before this guard existed.
 			return
 		}
 		s.flushWrites()

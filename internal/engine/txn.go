@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"time"
 
 	"decaf/internal/history"
 	"decaf/internal/ids"
@@ -620,10 +619,13 @@ func (s *Site) propagate(st *txnState) {
 		m.needsConfirm = true
 	}
 
-	// Record involvement and who must confirm.
-	for site, m := range out {
+	// Record involvement and who must confirm. Fan-out below iterates in
+	// sorted site order so the emitted message schedule is a function of
+	// state, not map iteration order (see order.go).
+	order := sortedSites(out)
+	for _, site := range order {
 		st.involved[site] = true
-		if m.needsConfirm {
+		if out[site].needsConfirm {
 			st.waitConfirms[site] = true
 		}
 	}
@@ -639,7 +641,8 @@ func (s *Site) propagate(st *txnState) {
 		}
 	}
 
-	for site, m := range out {
+	for _, site := range order {
+		m := out[site]
 		if len(m.updates) > 0 {
 			msg := wire.Write{
 				TxnVT:        st.vt,
@@ -650,7 +653,7 @@ func (s *Site) propagate(st *txnState) {
 			}
 			if site == delegate {
 				var others []vtime.SiteID
-				for inv := range st.involved {
+				for _, inv := range sortedSites(st.involved) {
 					if inv != site {
 						others = append(others, inv)
 					}
@@ -833,7 +836,7 @@ func (s *Site) primaryCheckOpts(target, graphHolder *object, readVT, graphVT, vt
 // registerRCDeps wires the transaction's RC guesses to this site's
 // outcome notifications.
 func (s *Site) registerRCDeps(st *txnState) {
-	for dep := range st.rcDeps {
+	for _, dep := range sortedVTs(st.rcDeps) {
 		dep := dep
 		if known, ok := s.outcomes[dep]; ok {
 			if known {
@@ -881,7 +884,7 @@ func (s *Site) commitTxn(st *txnState) {
 	st.status = txnCommitted
 	s.outcomes[st.vt] = true
 	st.commitApplied()
-	for site := range st.involved {
+	for _, site := range sortedSites(st.involved) {
 		if site != s.id {
 			s.send(site, wire.Outcome{TxnVT: st.vt, Committed: true})
 		}
@@ -926,7 +929,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 	s.outcomes[st.vt] = false
 	s.undoApplied(st)
 	s.releaseReservations(st)
-	for site := range st.involved {
+	for _, site := range sortedSites(st.involved) {
 		if site != s.id {
 			s.send(site, wire.Outcome{TxnVT: st.vt, Committed: false})
 		}
@@ -989,7 +992,11 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 		)
 	}
 	if d := s.opts.RetryDelay; d > 0 {
-		time.AfterFunc(d, resubmit)
+		// Through the injectable scheduler, never a raw timer: under the
+		// deterministic simulation the retry delay is a virtual-clock
+		// event like any message delivery, so retry timing is part of
+		// the explored, replayable schedule.
+		s.opts.Scheduler.AfterFunc(d, resubmit)
 	} else {
 		resubmit()
 	}

@@ -246,6 +246,28 @@ func (s *Site) ReadCommitted(name string) any {
 	return v
 }
 
+// Quiescent reports whether the site's event loop is parked over empty
+// intake queues. Messages still in flight in the transport do not count
+// — the deterministic simulation harness (internal/sim) owns those. A
+// stopped site is quiescent. Unlike the engine, a gvt group is never
+// globally quiescent for long: the sweep token circulates continuously,
+// so the harness bounds gvt runs by step count rather than by draining
+// the clock.
+func (s *Site) Quiescent() bool {
+	quiet := false
+	ch := make(chan struct{})
+	s.do(func() {
+		quiet = len(s.calls) == 0 && len(s.ep.Events()) == 0
+		close(ch)
+	})
+	select {
+	case <-ch:
+		return quiet
+	case <-s.done:
+		return true
+	}
+}
+
 // GVT returns the site's current global-virtual-time estimate.
 func (s *Site) GVT() vtime.VT {
 	var v vtime.VT

@@ -75,6 +75,18 @@ type Version struct {
 type History struct {
 	// versions is sorted by VT ascending. Aborted versions are deleted.
 	versions []Version
+	// folded records the VTs of merge versions that GC absorbed into a
+	// materialized base. Versions present in the slice reject duplicate
+	// inserts by VT lookup; once GC drops a merge version that record is
+	// gone, and a duplicated Write for it would re-fold its delta into
+	// the base (merges commute, so the fold succeeds — and the value
+	// silently diverges from other replicas). The set is retained
+	// forever, like the engine's per-txn outcome map: VTs are globally
+	// unique, so membership is a permanent proof of "already applied
+	// here". One entry per GC'd commutative update; absolute versions
+	// need no entry because a duplicate below the base is shadowed by
+	// it rather than folded in.
+	folded map[vtime.VT]struct{}
 }
 
 // Len returns the number of retained versions.
@@ -116,6 +128,9 @@ func (h *History) InsertRead(vt vtime.VT, value any, st Status, readVT vtime.VT)
 func (h *History) InsertMerge(vt vtime.VT, st Status, readVT vtime.VT, merge func(prev any) any) error {
 	if merge == nil {
 		return fmt.Errorf("history: nil merge for version at %s", vt)
+	}
+	if _, dup := h.folded[vt]; dup {
+		return fmt.Errorf("history: duplicate version at %s (already folded into materialized base)", vt)
 	}
 	i := h.search(vt)
 	if i < len(h.versions) && h.versions[i].VT == vt {
@@ -358,6 +373,18 @@ func (h *History) GC(floor vtime.VT) int {
 	if h.versions[keep].merge != nil {
 		h.versions[keep].merge = nil
 		h.versions[keep].materialized = true
+	}
+	// Remember every dropped merge VT (including old materialized bases,
+	// whose own write was a merge): their deltas now live only inside
+	// the base value, and a duplicated message must not fold them in
+	// twice. See the folded field's doc.
+	for i := 0; i < keep; i++ {
+		if v := h.versions[i]; v.merge != nil || v.materialized {
+			if h.folded == nil {
+				h.folded = make(map[vtime.VT]struct{})
+			}
+			h.folded[v.VT] = struct{}{}
+		}
 	}
 	h.versions = append(h.versions[:0], h.versions[keep:]...)
 	return dropped

@@ -576,3 +576,45 @@ func TestReservationsIntersecting(t *testing.T) {
 		t.Fatalf("Intersecting(45) = %v, want none", got)
 	}
 }
+
+func TestMergeDuplicateRejectedAfterGCFold(t *testing.T) {
+	// Regression: a duplicated committed merge message re-delivered AFTER
+	// GC folded the original into the materialized base used to fold its
+	// delta a second time (the version record that would have tripped the
+	// duplicate-VT check was dropped by GC), silently diverging replicas.
+	// Found by the simulation sweep: profile nofast, seed 107 — one site
+	// saw two transport duplicates of counter adds and ended 1747 ahead.
+	var h History
+	mustInsert(t, &h, 10, int64(100), Committed)
+	mustInsertMerge(t, &h, 20, 5, Committed)
+	mustInsertMerge(t, &h, 30, 7, Committed)
+	h.GC(vt(30)) // base is the merge at 30, value 112; 10 and 20 dropped
+	if err := h.InsertMerge(vt(20), Committed, vt(20), addMerge(5)); err == nil {
+		t.Fatal("duplicate of a GC-folded merge was accepted")
+	}
+	cur, _ := h.Current()
+	if cur.Value != int64(112) {
+		t.Fatalf("current after duplicate = %v, want 112 (no double fold)", cur.Value)
+	}
+	// A straggler that folds in AFTER materialization and is then dropped
+	// by a later GC must be remembered too.
+	mustInsertMerge(t, &h, 15, 3, Committed) // folds into base: 115
+	mustInsertMerge(t, &h, 40, 1, Committed)
+	h.GC(vt(40)) // drops the shadowed straggler record and the old base
+	if err := h.InsertMerge(vt(15), Committed, vt(15), addMerge(3)); err == nil {
+		t.Fatal("duplicate of a post-materialization straggler was accepted")
+	}
+	if err := h.InsertMerge(vt(30), Committed, vt(30), addMerge(7)); err == nil {
+		t.Fatal("duplicate of a dropped materialized base was accepted")
+	}
+	cur, _ = h.Current()
+	if cur.Value != int64(116) {
+		t.Fatalf("current after duplicates = %v, want 116", cur.Value)
+	}
+	// Genuine first arrivals below the new base still fold normally.
+	mustInsertMerge(t, &h, 25, 4, Committed)
+	cur, _ = h.Current()
+	if cur.Value != int64(120) {
+		t.Fatalf("current after genuine straggler = %v, want 120", cur.Value)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"decaf/internal/engine"
+	"decaf/internal/vtime"
+)
+
+// TestDebugOneSeed replays one (profile, seed) with full trace output.
+// Guarded by an env var; a scratch tool for bug hunts, not part of the
+// suite.
+func TestDebugOneSeed(t *testing.T) {
+	prof := os.Getenv("SIM_PROFILE")
+	if prof == "" {
+		t.Skip("set SIM_PROFILE and SIM_SEED to run")
+	}
+	var seed int64
+	fmt.Sscanf(os.Getenv("SIM_SEED"), "%d", &seed)
+	p, ok := ProfileByName(prof)
+	if !ok {
+		t.Fatalf("unknown profile %q", prof)
+	}
+	inspect := func(sites map[vtime.SiteID]*engine.Site, refs map[string][]engine.ObjRef) {
+		obj := os.Getenv("SIM_INSPECT")
+		if obj == "" {
+			return
+		}
+		for i := 1; i <= p.Sites; i++ {
+			d, err := sites[vtime.SiteID(i)].DescribeVersions(refs[obj][i])
+			if err != nil {
+				fmt.Printf("S%d: %v\n", i, err)
+				continue
+			}
+			fmt.Println(d)
+		}
+	}
+	r := Run(p, seed, inspect)
+	fmt.Printf("steps=%d killed=S%d err=%v\n", r.Steps, r.Killed, r.Err)
+	fmt.Printf("fingerprint: %s\n", r.Fingerprint)
+	for i := 1; i <= p.Sites; i++ {
+		st := r.Stats[vtime.SiteID(i)]
+		fmt.Printf("S%d: submitted=%d commits=%d fast=%d confl=%d prog=%d retries=%d updates=%d\n",
+			i, st.Submitted, st.Commits, st.FastpathCommits, st.ConflictAborts,
+			st.ProgrammedAborts, st.Retries, st.UpdatesApplied)
+	}
+	if os.Getenv("SIM_TRACE") != "" {
+		fmt.Println(r.Trace)
+	}
+}

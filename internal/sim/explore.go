@@ -1,0 +1,27 @@
+package sim
+
+// Explore runs every (profile, seed) pair and returns the failing
+// results, in order. A failing result carries the seed and the full
+// event trace, so one line reproduces it:
+//
+//	go run ./cmd/decaf-sim -profile <name> -replay <seed>
+func Explore(profiles []Profile, seeds []int64) []Result {
+	var failures []Result
+	for _, p := range profiles {
+		for _, seed := range seeds {
+			if r := Run(p, seed); r.Err != nil {
+				failures = append(failures, r)
+			}
+		}
+	}
+	return failures
+}
+
+// Seeds returns count consecutive seeds starting at start.
+func Seeds(start int64, count int) []int64 {
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = start + int64(i)
+	}
+	return out
+}

@@ -1,0 +1,584 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"decaf/internal/engine"
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+	"decaf/internal/wire"
+)
+
+// settleTimeout bounds (in wall-clock time) how long the harness waits
+// for every site to quiesce between virtual-clock steps. A run that
+// trips it is stuck — a deadlock or an event loop spinning without
+// scheduling clock work — and fails with the current step for replay.
+const settleTimeout = 10 * time.Second
+
+// maxSteps bounds the number of virtual-clock events per run, the
+// virtual-time analogue of a watchdog: a retry livelock or a message
+// storm that never drains fails loudly instead of hanging the sweep.
+const maxSteps = 200_000
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Profile string
+	Seed    int64
+	// Steps is the number of virtual-clock events fired.
+	Steps int
+	// Killed is the crashed site (0 if the profile has no crash).
+	Killed vtime.SiteID
+	// Trace is the full event schedule: one line per delivery attempt,
+	// submit, and fault transition. Byte-identical across runs of the
+	// same (profile, seed) — TestSimReplay pins that.
+	Trace string
+	// Fingerprint summarizes the final committed state of every shared
+	// object at the surviving sites, plus the step count. Also
+	// byte-identical across replays.
+	Fingerprint string
+	// Err is non-nil when any invariant failed: non-convergence,
+	// counter-identity violation, undecided transaction, stuck run.
+	Err error
+	// Stats is each site's final counter snapshot (diagnostics; not
+	// part of the replay fingerprint because batch-shape counters vary
+	// with harness poll timing).
+	Stats map[vtime.SiteID]engine.Stats
+}
+
+// opKind is one workload transaction flavor.
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opAdd
+	opList
+	opAbort
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opWrite:
+		return "write"
+	case opAdd:
+		return "add"
+	case opList:
+		return "list"
+	default:
+		return "abort"
+	}
+}
+
+// errProgrammedAbort is the workload's deliberate user abort.
+var errProgrammedAbort = errors.New("sim: programmed abort")
+
+// pendingTxn latches a submitted transaction's result so the harness
+// can poll completion without consuming the handle's one-shot channel
+// twice.
+type pendingTxn struct {
+	site vtime.SiteID
+	kind opKind
+	h    *engine.Handle
+	res  engine.Result
+	done bool
+}
+
+func (p *pendingTxn) poll() bool {
+	if p.done {
+		return true
+	}
+	select {
+	case r := <-p.h.Done():
+		p.res, p.done = r, true
+		return true
+	default:
+		return false
+	}
+}
+
+// world is one simulated universe: a virtual clock, a network driven
+// entirely by clock events, and one engine site per member. All of it
+// runs in lock-step — the harness fires exactly one clock event, waits
+// for every site to go quiescent, then fires the next — so the whole
+// run is a deterministic function of (profile, seed).
+type world struct {
+	profile Profile
+	seed    int64
+	clock   *Clock
+	net     *transport.Network
+	faults  *transport.Faults
+	sites   map[vtime.SiteID]*engine.Site
+	rng     *rand.Rand
+
+	steps   int
+	trace   strings.Builder
+	killed  vtime.SiteID
+	pending []*pendingTxn
+}
+
+// Run executes one simulated run and checks every invariant. It is safe
+// to call concurrently with other Runs (each world is self-contained),
+// but a single run is internally sequential by design.
+//
+// An optional inspect hook runs after the schedule drains but before
+// shutdown, with the live sites and the per-site refs of each shared
+// object ("reg", "ctr", "lst") — debug tooling dumps version histories
+// through it.
+func Run(p Profile, seed int64, inspect ...func(sites map[vtime.SiteID]*engine.Site, refs map[string][]engine.ObjRef)) (res Result) {
+	p = p.withDefaults()
+	w := &world{
+		profile: p,
+		seed:    seed,
+		clock:   NewClock(),
+		faults:  transport.NewFaults(),
+		sites:   map[vtime.SiteID]*engine.Site{},
+		// Decorrelate the workload stream from the network's jitter
+		// stream (which NewNetwork seeds with the raw seed).
+		rng: rand.New(rand.NewSource(seed ^ 0x5bf03635)),
+	}
+	res = Result{Profile: p.Name, Seed: seed}
+	// Named return: the deferred capture below must mutate the value
+	// the caller sees, even on early-error returns.
+	defer func() {
+		res.Steps = w.steps
+		res.Killed = w.killed
+		res.Trace = w.trace.String()
+	}()
+
+	w.net = transport.NewNetwork(transport.Config{
+		Latency:   p.Latency,
+		Jitter:    p.Jitter,
+		Seed:      seed,
+		Faults:    w.faults,
+		Clock:     w.clock,
+		Duplicate: p.Duplicate,
+		OnDeliver: w.traceDeliver,
+	})
+	defer w.net.Close()
+
+	for i := 1; i <= p.Sites; i++ {
+		id := vtime.SiteID(i)
+		ep, err := w.net.Endpoint(id)
+		if err != nil {
+			res.Err = fmt.Errorf("sim: endpoint %d: %w", i, err)
+			return res
+		}
+		s := engine.NewSite(ep, engine.Options{
+			Scheduler:       w.clock,
+			RetryDelay:      p.RetryDelay,
+			MaxRetries:      p.MaxRetries,
+			DisableFastPath: p.DisableFastPath,
+			// Pin the commit pipeline width: the default is GOMAXPROCS,
+			// which would make behavior machine-shaped.
+			CommitWorkers: 2,
+		})
+		s.Start()
+		w.sites[id] = s
+	}
+	defer func() {
+		for _, s := range w.sites {
+			s.Stop()
+		}
+	}()
+
+	refs, err := w.setup()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	w.scheduleWorkload(refs)
+	w.scheduleFaults()
+
+	if err := w.drain(); err != nil {
+		res.Err = err
+		return res
+	}
+
+	res.Err = w.check(refs)
+	res.Fingerprint = w.fingerprint(refs)
+	res.Stats = map[vtime.SiteID]engine.Stats{}
+	for id, s := range w.sites {
+		res.Stats[id] = s.Stats()
+	}
+	for _, fn := range inspect {
+		fn(w.sites, refs)
+	}
+	return res
+}
+
+// traceDeliver records one line per network delivery attempt. It runs
+// on the goroutine firing clock events — the harness goroutine — so no
+// locking is needed.
+func (w *world) traceDeliver(to vtime.SiteID, ev transport.Event) {
+	switch ev.Kind {
+	case transport.EventMessage:
+		fmt.Fprintf(&w.trace, "%5d %9s S%d->S%d %s sent=%s\n",
+			w.steps, w.clock.Now(), ev.From, to, msgName(ev.Msg), ev.SentAt)
+	case transport.EventSiteFailed:
+		fmt.Fprintf(&w.trace, "%5d %9s ->S%d SITE-FAILED S%d\n",
+			w.steps, w.clock.Now(), to, ev.Failed)
+	default:
+		fmt.Fprintf(&w.trace, "%5d %9s ->S%d event=%d\n",
+			w.steps, w.clock.Now(), to, ev.Kind)
+	}
+}
+
+func (w *world) tracef(format string, args ...any) {
+	fmt.Fprintf(&w.trace, "%5d %9s %s\n",
+		w.steps, w.clock.Now(), fmt.Sprintf(format, args...))
+}
+
+func msgName(m wire.Message) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", m), "wire.")
+}
+
+// settle waits (in wall-clock time) until every site's event loop is
+// parked over empty queues with nothing staged. Between two clock
+// events this always terminates: sites only regain work when the
+// harness fires the next event.
+func (w *world) settle() error {
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		quiet := true
+		for i := 1; i <= w.profile.Sites; i++ {
+			if !w.sites[vtime.SiteID(i)].Quiescent() {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sim: sites never quiesced at step %d (wedged event loop?)", w.steps)
+		}
+		runtime.Gosched()
+	}
+}
+
+// stepOne fires the next virtual-clock event; false when the clock has
+// drained.
+func (w *world) stepOne() bool {
+	w.steps++
+	if w.clock.Step() {
+		return true
+	}
+	w.steps--
+	return false
+}
+
+// driveUntil alternates settle and single steps until cond holds;
+// cond is evaluated only at quiescent points.
+func (w *world) driveUntil(what string, cond func() bool) error {
+	for {
+		if err := w.settle(); err != nil {
+			return err
+		}
+		if cond() {
+			return nil
+		}
+		if !w.stepOne() {
+			return fmt.Errorf("sim: clock drained before %s (step %d)", what, w.steps)
+		}
+		if w.steps > maxSteps {
+			return fmt.Errorf("sim: step budget exceeded waiting for %s", what)
+		}
+	}
+}
+
+// drain runs the schedule to exhaustion: settle, fire, repeat until the
+// clock is empty and every site is quiescent.
+func (w *world) drain() error {
+	for {
+		if err := w.settle(); err != nil {
+			return err
+		}
+		if !w.stepOne() {
+			return nil
+		}
+		if w.steps > maxSteps {
+			return fmt.Errorf("sim: step budget exceeded (livelock?)")
+		}
+	}
+}
+
+// setup creates the three shared objects at site 1 and joins every
+// other site into their replica relationships, driving the clock until
+// the replication graphs converge everywhere. The setup traffic is part
+// of the deterministic trace.
+func (w *world) setup() (map[string][]engine.ObjRef, error) {
+	refs := map[string][]engine.ObjRef{}
+	for _, obj := range []struct {
+		name    string
+		kind    engine.Kind
+		initial any
+	}{
+		{"reg", engine.KindInt, int64(0)},
+		{"ctr", engine.KindInt, int64(0)},
+		{"lst", engine.KindList, nil},
+	} {
+		bysite := make([]engine.ObjRef, w.profile.Sites+1)
+		first, err := w.sites[1].CreateObject(obj.kind, obj.name, obj.initial)
+		if err != nil {
+			return nil, fmt.Errorf("sim: create %s: %w", obj.name, err)
+		}
+		bysite[1] = first
+		for i := 2; i <= w.profile.Sites; i++ {
+			id := vtime.SiteID(i)
+			r, err := w.sites[id].CreateObject(obj.kind, obj.name, obj.initial)
+			if err != nil {
+				return nil, fmt.Errorf("sim: create %s at S%d: %w", obj.name, i, err)
+			}
+			join := &pendingTxn{site: id, h: w.sites[id].JoinObject(r, 1, first.ID())}
+			if err := w.driveUntil("join decision", join.poll); err != nil {
+				return nil, err
+			}
+			if join.res.Err != nil || !join.res.Committed {
+				return nil, fmt.Errorf("sim: join %s from S%d: %+v", obj.name, i, join.res)
+			}
+			bysite[i] = r
+		}
+		refs[obj.name] = bysite
+	}
+	// Joins commit at their origin before every member has applied the
+	// merged graph; drive until all members agree.
+	err := w.driveUntil("replica graphs converged", func() bool {
+		for _, bysite := range refs {
+			for i := 1; i <= w.profile.Sites; i++ {
+				got, err := w.sites[vtime.SiteID(i)].ReplicaSites(bysite[i])
+				if err != nil || len(got) != w.profile.Sites {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.tracef("SETUP-DONE sites=%d", w.profile.Sites)
+	return refs, nil
+}
+
+// scheduleWorkload draws Ops transactions from the mix and schedules
+// their submission at seed-chosen virtual times across the span.
+func (w *world) scheduleWorkload(refs map[string][]engine.ObjRef) {
+	p := w.profile
+	for i := 0; i < p.Ops; i++ {
+		site := vtime.SiteID(1 + w.rng.Intn(p.Sites))
+		at := time.Duration(w.rng.Int63n(int64(p.Span)))
+		kind := w.pickOp()
+		val := w.rng.Int63n(1000)
+		txn := w.buildTxn(kind, site, val, refs)
+		n := i
+		w.clock.AfterFunc(at, func() {
+			w.tracef("SUBMIT S%d op=%s val=%d n=%d", site, kind, val, n)
+			w.pending = append(w.pending, &pendingTxn{
+				site: site, kind: kind, h: w.sites[site].Submit(txn),
+			})
+		})
+	}
+}
+
+func (w *world) pickOp() opKind {
+	m := w.profile.Mix
+	n := w.rng.Intn(m.total())
+	switch {
+	case n < m.Write:
+		return opWrite
+	case n < m.Write+m.Add:
+		return opAdd
+	case n < m.Write+m.Add+m.List:
+		return opList
+	default:
+		return opAbort
+	}
+}
+
+func (w *world) buildTxn(kind opKind, site vtime.SiteID, val int64, refs map[string][]engine.ObjRef) *engine.Txn {
+	reg := refs["reg"][site]
+	ctr := refs["ctr"][site]
+	lst := refs["lst"][site]
+	switch kind {
+	case opWrite:
+		return &engine.Txn{Name: "rmw", Execute: func(tx *engine.Tx) error {
+			v, err := tx.Read(reg)
+			if err != nil {
+				return err
+			}
+			cur, _ := v.(int64)
+			return tx.Write(reg, cur+val)
+		}}
+	case opAdd:
+		return &engine.Txn{Name: "add", Execute: func(tx *engine.Tx) error {
+			return tx.Add(ctr, val)
+		}}
+	case opList:
+		return &engine.Txn{Name: "append", Execute: func(tx *engine.Tx) error {
+			_, err := tx.ListAppend(lst, wire.ChildDecl{Kind: wire.KindInt, Value: val})
+			return err
+		}}
+	default:
+		return &engine.Txn{Name: "abort", Execute: func(tx *engine.Tx) error {
+			if _, err := tx.Read(reg); err != nil {
+				return err
+			}
+			return errProgrammedAbort
+		}}
+	}
+}
+
+// scheduleFaults schedules the profile's crash and latency flap as
+// clock events, so fault timing is part of the seeded schedule.
+func (w *world) scheduleFaults() {
+	p := w.profile
+	if p.Flap {
+		// A latency spike through the middle third of the schedule:
+		// messages sent during the window land long after later
+		// traffic sent outside it (per-pair FIFO still holds).
+		on := p.Span/3 + time.Duration(w.rng.Int63n(int64(p.Span/4)))
+		off := on + p.Span/4
+		spike := 8 * p.Latency
+		w.clock.AfterFunc(on, func() {
+			w.tracef("FLAP-ON +%s", spike)
+			w.faults.DelayFrames(spike)
+		})
+		w.clock.AfterFunc(off, func() {
+			w.tracef("FLAP-OFF")
+			w.faults.DelayFrames(0)
+		})
+	}
+	if p.Crash {
+		// Kill a seed-chosen site (possibly site 1, every object's
+		// initial primary — that path exercises the §3.4 survivor
+		// repair consensus) midway through the schedule.
+		victim := vtime.SiteID(1 + w.rng.Intn(p.Sites))
+		at := p.Span/2 + time.Duration(w.rng.Int63n(int64(p.Span/2)))
+		w.clock.AfterFunc(at, func() {
+			w.tracef("KILL S%d", victim)
+			w.killed = victim
+			w.net.Kill(victim)
+		})
+	}
+}
+
+// alive reports whether site survived the run.
+func (w *world) alive(site vtime.SiteID) bool { return site != w.killed }
+
+// check asserts every end-of-run invariant and returns them joined.
+func (w *world) check(refs map[string][]engine.ObjRef) error {
+	var problems []string
+
+	// 1. Every transaction submitted at a surviving site reached a
+	// decision. (Transactions in flight at the crashed site may hang
+	// forever — their site is gone — and are skipped.)
+	abandoned := map[vtime.SiteID]uint64{}
+	for i, p := range w.pending {
+		if !w.alive(p.site) {
+			p.poll()
+			continue
+		}
+		if !p.poll() {
+			problems = append(problems,
+				fmt.Sprintf("txn %d (%s at S%d) undecided after quiescence", i, p.kind, p.site))
+			continue
+		}
+		if errors.Is(p.res.Err, engine.ErrTooManyRetries) {
+			abandoned[p.site]++
+		}
+	}
+
+	// 2. No surviving site holds an undecided guessed transaction.
+	for i := 1; i <= w.profile.Sites; i++ {
+		id := vtime.SiteID(i)
+		if !w.alive(id) {
+			continue
+		}
+		if n := w.sites[id].PendingUndecided(); n != 0 {
+			problems = append(problems,
+				fmt.Sprintf("S%d: %d transactions still undecided", i, n))
+		}
+	}
+
+	// 3. Convergence: committed state identical at every surviving
+	// site, and current == committed (no optimistic residue survives
+	// quiescence — an abandoned residual here is exactly the kind of
+	// interleaving bug the sweep exists to catch).
+	for _, name := range []string{"reg", "ctr", "lst"} {
+		bysite := refs[name]
+		want := ""
+		for i := 1; i <= w.profile.Sites; i++ {
+			id := vtime.SiteID(i)
+			if !w.alive(id) {
+				continue
+			}
+			cm, err := w.sites[id].ReadCommitted(bysite[i])
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("S%d: read committed %s: %v", i, name, err))
+				continue
+			}
+			cur, err := w.sites[id].ReadCurrent(bysite[i])
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("S%d: read current %s: %v", i, name, err))
+				continue
+			}
+			got := fmt.Sprintf("%#v", cm)
+			if want == "" {
+				want = got
+			} else if got != want {
+				problems = append(problems,
+					fmt.Sprintf("%s diverged: S%d committed %s, earlier site committed %s", name, i, got, want))
+			}
+			if curs := fmt.Sprintf("%#v", cur); curs != got {
+				problems = append(problems,
+					fmt.Sprintf("S%d %s: current %s != committed %s after quiescence", i, name, curs, got))
+			}
+		}
+	}
+
+	// 4. Obs counter identities (PR 4) at every surviving site.
+	for i := 1; i <= w.profile.Sites; i++ {
+		id := vtime.SiteID(i)
+		if !w.alive(id) {
+			continue
+		}
+		st := w.sites[id].Stats()
+		for _, v := range st.IdentityViolations(abandoned[id]) {
+			problems = append(problems, fmt.Sprintf("S%d: %s", i, v))
+		}
+	}
+
+	if len(problems) == 0 {
+		return nil
+	}
+	sort.Strings(problems)
+	return fmt.Errorf("sim: %d invariant violation(s):\n  %s",
+		len(problems), strings.Join(problems, "\n  "))
+}
+
+// fingerprint summarizes final committed state for replay comparison.
+func (w *world) fingerprint(refs map[string][]engine.ObjRef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d killed=S%d", w.steps, w.killed)
+	for _, name := range []string{"reg", "ctr", "lst"} {
+		for i := 1; i <= w.profile.Sites; i++ {
+			id := vtime.SiteID(i)
+			if !w.alive(id) {
+				continue
+			}
+			v, err := w.sites[id].ReadCommitted(refs[name][i])
+			if err != nil {
+				fmt.Fprintf(&b, " %s@S%d=err:%v", name, i, err)
+				continue
+			}
+			fmt.Fprintf(&b, " %s@S%d=%#v", name, i, v)
+		}
+	}
+	return b.String()
+}

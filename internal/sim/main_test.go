@@ -1,0 +1,11 @@
+package sim
+
+import (
+	"testing"
+
+	"decaf/internal/testutil"
+)
+
+// TestMain fails the package when a run leaks goroutines — a site or
+// network that outlives its world would surface here.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

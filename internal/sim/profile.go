@@ -1,0 +1,146 @@
+package sim
+
+import "time"
+
+// Mix weights the transaction kinds a workload draws from. Weights are
+// relative; a zero weight disables the kind.
+type Mix struct {
+	// Write is a read-modify-write of one shared register all sites
+	// contend on — the guessed (RL) path, conflict-heavy by design.
+	Write int
+	// Add is a blind increment of a shared counter — the commutative
+	// fast path when enabled, an ordinary guess when disabled.
+	Add int
+	// List appends to a shared list — the composite path (child
+	// creation, stable-position ops, structural merge on commit).
+	List int
+	// Abort reads the register then aborts programmatically —
+	// exercises the programmed-abort bookkeeping and rollback.
+	Abort int
+}
+
+func (m Mix) total() int { return m.Write + m.Add + m.List + m.Abort }
+
+// Profile is one simulated scenario: topology, timing distribution,
+// fault plan, and workload shape. Run(profile, seed) is a pure function
+// of (Profile, seed) — same inputs, byte-identical event trace.
+type Profile struct {
+	Name string
+
+	// Sites is the number of engine sites (IDs 1..Sites). Site 1
+	// creates every shared object, so it is each object's initial
+	// primary.
+	Sites int
+
+	// Latency and Jitter parameterize the per-message delay draw;
+	// Duplicate re-delivers each message with this probability after
+	// one extra latency draw (out of band, past newer messages).
+	Latency   time.Duration
+	Jitter    time.Duration
+	Duplicate float64
+
+	// RetryDelay and MaxRetries configure the engine's conflict-retry
+	// loop. With a virtual clock the delay is free, so nonzero values
+	// cost nothing and spread retries across the schedule.
+	RetryDelay time.Duration
+	MaxRetries int
+
+	// Ops transactions are drawn from Mix and scheduled at uniform
+	// random virtual times in [0, Span) after setup.
+	Ops  int
+	Span time.Duration
+	Mix  Mix
+
+	// Crash kills one seed-chosen site (possibly the primary, which
+	// forces the §3.4 survivor consensus repair) midway through the
+	// schedule. Flap injects a latency spike window (DelayFrames on,
+	// then off) — the in-memory transport has no retransmit layer, so
+	// a hard partition would wedge the protocol rather than test it;
+	// a flap reorders aggressively without losing messages.
+	Crash bool
+	Flap  bool
+
+	// DisableFastPath routes commutative transactions through the
+	// ordinary guess/confirm protocol.
+	DisableFastPath bool
+}
+
+// withDefaults fills zero fields with workable values.
+func (p Profile) withDefaults() Profile {
+	if p.Sites == 0 {
+		p.Sites = 3
+	}
+	if p.Latency == 0 {
+		p.Latency = 5 * time.Millisecond
+	}
+	if p.Ops == 0 {
+		p.Ops = 24
+	}
+	if p.Span == 0 {
+		p.Span = 40 * p.Latency
+	}
+	if p.Mix.total() == 0 {
+		p.Mix = Mix{Write: 3, Add: 3, List: 2, Abort: 1}
+	}
+	return p
+}
+
+// Profiles returns the standard exploration set: each profile stresses
+// a different protocol surface, and together they cover the guessed,
+// fast-path, and composite paths under reordering, duplication, latency
+// flaps, and fail-stop crashes.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// Baseline: mixed workload, jittered delivery, no faults.
+			Name: "smoke", Sites: 3,
+			Latency: 5 * time.Millisecond, Jitter: 4 * time.Millisecond,
+			Ops: 24,
+		},
+		{
+			// High contention on one register: guess/confirm conflicts,
+			// retries, and retry-budget exhaustion.
+			Name: "contend", Sites: 4,
+			Latency: 5 * time.Millisecond, Jitter: 5 * time.Millisecond,
+			RetryDelay: 4 * time.Millisecond, MaxRetries: 6,
+			Ops: 32, Mix: Mix{Write: 6, Add: 1, List: 1},
+		},
+		{
+			// Full fault menu over the mixed workload: crash one site
+			// (repair), latency flap (reordering), duplicates.
+			Name: "faulty", Sites: 4,
+			Latency: 5 * time.Millisecond, Jitter: 5 * time.Millisecond,
+			Duplicate: 0.08, RetryDelay: 3 * time.Millisecond,
+			Ops: 28, Crash: true, Flap: true,
+		},
+		{
+			// Commutative fast path under faults: mostly adds and list
+			// appends, so FastWrite folding races GC merge-bases and
+			// demotion races in-flight confirms.
+			Name: "fastpath-faulty", Sites: 3,
+			Latency: 4 * time.Millisecond, Jitter: 6 * time.Millisecond,
+			Duplicate: 0.10,
+			Ops:       30, Mix: Mix{Write: 1, Add: 5, List: 3},
+			Crash: true, Flap: true,
+		},
+		{
+			// Same fault menu with the fast path ablated: every
+			// commutative op takes the guess/confirm protocol.
+			Name: "nofast", Sites: 3,
+			Latency: 4 * time.Millisecond, Jitter: 6 * time.Millisecond,
+			Duplicate: 0.06, RetryDelay: 2 * time.Millisecond,
+			Ops: 24, Crash: true, Flap: true,
+			DisableFastPath: true,
+		},
+	}
+}
+
+// ProfileByName returns the standard profile with the given name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSimReplay pins determinism: the same (profile, seed) must produce
+// a byte-identical event trace and final replica state across two
+// independent runs. Any diff means a nondeterminism leak — an unsorted
+// map iteration feeding the network, an unserialized RNG draw, a real
+// timer — and the diff's first line points at the guilty event.
+func TestSimReplay(t *testing.T) {
+	cases := []struct {
+		profile string
+		seed    int64
+	}{
+		{"smoke", 1},
+		{"smoke", 7},
+		{"contend", 3},
+		{"faulty", 2},
+		{"faulty", 11},
+		{"fastpath-faulty", 5},
+		{"nofast", 4},
+		// Regressions: seeds that found real engine bugs (DESIGN.md §12).
+		{"fastpath-faulty", 93}, // drainPending re-entrancy stack overflow
+		{"nofast", 107},         // duplicated Write re-folded into GC merge base
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/%d", tc.profile, tc.seed), func(t *testing.T) {
+			p, ok := ProfileByName(tc.profile)
+			if !ok {
+				t.Fatalf("unknown profile %q", tc.profile)
+			}
+			a := Run(p, tc.seed)
+			if a.Err != nil {
+				t.Fatalf("seed %d failed invariants:\n%v\ntrace tail:\n%s",
+					tc.seed, a.Err, traceTail(a.Trace, 30))
+			}
+			b := Run(p, tc.seed)
+			if a.Trace != b.Trace {
+				t.Fatalf("seed %d: traces differ across replays\nfirst diff:\n%s",
+					tc.seed, firstDiff(a.Trace, b.Trace))
+			}
+			if a.Fingerprint != b.Fingerprint {
+				t.Fatalf("seed %d: fingerprints differ:\n  %s\n  %s",
+					tc.seed, a.Fingerprint, b.Fingerprint)
+			}
+			if a.Trace == "" || a.Fingerprint == "" {
+				t.Fatalf("seed %d: empty trace or fingerprint", tc.seed)
+			}
+		})
+	}
+}
+
+// TestExploreSweep is the in-tree slice of the exploration sweep: a few
+// seeds per profile on every `go test`, more with -short off. The CI
+// sim job runs the full 200+-seed budget through cmd/decaf-sim.
+func TestExploreSweep(t *testing.T) {
+	seeds := Seeds(100, 8)
+	if testing.Short() {
+		seeds = Seeds(100, 2)
+	}
+	failures := Explore(Profiles(), seeds)
+	for _, f := range failures {
+		t.Errorf("profile %s seed %d failed:\n%v\nreplay: go run ./cmd/decaf-sim -profile %s -replay %d\ntrace tail:\n%s",
+			f.Profile, f.Seed, f.Err, f.Profile, f.Seed, traceTail(f.Trace, 30))
+	}
+}
+
+// TestGVTSim drives the baseline GVT protocol under the virtual clock:
+// per-site GVT estimates never regress (asserted inside RunGVT at every
+// quiescent point) and committed registers converge. Replays must be
+// byte-identical, same as the engine runs.
+func TestGVTSim(t *testing.T) {
+	p := GVTProfile{Name: "ring3", Sites: 3, Jitter: 4e6}
+	for _, seed := range []int64{1, 2, 9} {
+		a := RunGVT(p, seed)
+		if a.Err != nil {
+			t.Fatalf("gvt seed %d: %v\ntrace tail:\n%s", seed, a.Err, traceTail(a.Trace, 30))
+		}
+		b := RunGVT(p, seed)
+		if a.Trace != b.Trace {
+			t.Fatalf("gvt seed %d: traces differ\nfirst diff:\n%s", seed, firstDiff(a.Trace, b.Trace))
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("gvt seed %d: fingerprints differ:\n  %s\n  %s", seed, a.Fingerprint, b.Fingerprint)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// traceTail returns the last n lines of a trace — the compact view a
+// failure report prints so the interesting suffix (the events leading
+// into the violation) is visible without dumping thousands of lines.
+func traceTail(trace string, n int) string {
+	lines := strings.Split(strings.TrimRight(trace, "\n"), "\n")
+	if len(lines) > n {
+		lines = append([]string{fmt.Sprintf("... (%d earlier lines)", len(lines)-n)}, lines[len(lines)-n:]...)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// firstDiff locates the first line where two traces disagree.
+func firstDiff(a, b string) string {
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  run A: %s\n  run B: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("traces are a prefix of each other (lengths %d vs %d lines)", len(al), len(bl))
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -91,6 +92,35 @@ type BatchSender interface {
 	SendBatch(to vtime.SiteID, sentAt vtime.VT, msgs []wire.Message) error
 }
 
+// Clock abstracts deferred scheduling for the simulated Network. Now
+// returns the current time as an offset (monotonic, origin arbitrary);
+// AfterFunc schedules fn at Now()+d and returns a cancel. The default
+// real-time implementation is WallClock; the deterministic simulation
+// harness (internal/sim) injects its virtual event-queue clock so every
+// message delay becomes a seeded, replayable schedule decision.
+type Clock interface {
+	Now() time.Duration
+	AfterFunc(d time.Duration, fn func()) (cancel func())
+}
+
+// WallClock is the real-time Clock: AfterFunc uses a runtime timer. It
+// is also the engine's default retry Scheduler — the engine itself
+// constructs no timers (enforced by the decaf-vet timers analyzer), so
+// the one real-timer fallback lives here with the transport's other
+// timing machinery.
+type WallClock struct{}
+
+var wallEpoch = time.Now()
+
+// Now returns the monotonic offset since process start.
+func (WallClock) Now() time.Duration { return time.Since(wallEpoch) }
+
+// AfterFunc schedules fn on a real timer.
+func (WallClock) AfterFunc(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
 // ErrSiteDown is returned by Send when the destination site has failed or
 // closed its endpoint.
 var ErrSiteDown = errors.New("transport: destination site is down")
@@ -123,6 +153,26 @@ type Config struct {
 	// down (each simulated message is one frame). Dial- and
 	// connection-level faults have no meaning here and are ignored.
 	Faults *Faults
+	// Clock, when non-nil, replaces the real-timer delivery pump with
+	// scheduled events on the given clock: no link goroutines, no
+	// time.Timer sleeps — every delivery is an event the clock's owner
+	// fires explicitly. Per-pair FIFO order is still preserved via the
+	// due-time clamp. This is how internal/sim makes a whole run a
+	// deterministic function of Seed.
+	Clock Clock
+	// Duplicate, when > 0, re-delivers each message with the given
+	// probability after one extra latency draw — a transport-level
+	// retransmit arriving out of band. The original copies still arrive
+	// in FIFO order; the duplicate is extra and may arrive after newer
+	// messages, which the engine's outcome/ dedup bookkeeping must (and
+	// does) tolerate. Requires Clock (it exists for the simulation
+	// harness; the real-timer path ignores it).
+	Duplicate float64
+	// OnDeliver, when non-nil, observes every event at the moment the
+	// network hands it to the destination endpoint (after latency,
+	// including duplicates; dead-endpoint drops included). The
+	// simulation harness records its event trace here.
+	OnDeliver func(to vtime.SiteID, ev Event)
 }
 
 // Network is an in-memory simulated network. Endpoints attach with
@@ -137,6 +187,7 @@ type Network struct {
 	links     map[linkKey]*memLink          // guarded by mu
 	dead      map[vtime.SiteID]bool         // guarded by mu
 	blocked   map[linkKey]bool              // guarded by mu; partitioned ordered pairs
+	vdue      map[linkKey]time.Duration     // guarded by mu; per-pair FIFO clamp under cfg.Clock
 	closed    bool                          // guarded by mu
 	wg        sync.WaitGroup
 }
@@ -157,6 +208,7 @@ func NewNetwork(cfg Config) *Network {
 		links:     map[linkKey]*memLink{},
 		dead:      map[vtime.SiteID]bool{},
 		blocked:   map[linkKey]bool{},
+		vdue:      map[linkKey]time.Duration{},
 	}
 }
 
@@ -218,6 +270,9 @@ func (n *Network) link(from, to vtime.SiteID) *memLink {
 
 // deliver hands an event to the destination endpoint if it is alive.
 func (n *Network) deliver(to vtime.SiteID, ev Event) {
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(to, ev)
+	}
 	n.mu.Lock()
 	ep, ok := n.endpoints[to]
 	n.mu.Unlock()
@@ -225,6 +280,41 @@ func (n *Network) deliver(to vtime.SiteID, ev Event) {
 		return
 	}
 	ep.deliver(ev)
+}
+
+// dispatch schedules ev for delivery to `to` after delay, preserving
+// per-ordered-pair FIFO order. With a virtual clock configured the
+// delivery becomes a clock event (fired by the simulation driver);
+// otherwise it goes through the link's real-timer pump goroutine.
+func (n *Network) dispatch(from, to vtime.SiteID, ev Event, delay time.Duration) {
+	clk := n.cfg.Clock
+	if clk == nil {
+		n.link(from, to).enqueue(ev, delay)
+		return
+	}
+	key := linkKey{from, to}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	now := clk.Now()
+	due := now + delay
+	// Clamp to preserve FIFO when jitter would reorder; events at equal
+	// due times fire in schedule order, so `due == last` keeps FIFO too.
+	if last, ok := n.vdue[key]; ok && due < last {
+		due = last
+	}
+	n.vdue[key] = due
+	// Duplicate-within-policy: an extra copy lands one more latency draw
+	// later, out of band (it does not advance the FIFO clamp).
+	dup := ev.Kind == EventMessage && n.cfg.Duplicate > 0 && n.rng.Float64() < n.cfg.Duplicate
+	n.mu.Unlock()
+
+	clk.AfterFunc(due-now, func() { n.deliver(to, ev) })
+	if dup {
+		clk.AfterFunc(due-now+n.latency(from, to), func() { n.deliver(to, ev) })
+	}
 }
 
 // send enqueues a message for delivery.
@@ -254,7 +344,7 @@ func (n *Network) send(from, to vtime.SiteID, sentAt vtime.VT, msg wire.Message)
 		return nil
 	}
 	ev := Event{Kind: EventMessage, From: from, SentAt: sentAt, Msg: msg}
-	n.link(from, to).enqueue(ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
+	n.dispatch(from, to, ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
 	return nil
 }
 
@@ -279,13 +369,12 @@ func (n *Network) sendBatch(from, to vtime.SiteID, sentAt vtime.VT, msgs []wire.
 	}
 	n.mu.Unlock()
 
-	l := n.link(from, to)
 	for _, msg := range msgs {
 		if n.cfg.Faults.dropFrame(to) {
 			continue // injected loss, per message
 		}
 		ev := Event{Kind: EventMessage, From: from, SentAt: sentAt, Msg: msg}
-		l.enqueue(ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
+		n.dispatch(from, to, ev, n.latency(from, to)+n.cfg.Faults.frameDelay())
 	}
 	return nil
 }
@@ -309,13 +398,16 @@ func (n *Network) Kill(site vtime.SiteID) {
 		}
 	}
 	n.mu.Unlock()
+	// Deterministic notification order: the RNG draws and schedule slots
+	// below must not depend on map iteration order.
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
 
 	if ep != nil {
 		ep.kill()
 	}
 	for _, s := range others {
 		ev := Event{Kind: EventSiteFailed, Failed: site}
-		n.link(site, s).enqueue(ev, n.latency(site, s))
+		n.dispatch(site, s, ev, n.latency(site, s))
 	}
 }
 
