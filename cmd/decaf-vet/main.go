@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	decaf-vet [packages]
+//	decaf-vet [-list] [-json] [packages]
 //
 // Packages are directory patterns relative to the working directory:
 // "./..." (the default) analyzes every package in the module, "./dir"
@@ -13,14 +13,21 @@
 // clean, 1 when any analyzer reported a finding, 2 on load or usage
 // errors.
 //
+// With -json the report is a single JSON object on stdout — findings,
+// bare-ignore warnings, and counts — for CI annotation tooling.
+//
 // Suppress a documented false positive in place with:
 //
 //	//decaf:ignore <analyzer> <reason>
 //
-// which covers the directive's line and the line below it.
+// which covers the directive's line and the line below it. The reason
+// is required in spirit: a directive without one still suppresses, but
+// decaf-vet reports it as a warning and counts it in the exit summary
+// (and TestVetSelfClean fails on it).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +37,32 @@ import (
 	"decaf/internal/analysis"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Findings    []jsonFinding `json:"findings"`
+	BareIgnores []jsonFinding `json:"bare_ignores"`
+	Counts      struct {
+		Findings    int `json:"findings"`
+		BareIgnores int `json:"bare_ignores"`
+	} `json:"counts"`
+}
+
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: decaf-vet [packages]\n\nruns the DECAF analyzer suite; see internal/analysis for the checks\n")
+		fmt.Fprintf(os.Stderr, "usage: decaf-vet [-list] [-json] [packages]\n\nruns the DECAF analyzer suite; see internal/analysis for the checks\n")
 		flag.PrintDefaults()
 	}
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON report object instead of plain lines (for CI annotations)")
 	flag.Parse()
 
 	analyzers := analysis.DefaultAnalyzers()
@@ -69,14 +96,62 @@ func main() {
 		pkgs = append(pkgs, loaded...)
 	}
 
-	diags := analysis.Run(analyzers, pkgs)
-	for _, d := range diags {
-		fmt.Println(d.Render(loader.ModRoot))
+	res := analysis.RunSuite(analyzers, pkgs)
+	root := loader.ModRoot
+
+	if *asJSON {
+		var rep jsonReport
+		rep.Findings = []jsonFinding{}
+		rep.BareIgnores = []jsonFinding{}
+		for _, d := range res.Diags {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File:     relTo(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		for _, b := range res.BareIgnores {
+			rep.BareIgnores = append(rep.BareIgnores, jsonFinding{
+				File:     relTo(root, b.Pos.Filename),
+				Line:     b.Pos.Line,
+				Column:   b.Pos.Column,
+				Analyzer: b.Analyzer,
+				Message:  "bare //decaf:ignore (no reason); add a justification",
+			})
+		}
+		rep.Counts.Findings = len(res.Diags)
+		rep.Counts.BareIgnores = len(res.BareIgnores)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Println(d.Render(root))
+		}
+		for _, b := range res.BareIgnores {
+			fmt.Println(b.Render(root))
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "decaf-vet: %d finding(s)\n", len(diags))
+
+	if len(res.BareIgnores) > 0 {
+		fmt.Fprintf(os.Stderr, "decaf-vet: %d bare-ignore warning(s)\n", len(res.BareIgnores))
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "decaf-vet: %d finding(s)\n", len(res.Diags))
 		os.Exit(1)
 	}
+}
+
+// relTo renders file relative to root when it lies under it.
+func relTo(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 // loadPattern resolves one package pattern to loaded packages.

@@ -75,6 +75,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Graph is the module-wide call graph over every package of the
+	// current Run, for interprocedural analyzers. The same *CallGraph is
+	// shared by all passes of one Run, so analyzers may key memoized
+	// whole-module state on it.
+	Graph *CallGraph
 
 	diags []Diagnostic
 }
@@ -91,12 +96,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ignoreDirective is the comment prefix that suppresses findings.
 const ignoreDirective = "//decaf:ignore"
 
+// directive is one parsed //decaf:ignore comment.
+type directive struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
 // ignoreIndex records, per file and line, which analyzers are ignored.
 type ignoreIndex map[string]map[int][]string
 
-// buildIgnoreIndex scans a package's comments for ignore directives.
-func buildIgnoreIndex(pkg *Package) ignoreIndex {
+// buildIgnoreIndex scans a package's comments for ignore directives,
+// returning the suppression index and the raw directive list (for
+// bare-ignore auditing).
+func buildIgnoreIndex(pkg *Package) (ignoreIndex, []directive) {
 	idx := ignoreIndex{}
+	var dirs []directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -116,12 +131,18 @@ func buildIgnoreIndex(pkg *Package) ignoreIndex {
 					idx[pos.Filename] = byLine
 				}
 				// The first field is the analyzer name; the rest is the
-				// human reason, which the driver does not interpret.
+				// human reason, which the driver records but does not
+				// interpret.
 				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				dirs = append(dirs, directive{
+					Pos:      pos,
+					Analyzer: fields[0],
+					Reason:   strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+				})
 			}
 		}
 	}
-	return idx
+	return idx, dirs
 }
 
 // suppressed reports whether a diagnostic is covered by a directive on
@@ -141,36 +162,85 @@ func (idx ignoreIndex) suppressed(d Diagnostic) bool {
 	return false
 }
 
+// BareIgnore is a //decaf:ignore directive carrying no reason text. A
+// suppression without a recorded justification defeats the audit trail
+// the directive exists to create, so decaf-vet counts these as warnings
+// and TestVetSelfClean fails on them.
+type BareIgnore struct {
+	Pos      token.Position
+	Analyzer string
+}
+
+// Render renders the warning with the file path made relative to root.
+func (b BareIgnore) Render(root string) string {
+	d := Diagnostic{Pos: b.Pos, Analyzer: b.Analyzer, Message: "bare //decaf:ignore (no reason); add a justification"}
+	return d.Render(root)
+}
+
+// Result is the outcome of one suite run.
+type Result struct {
+	// Diags are the surviving (non-suppressed) diagnostics, sorted by
+	// position.
+	Diags []Diagnostic
+	// BareIgnores are reason-less //decaf:ignore directives, sorted by
+	// position. They are warnings, not findings: the suppression still
+	// applies.
+	BareIgnores []BareIgnore
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // (non-suppressed) diagnostics sorted by position.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
-	var out []Diagnostic
+	return RunSuite(analyzers, pkgs).Diags
+}
+
+// RunSuite applies every analyzer to every package. A module-wide call
+// graph over pkgs is built once and shared by all passes, so
+// interprocedural analyzers (wallclock, timers, lockorder) see the
+// whole module even though each pass reports into one package.
+func RunSuite(analyzers []*Analyzer, pkgs []*Package) Result {
+	graph := BuildCallGraph(pkgs)
+	var res Result
 	for _, pkg := range pkgs {
-		idx := buildIgnoreIndex(pkg)
+		idx, dirs := buildIgnoreIndex(pkg)
+		for _, d := range dirs {
+			if d.Reason == "" {
+				res.BareIgnores = append(res.BareIgnores, BareIgnore{Pos: d.Pos, Analyzer: d.Analyzer})
+			}
+		}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Graph: graph}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if !idx.suppressed(d) {
-					out = append(out, d)
+					res.Diags = append(res.Diags, d)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	byPos := func(a, b token.Position) bool {
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		return a.Column < b.Column
+	}
+	sort.Slice(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
+		if a.Pos != b.Pos {
+			return byPos(a.Pos, b.Pos)
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
+	sort.Slice(res.BareIgnores, func(i, j int) bool {
+		return byPos(res.BareIgnores[i].Pos, res.BareIgnores[j].Pos)
+	})
+	return res
 }
 
 // DefaultAnalyzers returns the production suite run by decaf-vet.
@@ -183,6 +253,8 @@ func DefaultAnalyzers() []*Analyzer {
 		Timers(DefaultTimerFree...),
 		AtomicMix(),
 		Fastpath(),
+		Maporder(DefaultOrderSensitive...),
+		Lockorder(),
 	}
 }
 

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is a module-wide static call graph over the type-checked
+// ASTs of the analyzed packages. Nodes are *types.Func objects; only
+// functions declared in the analyzed packages have outgoing edges
+// (standard-library functions appear as leaf callees). Resolution is
+// purely static: direct calls to package functions and methods with a
+// concrete receiver. Calls through interface values, function-typed
+// variables, and reflection are not resolved — analyzers built on the
+// graph are "best effort over declared call structure", which is the
+// right trade for invariant checking (a miss is a missed diagnostic,
+// never a false one).
+//
+// Calls made inside function literals are attributed to the enclosing
+// declared function: a closure runs with its creator's determinism
+// obligations. Calls inside `go` statements are recorded on a separate
+// edge list (Spawns) because a spawned goroutine does not run *during*
+// the caller — lock-order analysis must not treat locks it takes as
+// nested under the caller's held set, while taint analyses still want
+// to see them.
+type CallGraph struct {
+	// Pkgs are the packages the graph was built from.
+	Pkgs []*Package
+	// Calls maps a declared function to its resolved synchronous call
+	// sites, in source order.
+	Calls map[*types.Func][]CallSite
+	// Spawns maps a declared function to call sites that start a new
+	// goroutine (the `go f(...)` statement's call, and every call made
+	// inside the spawned literal's body).
+	Spawns map[*types.Func][]CallSite
+	// DeclPkg maps each declared function to its defining package.
+	DeclPkg map[*types.Func]*Package
+	// decls maps each declared function to its body, for analyzers that
+	// need to re-walk with graph context.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// CallSite is one resolved call edge.
+type CallSite struct {
+	// Callee is the called function or method.
+	Callee *types.Func
+	// Pos is the call expression's position.
+	Pos token.Pos
+}
+
+// BuildCallGraph constructs the call graph over pkgs.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Pkgs:    pkgs,
+		Calls:   map[*types.Func][]CallSite{},
+		Spawns:  map[*types.Func][]CallSite{},
+		DeclPkg: map[*types.Func]*Package{},
+		decls:   map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, fd := range funcDecls(f) {
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.DeclPkg[fn] = pkg
+				g.decls[fn] = fd
+				g.collect(pkg, fn, fd.Body, false)
+			}
+		}
+	}
+	return g
+}
+
+// collect records the call sites in body, attributing them to fn.
+// spawned marks bodies that run on a new goroutine.
+func (g *CallGraph) collect(pkg *Package, fn *types.Func, body ast.Node, spawned bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned call and everything under it goes to Spawns.
+			g.addCall(pkg, fn, n.Call, true)
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				g.collect(pkg, fn, lit.Body, true)
+			}
+			for _, arg := range n.Call.Args {
+				g.collect(pkg, fn, arg, spawned)
+			}
+			return false
+		case *ast.CallExpr:
+			g.addCall(pkg, fn, n, spawned)
+			return true
+		}
+		return true
+	})
+}
+
+// addCall resolves one call expression to a *types.Func edge, if it is
+// a direct call.
+func (g *CallGraph) addCall(pkg *Package, fn *types.Func, call *ast.CallExpr, spawned bool) {
+	callee := calleeFunc(pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	site := CallSite{Callee: callee, Pos: call.Pos()}
+	if spawned {
+		g.Spawns[fn] = append(g.Spawns[fn], site)
+	} else {
+		g.Calls[fn] = append(g.Calls[fn], site)
+	}
+}
+
+// calleeFunc resolves a call expression's target to a function object:
+// package functions, methods on concrete receivers, and locally
+// referenced function identifiers. Interface-method calls resolve to
+// the interface's method object (which has no body in the graph) and
+// are kept — an analyzer that needs concrete bodies simply finds no
+// edges beyond them.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Body returns the declaration body of a function declared in the
+// analyzed packages, or nil.
+func (g *CallGraph) Body(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// reacher answers whether functions transitively reach a target set
+// through the graph's synchronous and spawned call edges. Taint flows
+// through goroutine spawns: code a deterministic package runs on a
+// fresh goroutine is still that package's code. Reachability is
+// computed once by reverse-edge fixpoint, so cycles in the call graph
+// are handled exactly.
+type reacher struct {
+	g       *CallGraph
+	target  func(*types.Func) bool
+	blocked func(*types.Func) bool
+	tainted map[*types.Func]bool
+}
+
+// newReacher builds a reachability oracle for the target predicate.
+// The predicate is consulted on every callee, including functions with
+// no body in the graph (standard-library leaves). blocked (optional)
+// names functions that act as taint barriers: they are never considered
+// tainted and taint does not propagate through them — used to model
+// sanctioned wrappers (internal/obs) whose API contains the hazard.
+func (g *CallGraph) newReacher(target, blocked func(*types.Func) bool) *reacher {
+	if blocked == nil {
+		blocked = func(*types.Func) bool { return false }
+	}
+	r := &reacher{g: g, target: target, blocked: blocked, tainted: map[*types.Func]bool{}}
+	// Reverse adjacency over declared functions.
+	rev := map[*types.Func][]*types.Func{}
+	var work []*types.Func
+	seed := func(fn *types.Func, sites []CallSite) {
+		for _, site := range sites {
+			if r.blocked(site.Callee) {
+				continue
+			}
+			rev[site.Callee] = append(rev[site.Callee], fn)
+			if target(site.Callee) && !r.tainted[fn] {
+				r.tainted[fn] = true
+				work = append(work, fn)
+			}
+		}
+	}
+	for fn := range g.DeclPkg {
+		if r.blocked(fn) {
+			continue
+		}
+		seed(fn, g.Calls[fn])
+		seed(fn, g.Spawns[fn])
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range rev[fn] {
+			if !r.tainted[caller] && !r.blocked(caller) {
+				r.tainted[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return r
+}
+
+// reaches reports whether fn is a target itself or transitively calls
+// one.
+func (r *reacher) reaches(fn *types.Func) bool {
+	return r.target(fn) || r.tainted[fn]
+}
+
+// path returns a call chain from fn (exclusive) down to a target
+// function (inclusive), or nil when fn cannot reach the target set. A
+// direct target hit returns a one-element chain. Edge choice is
+// deterministic (first qualifying call site in source order).
+func (r *reacher) path(fn *types.Func) []*types.Func {
+	if r.target(fn) {
+		return []*types.Func{fn}
+	}
+	if !r.tainted[fn] {
+		return nil
+	}
+	var chain []*types.Func
+	visited := map[*types.Func]bool{fn: true}
+	cur := fn
+	for {
+		next := (*types.Func)(nil)
+		sites := append(append([]CallSite{}, r.g.Calls[cur]...), r.g.Spawns[cur]...)
+		for _, site := range sites {
+			if r.target(site.Callee) && !r.blocked(site.Callee) {
+				return append(chain, site.Callee)
+			}
+		}
+		for _, site := range sites {
+			if r.tainted[site.Callee] && !visited[site.Callee] {
+				next = site.Callee
+				break
+			}
+		}
+		if next == nil {
+			// Tainted only through an on-path cycle; the chain so far
+			// still ends somewhere tainted — return what we have.
+			return chain
+		}
+		visited[next] = true
+		chain = append(chain, next)
+		cur = next
+	}
+}
+
+// funcLabel renders a function for diagnostics: "pkg.Func" or
+// "(pkg.Type).Method".
+func funcLabel(fn *types.Func) string {
+	name := fn.Name()
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		_, typeName := namedPkgPath(sig.Recv().Type())
+		if typeName != "" {
+			if pkgName != "" {
+				return "(" + pkgName + "." + typeName + ")." + name
+			}
+			return "(" + typeName + ")." + name
+		}
+	}
+	if pkgName != "" {
+		return pkgName + "." + name
+	}
+	return name
+}
+
+// chainLabel renders a call chain "a → b → c" for diagnostics.
+func chainLabel(chain []*types.Func) string {
+	parts := make([]string, len(chain))
+	for i, fn := range chain {
+		parts[i] = funcLabel(fn)
+	}
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " -> "
+		}
+		out += p
+	}
+	return out
+}
+
+// sortedFuncs returns the graph's declared functions in a deterministic
+// order (by position), for analyzers that iterate the whole graph.
+func (g *CallGraph) sortedFuncs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.DeclPkg))
+	for fn := range g.DeclPkg {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

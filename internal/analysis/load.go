@@ -44,9 +44,10 @@ type Loader struct {
 	// Fset positions every file the loader touches.
 	Fset *token.FileSet
 
-	std     types.ImporterFrom
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle detection
+	std       types.ImporterFrom
+	pkgs      map[string]*Package // by import path
+	loading   map[string]bool     // cycle detection
+	synthetic map[string]string   // registered fixture import path -> dir
 }
 
 // NewLoader creates a loader for the module rooted at or above dir.
@@ -57,12 +58,13 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		ModRoot: root,
-		ModPath: path,
-		Fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
+		ModRoot:   root,
+		ModPath:   path,
+		Fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:      map[string]*Package{},
+		loading:   map[string]bool{},
+		synthetic: map[string]string{},
 	}, nil
 }
 
@@ -104,6 +106,13 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	if dir, ok := l.synthetic[path]; ok {
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
 	if dir, ok := l.moduleDir(path); ok {
 		pkg, err := l.LoadDir(dir, path)
 		if err != nil {
@@ -112,6 +121,14 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 		return pkg.Types, nil
 	}
 	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// RegisterSynthetic teaches the loader to resolve a non-module import
+// path from a directory on disk. Test fixtures use it to build
+// multi-package fixture trees ("fixture/callgraph" importing
+// "fixture/callgraph/clockutil") without living inside the module.
+func (l *Loader) RegisterSynthetic(importPath, dir string) {
+	l.synthetic[importPath] = dir
 }
 
 // moduleDir maps a module-internal import path to its directory.

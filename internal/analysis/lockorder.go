@@ -1,0 +1,433 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder extracts a module-wide mutex-acquisition order graph and
+// reports cycles — the static shape of an AB/BA deadlock.
+//
+// A lock is identified structurally, not per-instance: a mutex field is
+// "(pkgpath.Type).field" and a package-level mutex is "pkgpath.name".
+// That is the right granularity for order analysis: two goroutines
+// deadlock when they take two *classes* of lock in opposite orders, and
+// per-instance aliasing is not decidable statically.
+//
+// Within each function, acquisitions are tracked in source order:
+// x.Lock()/x.RLock() pushes, x.Unlock()/x.RUnlock() pops the matching
+// entry, and a deferred unlock keeps the lock held to function end.
+// Every acquisition of M while L is held adds the edge L→M. Calls made
+// while holding locks add edges from each held lock to every lock the
+// callee transitively acquires on the synchronous path (propagated over
+// the module call graph; interface dispatch is not resolved). Function
+// literals spawned with `go` start with an empty held set — locks taken
+// on a fresh goroutine are not nested under the spawner's — but still
+// contribute their own internal edges.
+//
+// Any strongly connected component in the resulting graph (including a
+// self-loop: re-acquiring a held lock class) is reported at each of the
+// component's edge sites. A site that is safe for an out-of-band reason
+// (runtime-enforced ordering, instance disjointness proven by
+// construction) carries //decaf:ignore lockorder <reason>.
+func Lockorder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "builds the module's mutex-acquisition order graph (locks held at each Lock site, propagated over the call graph) and reports cycles — the static shape of an AB/BA deadlock",
+	}
+	// The graph is module-wide; compute it once per suite run, keyed on
+	// the shared CallGraph, and let each per-package pass report only the
+	// edges that live in its files.
+	var (
+		memoGraph *CallGraph
+		memoEdges []lockEdge
+		memoCycle map[string]string // lock id -> rendered cycle it is part of
+	)
+	a.Run = func(pass *Pass) {
+		g := pass.Graph
+		if g == nil {
+			g = BuildCallGraph([]*Package{pass.Pkg})
+		}
+		if g != memoGraph {
+			memoGraph = g
+			memoEdges, memoCycle = lockorderAnalyze(g)
+		}
+		for _, e := range memoEdges {
+			if e.pkg != pass.Pkg {
+				continue
+			}
+			cycle, ok := memoCycle[e.from]
+			if !ok || memoCycle[e.to] != cycle {
+				continue // edge not inside a cyclic component
+			}
+			via := ""
+			if e.via != "" {
+				via = fmt.Sprintf(" (via call to %s)", e.via)
+			}
+			pass.Reportf(e.pos,
+				"acquires %s while holding %s%s, completing lock-order cycle %s; impose a global acquisition order or drop one lock first",
+				e.to, e.from, via, cycle)
+		}
+	}
+	return a
+}
+
+// lockEdge is one observed ordering: `to` acquired while `from` held.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+	// via labels the callee for interprocedural edges ("" for a direct
+	// Lock() in the same body).
+	via string
+}
+
+// lockAcquire is one Lock/RLock site with the held set at that point.
+type lockAcquire struct {
+	id   string
+	held []string
+	pos  token.Pos
+}
+
+// lockCallSite is a synchronous call made while holding locks.
+type lockCallSite struct {
+	callee *types.Func
+	held   []string
+	pos    token.Pos
+}
+
+// lockFuncFacts is the per-function harvest of one body walk.
+type lockFuncFacts struct {
+	pkg      *Package
+	acquires []lockAcquire
+	calls    []lockCallSite
+	// direct is the set of locks this function acquires on its
+	// synchronous path (spawned-goroutine acquisitions excluded).
+	direct map[string]bool
+}
+
+// lockorderAnalyze walks every declared function, computes transitive
+// acquire sets, materializes the ordering edges, and labels the lock
+// classes that sit on a cycle.
+func lockorderAnalyze(g *CallGraph) ([]lockEdge, map[string]string) {
+	funcs := g.sortedFuncs()
+	facts := map[*types.Func]*lockFuncFacts{}
+	for _, fn := range funcs {
+		fd := g.Body(fn)
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		f := &lockFuncFacts{pkg: g.DeclPkg[fn], direct: map[string]bool{}}
+		walkLocks(g.DeclPkg[fn], fd.Body, f, nil, true)
+		facts[fn] = f
+	}
+
+	// Transitive synchronous acquire sets, by fixpoint over call edges
+	// (cycles in the call graph converge because sets only grow).
+	trans := map[*types.Func]map[string]bool{}
+	for fn, f := range facts {
+		t := map[string]bool{}
+		for id := range f.direct {
+			t[id] = true
+		}
+		trans[fn] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			f := facts[fn]
+			if f == nil {
+				continue
+			}
+			t := trans[fn]
+			for _, site := range g.Calls[fn] {
+				for id := range trans[site.Callee] {
+					if !t[id] {
+						t[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize edges.
+	var edges []lockEdge
+	seen := map[lockEdge]bool{}
+	add := func(e lockEdge) {
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, fn := range funcs {
+		f := facts[fn]
+		if f == nil {
+			continue
+		}
+		for _, acq := range f.acquires {
+			for _, held := range acq.held {
+				add(lockEdge{from: held, to: acq.id, pos: acq.pos, pkg: f.pkg})
+			}
+		}
+		for _, call := range f.calls {
+			ids := sortedKeys(trans[call.callee])
+			for _, id := range ids {
+				for _, held := range call.held {
+					add(lockEdge{from: held, to: id, pos: call.pos, pkg: f.pkg, via: funcLabel(call.callee)})
+				}
+			}
+		}
+	}
+
+	// Cycle detection: strongly connected components over the lock-class
+	// graph. A component with two or more locks — or a self-loop — can
+	// deadlock.
+	adj := map[string]map[string]bool{}
+	selfLoop := map[string]bool{}
+	for _, e := range edges {
+		if e.from == e.to {
+			selfLoop[e.from] = true
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	cycle := map[string]string{}
+	for _, comp := range lockSCCs(adj) {
+		if len(comp) < 2 && !selfLoop[comp[0]] {
+			continue
+		}
+		sort.Strings(comp)
+		label := strings.Join(comp, " -> ") + " -> " + comp[0]
+		for _, id := range comp {
+			cycle[id] = label
+		}
+	}
+	return edges, cycle
+}
+
+// walkLocks walks one body in source order, tracking the held-lock
+// stack. sync is false inside bodies that run on a new goroutine (their
+// acquisitions do not join the enclosing function's direct set).
+func walkLocks(pkg *Package, body ast.Node, f *lockFuncFacts, held []string, sync bool) []string {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Arguments evaluate synchronously; the spawned body starts
+			// with nothing held.
+			for _, arg := range n.Call.Args {
+				held = walkLocks(pkg, arg, f, held, sync)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				walkLocks(pkg, lit.Body, f, nil, false)
+			}
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held to function end (so:
+			// no pop). Other deferred calls run at an indeterminate point;
+			// their arguments still evaluate here.
+			for _, arg := range n.Call.Args {
+				held = walkLocks(pkg, arg, f, held, sync)
+			}
+			return false
+		case *ast.FuncLit:
+			// A literal that is not `go`-spawned (assigned, passed,
+			// immediately invoked) conservatively runs where it is
+			// written, with the current held set — but acquisitions
+			// inside it must not look "still held" after the literal.
+			walkLocks(pkg, n.Body, f, append([]string(nil), held...), sync)
+			return false
+		case *ast.CallExpr:
+			if id, method, ok := mutexOp(pkg.Info, n); ok {
+				switch method {
+				case "Lock", "RLock":
+					f.acquires = append(f.acquires, lockAcquire{
+						id:   id,
+						held: append([]string(nil), held...),
+						pos:  n.Pos(),
+					})
+					if sync {
+						f.direct[id] = true
+					}
+					held = append(held, id)
+				case "Unlock", "RUnlock":
+					held = popLock(held, id)
+				}
+				return true
+			}
+			if callee := calleeFunc(pkg.Info, n); callee != nil && len(held) > 0 {
+				f.calls = append(f.calls, lockCallSite{
+					callee: callee,
+					held:   append([]string(nil), held...),
+					pos:    n.Pos(),
+				})
+			}
+			return true
+		}
+		return true
+	})
+	return held
+}
+
+// mutexOp recognizes x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the lock class identity.
+func mutexOp(info *types.Info, call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	id = lockClassID(info, sel.X)
+	if id == "" {
+		return "", "", false
+	}
+	return id, fn.Name(), true
+}
+
+// lockClassID names the lock class of the expression a Lock/Unlock is
+// called on: "(pkgpath.Type).field" for a mutex field, "pkgpath.name"
+// for a package-level mutex, "" when the class cannot be determined
+// (function-local mutexes, which cannot participate in a cross-function
+// ordering cycle by class).
+func lockClassID(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		pkgPath, typeName := namedPkgPath(info.Types[e.X].Type)
+		if typeName == "" {
+			return ""
+		}
+		if pkgPath != "" {
+			return fmt.Sprintf("(%s.%s).%s", pkgPath, typeName, e.Sel.Name)
+		}
+		return fmt.Sprintf("(%s).%s", typeName, e.Sel.Name)
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// popLock removes the innermost held entry matching id (unbalanced
+// unlocks are ignored).
+func popLock(held []string, id string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic edge order.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockSCCs computes strongly connected components of the lock graph
+// (iterative Tarjan), deterministically ordered by sorted node name.
+func lockSCCs(adj map[string]map[string]bool) [][]string {
+	nodes := map[string]bool{}
+	for from, tos := range adj {
+		nodes[from] = true
+		for to := range tos {
+			nodes[to] = true
+		}
+	}
+	order := sortedKeys(nodes)
+	succ := map[string][]string{}
+	for from, tos := range adj {
+		succ[from] = sortedKeys(tos)
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ []string
+		i    int
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{node: root, succ: succ[root]}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.i < len(fr.succ) {
+				w := fr.succ[fr.i]
+				fr.i++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succ: succ[w]})
+				} else if onStack[w] {
+					if index[w] < low[fr.node] {
+						low[fr.node] = index[w]
+					}
+				}
+				continue
+			}
+			// fr done: maybe pop an SCC, then propagate lowlink up.
+			v := fr.node
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.node] {
+					low[parent.node] = low[v]
+				}
+			}
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			visit(n)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefaultOrderSensitive lists the packages (by import-path suffix) in
+// which ranging over a Go map with an order-sensitive loop body is a
+// determinism bug. Go randomizes map iteration order per range
+// statement, so anything the loop order feeds — protocol fan-out,
+// snapshot encoding, trace/debug output, escaping slices — varies run
+// to run, breaking the simulation harness's (profile, seed) replay
+// contract and byte-identical persistence.
+var DefaultOrderSensitive = []string{
+	"internal/engine",
+	"internal/history",
+	"internal/gvt",
+	"internal/vtime",
+	"internal/sim",
+}
+
+// Maporder flags `range` statements over map types in the named
+// packages whose body is order-sensitive: it appends to an escaping
+// slice, mutates escaping state through an index/selector, sends on a
+// channel, deletes from an escaping map, makes a statement-level call
+// for its side effects (message sends, trace/persist output), or
+// returns a value picked by iteration order.
+//
+// Deliberately NOT flagged, because they are order-independent folds:
+// plain assignments to escaping scalars (min/max accumulation),
+// numeric += / ++ (commutative addition, including on map elements),
+// and map writes indexed by the loop's own key variable (distinct keys
+// commute).
+//
+// The sanctioned fix is to range over a sorted key slice instead —
+// internal/detorder (or the engine's sortedVTs/sortedSites/
+// sortedObjectIDs wrappers) — which sidesteps the analyzer because the
+// range is then over a slice. A body that is provably commutative for
+// some other reason carries //decaf:ignore maporder <reason> on the
+// range line.
+func Maporder(protected ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "forbids order-sensitive bodies under range-over-map in engine, history, gvt, vtime, sim; iterate a sorted key slice (internal/detorder) instead",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathProtected(pass.Pkg.ImportPath, protected) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(pass.Pkg.Info.Types[rs.X].Type) {
+					return true
+				}
+				m := newMaporderScan(pass, rs)
+				m.scan(rs.Body)
+				m.report()
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isMapType reports whether t (possibly named, possibly behind a
+// pointer) is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// maporderScan walks one map-range body collecting order-sensitivity
+// triggers.
+type maporderScan struct {
+	pass *Pass
+	rs   *ast.RangeStmt
+	info *types.Info
+
+	triggers []string
+	firstPos token.Pos
+}
+
+func newMaporderScan(pass *Pass, rs *ast.RangeStmt) *maporderScan {
+	return &maporderScan{pass: pass, rs: rs, info: pass.Pkg.Info}
+}
+
+// loopLocal reports whether the identifier resolves to an object
+// declared inside the range statement (including the key/value
+// variables and body locals).
+func (m *maporderScan) loopLocal(id *ast.Ident) bool {
+	obj := m.info.Uses[id]
+	if obj == nil {
+		obj = m.info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= m.rs.Pos() && obj.Pos() < m.rs.End()
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier, or nil when the base is not a plain identifier (a call
+// result, a composite literal, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// escapes reports whether the expression's root identifier outlives the
+// loop body. Unresolvable roots count as escaping (conservative).
+func (m *maporderScan) escapes(e ast.Expr) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return true
+	}
+	return !m.loopLocal(root)
+}
+
+// keyIdent returns the range statement's key variable identifier, if
+// it has one.
+func (m *maporderScan) keyIdent() *ast.Ident {
+	if id, ok := m.rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		return id
+	}
+	return nil
+}
+
+// add records one trigger.
+func (m *maporderScan) add(pos token.Pos, format string, args ...any) {
+	if m.firstPos == token.NoPos {
+		m.firstPos = pos
+	}
+	m.triggers = append(m.triggers, fmt.Sprintf(format, args...))
+}
+
+// report emits at most one diagnostic per range statement, anchored on
+// the range line so a single //decaf:ignore maporder covers the loop.
+func (m *maporderScan) report() {
+	if len(m.triggers) == 0 {
+		return
+	}
+	mapType := types.TypeString(m.info.Types[m.rs.X].Type, types.RelativeTo(m.pass.Pkg.Types))
+	detail := m.triggers[0]
+	if n := len(m.triggers) - 1; n > 0 {
+		detail = fmt.Sprintf("%s; +%d more trigger(s)", detail, n)
+	}
+	m.pass.Reportf(m.rs.For,
+		"iteration order of map %s is random but the loop body is order-sensitive (%s); range over a sorted key slice (internal/detorder) or justify with //decaf:ignore maporder <reason>",
+		mapType, detail)
+}
+
+// scan walks the loop body.
+func (m *maporderScan) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			m.assign(n)
+		case *ast.IncDecStmt:
+			// ++/-- is commutative addition wherever it lands.
+		case *ast.SendStmt:
+			m.add(n.Arrow, "channel send at line %d", m.line(n.Arrow))
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				m.callStmt(call, "")
+			}
+		case *ast.GoStmt:
+			m.callStmt(n.Call, "go ")
+		case *ast.DeferStmt:
+			m.callStmt(n.Call, "defer ")
+		case *ast.ReturnStmt:
+			m.returnStmt(n)
+		}
+		return true
+	})
+}
+
+// line is shorthand for the source line of pos.
+func (m *maporderScan) line(pos token.Pos) int {
+	return m.pass.Pkg.Fset.Position(pos).Line
+}
+
+// assign classifies one assignment statement.
+func (m *maporderScan) assign(n *ast.AssignStmt) {
+	if n.Tok == token.DEFINE {
+		return // fresh loop-locals
+	}
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if len(n.Rhs) == len(n.Lhs) {
+			rhs = n.Rhs[i]
+		} else if len(n.Rhs) == 1 {
+			rhs = n.Rhs[0]
+		}
+		m.assignOne(n, lhs, rhs)
+	}
+}
+
+func (m *maporderScan) assignOne(n *ast.AssignStmt, lhs, rhs ast.Expr) {
+	if !m.escapes(lhs) {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// Escaping scalar. Appends accumulate in iteration order; string
+		// concatenation likewise; everything else is treated as a
+		// commutative fold (min/max/flag accumulation).
+		if isAppendCall(m.info, rhs) {
+			m.add(lhs.Pos(), "append to escaping slice %q at line %d", l.Name, m.line(lhs.Pos()))
+			return
+		}
+		if n.Tok == token.ADD_ASSIGN && isStringType(m.info.Types[lhs].Type) {
+			m.add(lhs.Pos(), "string concatenation onto escaping %q at line %d", l.Name, m.line(lhs.Pos()))
+		}
+	case *ast.IndexExpr:
+		// Writing m[k] where k is the loop's own key variable touches
+		// distinct keys per iteration: commutative.
+		if key := m.keyIdent(); key != nil {
+			if idx, ok := ast.Unparen(l.Index).(*ast.Ident); ok && m.info.Uses[idx] != nil && m.info.Uses[idx] == m.info.Defs[key] {
+				return
+			}
+		}
+		m.add(lhs.Pos(), "write through escaping index expression at line %d", m.line(lhs.Pos()))
+	default:
+		m.add(lhs.Pos(), "write to escaping %s at line %d", exprKind(lhs), m.line(lhs.Pos()))
+	}
+}
+
+// callStmt classifies a statement-level call (its value is discarded,
+// so it exists for its side effects — which then happen in iteration
+// order).
+func (m *maporderScan) callStmt(call *ast.CallExpr, prefix string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch m.builtinName(id) {
+		case "delete":
+			if len(call.Args) > 0 && m.escapes(call.Args[0]) {
+				m.add(call.Pos(), "delete from escaping map at line %d", m.line(call.Pos()))
+			}
+			return
+		case "panic", "print", "println", "close", "clear", "copy", "recover", "":
+			// panic/recover are failure paths; close is idempotent-ish
+			// and flagged better by lockedsend/leak tooling; print family
+			// is debug-only. clear/copy on loop-locals are folds.
+			if m.builtinName(id) != "" {
+				return
+			}
+		}
+	}
+	callee := calleeFunc(m.info, call)
+	label := "function value"
+	if callee != nil {
+		label = funcLabel(callee)
+	}
+	m.add(call.Pos(), "%scall to %s for effect at line %d", prefix, label, m.line(call.Pos()))
+}
+
+// builtinName returns the name of the builtin id resolves to, or "".
+func (m *maporderScan) builtinName(id *ast.Ident) string {
+	if obj := m.info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Builtin); ok {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// returnStmt flags returns whose results mention the loop variables: a
+// "first match wins" exit picks a random matching entry.
+func (m *maporderScan) returnStmt(n *ast.ReturnStmt) {
+	loopVars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{m.rs.Key, m.rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := m.info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	for _, res := range n.Results {
+		found := false
+		ast.Inspect(res, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && loopVars[m.info.Uses[id]] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			m.add(n.Pos(), "return of loop variable at line %d (first match depends on order)", m.line(n.Pos()))
+			return
+		}
+	}
+}
+
+// isAppendCall reports whether e is (or contains at its head) a call to
+// the builtin append.
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name() == "append"
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// exprKind names an expression class for diagnostics.
+func exprKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.StarExpr:
+		return "pointer target"
+	case *ast.SelectorExpr:
+		return "field"
+	default:
+		return "location"
+	}
+}

@@ -1,0 +1,55 @@
+// Package callgraph is a fixture exercising the interprocedural layer
+// of the wallclock and timers analyzers: every hazard here is hidden
+// behind a call into the clockutil sub-package, so a purely local scan
+// (the pre-v2 analyzers) finds nothing — TestInterproceduralDelta pins
+// that difference.
+package callgraph
+
+import (
+	"fixture/callgraph/clockutil"
+	"fixture/callgraph/obswrap"
+)
+
+// badIndirectStamp reaches time.Now through clockutil.Stamp.
+func badIndirectStamp() int64 {
+	return clockutil.Stamp()
+}
+
+// badIndirectSleep reaches time.Sleep through clockutil.Relax.
+func badIndirectSleep() {
+	clockutil.Relax()
+}
+
+// badSpawnedStamp reaches the clock on a goroutine this package spawns:
+// still this package's determinism obligation.
+func badSpawnedStamp(out chan<- int64) {
+	go func() {
+		out <- clockutil.Stamp()
+	}()
+}
+
+// localStamp funnels the clock through a same-package helper. The
+// diagnostic lands here — on the package-boundary crossing — not on
+// helperViaLocal, so each hazard is reported exactly once.
+func localStamp() int64 { return clockutil.Stamp() }
+
+// helperViaLocal calls a protected-package-internal helper; the helper
+// is flagged at its own clockutil call instead (see localStamp).
+func helperViaLocal() int64 { return localStamp() }
+
+// goodPure is the cross-function case the analyzer must NOT flag: the
+// callee crosses the same package boundary but never reaches time.
+func goodPure() int { return clockutil.Pure(1, 2) }
+
+// goodDescribe handles time.Duration values via a time-free helper.
+func goodDescribe() string { return clockutil.Describe(3) }
+
+// goodSanctioned calls the sanctioned wrapper package: it reads the
+// wall clock by design, and the taint barrier keeps callers clean.
+func goodSanctioned() int64 { return obswrap.NowNanos() }
+
+// suppressed documents a justified indirect read in place.
+func suppressed() int64 {
+	//decaf:ignore wallclock fixture demonstrating the explicit allowlist
+	return clockutil.Stamp()
+}

@@ -1,0 +1,24 @@
+// Package clockutil models an unprotected helper package whose
+// functions reach the wall clock and real timers. The callgraph fixture
+// package calls into it; the interprocedural wallclock/timers analyzers
+// must see through the package boundary.
+package clockutil
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Relax blocks on a real timer.
+func Relax() { time.Sleep(time.Millisecond) }
+
+// Pure never touches time at all.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Describe handles time values without reading the clock.
+func Describe(d time.Duration) string { return d.String() }

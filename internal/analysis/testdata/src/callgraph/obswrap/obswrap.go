@@ -1,0 +1,9 @@
+// Package obswrap models a sanctioned wall-clock wrapper (the fixture
+// analogue of internal/obs): it reads the wall clock on purpose, and
+// deterministic callers are not tainted through it.
+package obswrap
+
+import "time"
+
+// NowNanos reads the wall clock for metrics only.
+func NowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,124 @@
+// Package lockorder is a fixture exercising the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type accountA struct{ mu sync.Mutex }
+
+type accountB struct{ mu sync.Mutex }
+
+// badAB takes A's lock, then B's.
+func badAB(a *accountA, b *accountB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// badBA takes B's lock, then A's: together with badAB this is the
+// classic AB/BA deadlock shape.
+func badBA(a *accountA, b *accountB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+type outer struct{ mu sync.Mutex }
+
+type inner struct{ mu sync.Mutex }
+
+func (i *inner) grab() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+func (o *outer) grab() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+}
+
+// badCallIn holds outer's lock across a call that acquires inner's:
+// the edge is interprocedural (outer -> inner via grab).
+func badCallIn(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.grab()
+}
+
+// badCallOut holds inner's lock across a call that acquires outer's,
+// closing the interprocedural cycle.
+func badCallOut(o *outer, i *inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.grab()
+}
+
+type parent struct{ mu sync.Mutex }
+
+type child struct{ mu sync.Mutex }
+
+// goodNested always orders parent before child: an edge, but no cycle,
+// so nothing is reported.
+func goodNested(p *parent, c *child) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+type front struct{ mu sync.Mutex }
+
+type back struct{ mu sync.Mutex }
+
+// goodSpawn and goodSpawnReverse are the cross-function case the
+// analyzer must NOT flag: the second lock is taken on a goroutine
+// spawned while the first is held. A spawned goroutine's acquisitions
+// are not nested under the spawner's held set, so the apparent AB/BA
+// pair is not a synchronous ordering cycle.
+func goodSpawn(f *front, b *back) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	go func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}()
+}
+
+func goodSpawnReverse(f *front, b *back) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+	}()
+}
+
+// goodSequential releases the first lock before taking the second in
+// both orders: nothing is held at either second Lock, so no edges.
+func goodSequential(f *front, b *back) {
+	f.mu.Lock()
+	f.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func goodSequentialReverse(f *front, b *back) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+type registry struct{ mu sync.Mutex }
+
+// suppressed re-locks the same lock class on a second instance — a
+// self-loop in the class graph, legal here because the caller orders
+// instances out of band.
+func suppressed(r1, r2 *registry) {
+	r1.mu.Lock()
+	defer r1.mu.Unlock()
+	//decaf:ignore lockorder fixture: instances are address-ordered by the caller
+	r2.mu.Lock()
+	r2.mu.Unlock()
+}

@@ -1,0 +1,154 @@
+// Package maporder is a fixture exercising the maporder analyzer.
+package maporder
+
+type state struct {
+	last  uint32
+	seen  map[uint32]bool
+	ready bool
+}
+
+func (s *state) emit(k uint32) { s.last = k }
+
+// badAppend accumulates keys in iteration order into an escaping slice.
+func badAppend(m map[uint32]int) []uint32 {
+	var out []uint32
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// badSend publishes keys on a channel in iteration order.
+func badSend(m map[uint32]int, sink chan uint32) {
+	for k := range m {
+		sink <- k
+	}
+}
+
+// badDelete sweeps another escaping map in iteration order.
+func badDelete(m map[uint32]int, other map[uint32]bool) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// badCallEffect makes a statement-level call per entry: the side effects
+// land in iteration order.
+func badCallEffect(m map[uint32]int, s *state) {
+	for k := range m {
+		s.emit(k)
+	}
+}
+
+// badFieldWrite mutates escaping state through a selector.
+func badFieldWrite(m map[uint32]int, s *state) {
+	for k := range m {
+		if k > s.last {
+			s.last = k
+		}
+	}
+}
+
+// badReturn exits on the first matching entry — which entry that is
+// depends on iteration order.
+func badReturn(m map[uint32]int) uint32 {
+	for k, v := range m {
+		if v > 10 {
+			return k
+		}
+	}
+	return 0
+}
+
+// badConcat builds a string in iteration order.
+func badConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out
+}
+
+// goodCount folds into a plain scalar with ++: commutative.
+func goodCount(m map[uint32]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// goodScalarFold assigns a plain escaping scalar (min/max folds): the
+// final value does not depend on visit order.
+func goodScalarFold(m map[uint32]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// goodKeyIndexedWrite writes a map entry indexed by the loop's own key:
+// distinct keys commute.
+func goodKeyIndexedWrite(m map[uint32]int) map[uint32]int {
+	out := map[uint32]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// maxInt and score are helpers for the cross-function case below.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func score(k uint32) int { return int(k % 7) }
+
+// goodValueCall is the cross-function case the analyzer must NOT flag:
+// the body calls other functions, but only in value position feeding a
+// commutative fold — there is no statement-level effect and nothing
+// escapes in iteration order.
+func goodValueCall(m map[uint32]int) int {
+	best := 0
+	for k := range m {
+		best = maxInt(best, score(k))
+	}
+	return best
+}
+
+// goodLocalOnly mutates only loop-local state.
+func goodLocalOnly(m map[uint32][]int) int {
+	total := 0
+	for _, vs := range m {
+		sum := 0
+		for _, v := range vs {
+			sum += v
+		}
+		total += sum
+	}
+	return total
+}
+
+// suppressed documents a proven-commutative body in place.
+func suppressed(m map[uint32]int, other map[uint32]bool) {
+	//decaf:ignore maporder fixture: delete-only sweep leaves the same final map for any order
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// suppressedBare carries a reason-less directive: the suppression still
+// applies (no diagnostic in expect.txt) but RunSuite surfaces it as a
+// bare-ignore warning — TestBareIgnoreWarning pins that.
+func suppressedBare(m map[uint32]int, sink chan uint32) {
+	//decaf:ignore maporder
+	for k := range m {
+		sink <- k
+	}
+}

@@ -1,28 +1,25 @@
 package analysis
 
-import (
-	"go/ast"
-	"go/types"
-)
-
 // DefaultTimerFree lists the packages (by import-path suffix) that must
 // not construct real timers. The engine routes every delayed action —
 // retry backoff, batched notification flushes — through its injectable
 // Scheduler, which the simulation harness (internal/sim) replaces with a
 // virtual clock; the other virtual-time packages take no delayed actions
-// at all. A raw time.After/AfterFunc/Sleep in any of them would fire on
+// at all, and the harness itself must never fall back to a real timer
+// or its lock-step schedule stops being a pure function of (profile,
+// seed). A raw time.After/AfterFunc/Sleep in any of them would fire on
 // the wall clock even under simulation, reintroducing real-time
-// interleavings into runs that must be a pure function of (profile,
-// seed). This is one notch stricter than the wallclock analyzer: there,
-// timer construction is tolerated because "delaying an action is
-// scheduling, not state" — true for determinism of protocol state, but
-// not for deterministic REPLAY, which needs the schedule itself under
-// the virtual clock.
+// interleavings into runs that must replay exactly. This is one notch
+// stricter than the wallclock analyzer: there, timer construction is
+// tolerated because "delaying an action is scheduling, not state" —
+// true for determinism of protocol state, but not for deterministic
+// REPLAY, which needs the schedule itself under the virtual clock.
 var DefaultTimerFree = []string{
 	"internal/engine",
 	"internal/history",
 	"internal/gvt",
 	"internal/vtime",
+	"internal/sim",
 }
 
 // timersBanned are the time-package entry points that create a real
@@ -38,39 +35,32 @@ var timersBanned = map[string]bool{
 
 // Timers forbids real-timer construction (time.After, time.AfterFunc,
 // time.NewTimer, time.NewTicker, time.Tick, time.Sleep) in the named
-// packages. Delays there must go through the engine's Scheduler so the
-// simulation harness can drive them on its virtual clock. Matching is
-// by import-path suffix; a justified exception is allowlisted in place
+// packages — both direct calls and calls to module helpers that
+// transitively reach one (resolved over the static call graph). Delays
+// there must go through the engine's Scheduler so the simulation
+// harness can drive them on its virtual clock. Matching is by
+// import-path suffix; a justified exception is allowlisted in place
 // with //decaf:ignore timers <reason>.
 func Timers(protected ...string) *Analyzer {
+	return TimersSanctioned(DefaultSanctioned, protected...)
+}
+
+// TimersSanctioned is Timers with an explicit sanctioned-wrapper
+// package list; tests use it to exercise the barrier behavior on
+// fixture packages.
+func TimersSanctioned(sanctioned []string, protected ...string) *Analyzer {
 	a := &Analyzer{
 		Name: "timers",
-		Doc:  "forbids real-timer construction (time.After/AfterFunc/NewTimer/NewTicker/Tick/Sleep) in engine, history, gvt, vtime; delays must use the injectable Scheduler",
+		Doc:  "forbids real-timer construction (time.After/AfterFunc/NewTimer/NewTicker/Tick/Sleep) in engine, history, gvt, vtime, sim, including indirectly through module helpers; delays must use the injectable Scheduler",
 	}
 	a.Run = func(pass *Pass) {
-		if !pathProtected(pass.Pkg.ImportPath, protected) {
-			return
-		}
-		info := pass.Pkg.Info
-		for _, f := range pass.Pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				fn, ok := info.Uses[sel.Sel].(*types.Func)
-				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-					return true
-				}
-				if !timersBanned[fn.Name()] {
-					return true
-				}
-				pass.Reportf(sel.Pos(),
-					"real timer time.%s in timer-free package %s; schedule the delay through the injectable Scheduler so simulation can drive it on the virtual clock",
-					fn.Name(), pass.Pkg.Types.Name())
-				return true
-			})
-		}
+		runReachAnalyzer(pass, reachConfig{
+			protected:  protected,
+			sanctioned: sanctioned,
+			banned:     timersBanned,
+			directFmt:  "real timer time.%s in timer-free package %s; schedule the delay through the injectable Scheduler so simulation can drive it on the virtual clock",
+			reachWord:  "real-timer construction",
+		})
 	}
 	return a
 }

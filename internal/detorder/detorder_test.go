@@ -1,0 +1,42 @@
+package detorder
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSorted(t *testing.T) {
+	m := map[uint32]string{7: "g", 1: "a", 5: "e", 2: "b"}
+	for i := 0; i < 50; i++ {
+		got := Sorted(m)
+		want := []uint32{1, 2, 5, 7}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+	if got := Sorted(map[int]int(nil)); len(got) != 0 {
+		t.Fatalf("Sorted(nil) = %v, want empty", got)
+	}
+}
+
+type pair struct{ a, b int }
+
+func (p pair) less(q pair) bool {
+	if p.a != q.a {
+		return p.a < q.a
+	}
+	return p.b < q.b
+}
+
+func TestSortedFunc(t *testing.T) {
+	m := map[pair]bool{
+		{2, 1}: true, {1, 9}: true, {1, 2}: true, {3, 0}: true,
+	}
+	want := []pair{{1, 2}, {1, 9}, {2, 1}, {3, 0}}
+	for i := 0; i < 50; i++ {
+		got := SortedFunc(m, pair.less)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedFunc = %v, want %v", got, want)
+		}
+	}
+}

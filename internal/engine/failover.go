@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"decaf/internal/history"
 	"decaf/internal/repgraph"
@@ -120,7 +119,7 @@ func (s *Site) startCommitQuery(vt vtime.VT, st *txnState) {
 		return
 	}
 	s.commitQueries[vt] = &queryState{st: st, waiting: waiting}
-	for site := range waiting {
+	for _, site := range sortedSites(waiting) {
 		s.send(site, wire.CommitQuery{TxnVT: vt, From: s.id})
 	}
 }
@@ -210,11 +209,7 @@ func (s *Site) repairGraphsFor(f vtime.SiteID) {
 		return
 	}
 	// Consensus repair: the lowest surviving site coordinates.
-	sites := make([]vtime.SiteID, 0, len(consensusSites))
-	for site := range consensusSites {
-		sites = append(sites, site)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	sites := sortedSites(consensusSites)
 	if len(sites) == 0 || sites[0] != s.id {
 		return // another survivor coordinates
 	}
@@ -301,11 +296,7 @@ func (s *Site) handleRepairAck(m wire.RepairAck) {
 			return // still waiting
 		}
 	}
-	commit := make([]vtime.VT, 0, len(rs.commitSet))
-	for vt := range rs.commitSet {
-		commit = append(commit, vt)
-	}
-	sort.Slice(commit, func(i, j int) bool { return commit[i].Less(commit[j]) })
+	commit := sortedVTs(rs.commitSet)
 	for _, site := range rs.survivors {
 		s.send(site, wire.RepairDecide{
 			EpochN:     rs.epoch,

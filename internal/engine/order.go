@@ -1,8 +1,7 @@
 package engine
 
 import (
-	"sort"
-
+	"decaf/internal/detorder"
 	"decaf/internal/ids"
 	"decaf/internal/vtime"
 )
@@ -14,34 +13,21 @@ import (
 // whole run must be a pure function of the seed, so every map-driven
 // send loop iterates through one of these instead of ranging the map
 // directly. The cost is one small sort per fan-out, off the per-message
-// hot path.
+// hot path. These wrappers pin the engine's key types onto the generic
+// helpers in internal/detorder (the maporder analyzer's sanctioned
+// escape hatch).
 
 // sortedSites returns the keys of a site-keyed map in ascending order.
 func sortedSites[V any](m map[vtime.SiteID]V) []vtime.SiteID {
-	out := make([]vtime.SiteID, 0, len(m))
-	for s := range m {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detorder.Sorted(m)
 }
 
 // sortedVTs returns the keys of a VT-keyed map in VT order.
 func sortedVTs[V any](m map[vtime.VT]V) []vtime.VT {
-	out := make([]vtime.VT, 0, len(m))
-	for vt := range m {
-		out = append(out, vt)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return detorder.SortedFunc(m, vtime.VT.Less)
 }
 
 // sortedObjectIDs returns the keys of an object-keyed map in ID order.
 func sortedObjectIDs[V any](m map[ids.ObjectID]V) []ids.ObjectID {
-	out := make([]ids.ObjectID, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return detorder.SortedFunc(m, ids.ObjectID.Less)
 }

@@ -77,7 +77,11 @@ func (s *Site) Checkpoint(w io.Writer) error {
 			NextSeq: s.nextSeq,
 			Clock:   s.clock.Now(),
 		}
-		for _, o := range s.objects {
+		// ID-sorted so the checkpoint bytes are a pure function of the
+		// committed state: two converged replicas (or the same site
+		// checkpointed twice) must encode identically.
+		for _, id := range sortedObjectIDs(s.objects) {
+			o := s.objects[id]
 			if o.parent != nil {
 				continue // children ride inside their composite root
 			}
@@ -237,20 +241,15 @@ func (s *Site) restoreChildren(parent *object, children []childCheckpoint) {
 func (s *Site) Objects() ([]ObjRef, error) {
 	var out []ObjRef
 	err := s.call(func() {
-		for _, o := range s.objects {
-			if o.parent == nil {
+		// ID-sorted iteration gives the deterministic order directly.
+		for _, id := range sortedObjectIDs(s.objects) {
+			if o := s.objects[id]; o.parent == nil {
 				out = append(out, ObjRef{o: o})
 			}
 		}
 	})
 	if err != nil {
 		return nil, err
-	}
-	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].ID().Less(out[j-1].ID()); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
 	}
 	return out, err
 }

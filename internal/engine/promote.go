@@ -146,8 +146,10 @@ func (s *Site) finishPromote(ps *promoteState) {
 		return
 	}
 	g := repgraph.NewGraph(child.id, s.id)
-	for site, id := range ps.collected {
-		if id != child.id {
+	// Site-sorted so the assembled graph (which goes out on the wire) has
+	// the same node order on every run.
+	for _, site := range sortedSites(ps.collected) {
+		if id := ps.collected[site]; id != child.id {
 			g.AddNode(id, site)
 			_ = g.AddEdge(child.id, id)
 		}

@@ -438,7 +438,8 @@ func (s *Site) collectDebugState() map[string]any {
 	}
 	reservations := map[string]int{}
 	views := map[string]int{}
-	for id, o := range s.objects {
+	for _, id := range sortedObjectIDs(s.objects) {
+		o := s.objects[id]
 		if n := o.res.Len() + o.graphRes.Len(); n > 0 {
 			reservations[id.String()] = n
 		}
@@ -451,7 +452,7 @@ func (s *Site) collectDebugState() map[string]any {
 		}
 	}
 	var failedSites []string
-	for site := range s.failed {
+	for _, site := range sortedSites(s.failed) {
 		failedSites = append(failedSites, site.String())
 	}
 	return map[string]any{
@@ -1041,7 +1042,8 @@ func (s *Site) combinedGCFloor() vtime.VT {
 	// map already answers those; without this sweep s.txns grows with
 	// every transaction ever seen and decidedFloor's scan turns the
 	// commit hot path quadratic in transaction count.
-	for vt, st := range s.txns {
+	for _, vt := range sortedVTs(s.txns) {
+		st := s.txns[vt]
 		if (st.status == txnCommitted || st.status == txnAborted) && vt.LessEq(floor) {
 			delete(s.txns, vt)
 		}

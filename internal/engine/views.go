@@ -450,8 +450,10 @@ func (p *viewProxy) requestOptimisticGuesses(snap *snapshot) {
 	s := p.site
 	// RC guesses: wait for the outcomes of pending transactions whose
 	// values the snapshot read.
-	for dep := range snap.rcDeps {
-		dep := dep
+	// VT-sorted: which dependencies are resolved (and in what order the
+	// waiters fire) must not vary run to run, and the sorted key slice
+	// also makes the delete-while-iterating below safe.
+	for _, dep := range sortedVTs(snap.rcDeps) {
 		if known, ok := s.outcomes[dep]; ok {
 			if known {
 				delete(snap.rcDeps, dep)
@@ -504,7 +506,10 @@ func (p *viewProxy) requestOptimisticGuesses(snap *snapshot) {
 			NoReserve: true,
 		})
 	}
-	for site, checks := range checksBySite {
+	// Site-sorted: reqID assignment and the outbound message schedule
+	// must be a pure function of protocol state.
+	for _, site := range sortedSites(checksBySite) {
+		checks := checksBySite[site]
 		reqID := s.newReqID()
 		snap.pendingChecks++
 		s.confirmWaiters[reqID] = func(c wire.Confirm) {
@@ -683,7 +688,9 @@ func (p *viewProxy) requestPessimisticGuesses(i int) {
 			CommittedOnly: true,
 		})
 	}
-	for site, checks := range checksBySite {
+	// Site-sorted for the same reason as requestOptimisticGuesses.
+	for _, site := range sortedSites(checksBySite) {
+		checks := checksBySite[site]
 		reqID := s.newReqID()
 		snap.pendingChecks++
 		s.confirmWaiters[reqID] = func(c wire.Confirm) {

@@ -98,7 +98,9 @@ func RunGVT(p GVTProfile, seed int64) (res Result) {
 	}()
 
 	settle := func() error {
-		deadline := time.Now().Add(settleTimeout)
+		// Liveness watchdog: decides when a wedged run is declared dead,
+		// never what a live run computes.
+		deadline := time.Now().Add(settleTimeout) //decaf:ignore wallclock liveness watchdog; never feeds simulation state
 		for {
 			quiet := true
 			for i := 1; i <= p.Sites; i++ {
@@ -110,7 +112,7 @@ func RunGVT(p GVTProfile, seed int64) (res Result) {
 			if quiet {
 				return nil
 			}
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //decaf:ignore wallclock liveness watchdog; never feeds simulation state
 				return fmt.Errorf("sim: gvt sites never quiesced at step %d", steps)
 			}
 			runtime.Gosched()

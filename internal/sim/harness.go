@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"decaf/internal/detorder"
 	"decaf/internal/engine"
 	"decaf/internal/transport"
 	"decaf/internal/vtime"
@@ -181,8 +182,10 @@ func Run(p Profile, seed int64, inspect ...func(sites map[vtime.SiteID]*engine.S
 		w.sites[id] = s
 	}
 	defer func() {
-		for _, s := range w.sites {
-			s.Stop()
+		// ID-sorted so shutdown (which can surface latent races and
+		// panics) replays like everything else.
+		for _, id := range detorder.Sorted(w.sites) {
+			w.sites[id].Stop()
 		}
 	}()
 
@@ -243,7 +246,10 @@ func msgName(m wire.Message) string {
 // events this always terminates: sites only regain work when the
 // harness fires the next event.
 func (w *world) settle() error {
-	deadline := time.Now().Add(settleTimeout)
+	// The watchdog deadline is a liveness check on the host, not
+	// simulation state: it only decides when a wedged run is declared
+	// dead, never what a live run computes.
+	deadline := time.Now().Add(settleTimeout) //decaf:ignore wallclock liveness watchdog; never feeds simulation state
 	for {
 		quiet := true
 		for i := 1; i <= w.profile.Sites; i++ {
@@ -255,7 +261,7 @@ func (w *world) settle() error {
 		if quiet {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //decaf:ignore wallclock liveness watchdog; never feeds simulation state
 			return fmt.Errorf("sim: sites never quiesced at step %d (wedged event loop?)", w.steps)
 		}
 		runtime.Gosched()
@@ -463,7 +469,11 @@ func (w *world) scheduleFaults() {
 		w.clock.AfterFunc(at, func() {
 			w.tracef("KILL S%d", victim)
 			w.killed = victim
-			w.net.Kill(victim)
+			// Kill's dispatch path statically reaches the real-timer
+			// memLink pump, but only on the clock==nil branch; the
+			// harness always injects the virtual clock.
+			//decaf:ignore wallclock virtual clock configured; real-time branch unreachable
+			w.net.Kill(victim) //decaf:ignore timers virtual clock configured; real-time branch unreachable
 		})
 	}
 }
