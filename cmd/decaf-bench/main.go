@@ -20,18 +20,22 @@
 //	e11 observability overhead: instrumented vs uninstrumented hot path
 //	e12 engine scaling: batched loop + sharded commit pipeline throughput
 //	e13 commutative fast path: local-commit adds vs guessed RMW latency
+//	e14 anti-entropy catch-up: offline site resyncs from the primary's WAL
 //
 // e9 additionally writes its results to -transport-out (default
 // BENCH_transport.json), e10 to -resilience-out (default
 // BENCH_resilience.json), e11 to -obs-out (default BENCH_obs.json),
-// e12 to -engine-out (default BENCH_engine.json), and e13 to
-// -fastpath-out (default BENCH_fastpath.json) so the numbers are
+// e12 to -engine-out (default BENCH_engine.json), e13 to
+// -fastpath-out (default BENCH_fastpath.json), and e14 to
+// -antientropy-out (default BENCH_antientropy.json) so the numbers are
 // diffable across revisions. e11 fails (exit 1) when the measured
 // hot-path overhead exceeds the 3% budget of DESIGN.md §9; e12 fails
 // when pipelined submission commits less than 2x the serial throughput
 // (enforced on machines with enough cores); e13 fails when fast-path
 // p50 latency reaches the simulated one-way delay at t=5ms or when any
-// run fails to converge.
+// run fails to converge; e14 fails when a resync misses exact
+// convergence, runs a spurious failover, skips the parked-transaction
+// resubmission, or exceeds the per-missed-update catch-up gate.
 package main
 
 import (
@@ -47,16 +51,17 @@ import (
 
 func main() {
 	var (
-		exp           = flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
-		lat           = flag.Duration("t", 10*time.Millisecond, "base one-way network latency t")
-		quick         = flag.Bool("quick", false, "smaller sweeps and fewer trials")
-		seed          = flag.Int64("seed", 1, "workload random seed")
-		transportOut  = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
-		resilienceOut = flag.String("resilience-out", "BENCH_resilience.json", "where e10 writes its JSON report ('' disables)")
-		obsOut        = flag.String("obs-out", "BENCH_obs.json", "where e11 writes its JSON report ('' disables)")
-		engineOut     = flag.String("engine-out", "BENCH_engine.json", "where e12 writes its JSON report ('' disables)")
-		fastpathOut   = flag.String("fastpath-out", "BENCH_fastpath.json", "where e13 writes its JSON report ('' disables)")
-		debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/decaf/{state,trace} and pprof on this address (instruments site 1 of each experiment)")
+		exp            = flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
+		lat            = flag.Duration("t", 10*time.Millisecond, "base one-way network latency t")
+		quick          = flag.Bool("quick", false, "smaller sweeps and fewer trials")
+		seed           = flag.Int64("seed", 1, "workload random seed")
+		transportOut   = flag.String("transport-out", "BENCH_transport.json", "where e9 writes its JSON report ('' disables)")
+		resilienceOut  = flag.String("resilience-out", "BENCH_resilience.json", "where e10 writes its JSON report ('' disables)")
+		obsOut         = flag.String("obs-out", "BENCH_obs.json", "where e11 writes its JSON report ('' disables)")
+		engineOut      = flag.String("engine-out", "BENCH_engine.json", "where e12 writes its JSON report ('' disables)")
+		fastpathOut    = flag.String("fastpath-out", "BENCH_fastpath.json", "where e13 writes its JSON report ('' disables)")
+		antientropyOut = flag.String("antientropy-out", "BENCH_antientropy.json", "where e14 writes its JSON report ('' disables)")
+		debugAddr      = flag.String("debug-addr", "", "serve /metrics, /debug/decaf/{state,trace} and pprof on this address (instruments site 1 of each experiment)")
 	)
 	flag.Parse()
 
@@ -74,7 +79,7 @@ func main() {
 
 	selected := map[string]bool{}
 	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"} {
 			selected[e] = true
 		}
 	} else {
@@ -211,6 +216,27 @@ func main() {
 					"fast-path p50 not below t at t=%.0fms, or a run failed to converge", res.GateLatencyMS)
 			}
 			return bench.FastpathTable(res), nil
+		}},
+		{"e14", func() (*bench.Table, error) {
+			backlogs := []int{100, 400, 1600}
+			if *quick {
+				backlogs = []int{50, 200}
+			}
+			res, err := bench.MeasureAntiEntropy(backlogs)
+			if err != nil {
+				return nil, err
+			}
+			if *antientropyOut != "" {
+				if err := bench.WriteAntiEntropyJSON(*antientropyOut, res); err != nil {
+					return nil, err
+				}
+			}
+			if !res.Pass {
+				return bench.AntiEntropyTable(res), fmt.Errorf(
+					"anti-entropy catch-up missed the gate (convergence, resubmission, zero failovers, %.1fms/update)",
+					res.GateNsPerUpdate/1e6)
+			}
+			return bench.AntiEntropyTable(res), nil
 		}},
 	}
 

@@ -3,6 +3,7 @@ package lockedsend
 
 import (
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -71,4 +72,19 @@ func suppressed(b *box) {
 	//decaf:ignore lockedsend ch is buffered and drained by the fixture harness
 	b.ch <- 1
 	b.mu.Unlock()
+}
+
+// The WAL single-writer contract (DESIGN.md §13): fsync is disk I/O and
+// must never run while an engine mutex is held.
+func badFsyncUnderLock(b *box, f *os.File) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f.Sync()
+}
+
+func goodFsyncAfterUnlock(b *box, f *os.File) {
+	b.mu.Lock()
+	b.ch = nil
+	b.mu.Unlock()
+	f.Sync()
 }

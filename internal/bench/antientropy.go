@@ -1,0 +1,235 @@
+package bench
+
+// E14 — anti-entropy catch-up for weakly connected replicas (PR 9,
+// DESIGN.md §13). A two-site replica pair is silently partitioned; the
+// connected primary keeps committing while the offline site accumulates
+// a missed-update backlog (and one optimistic transaction of its own
+// parks waiting for the unreachable primary). After the heal, one
+// anti-entropy session must ship the backlog from the primary's WAL,
+// resubmit the parked tail through normal §3 confirmation, and converge
+// the pair exactly. The interesting number is catch-up cost per missed
+// update; the gate is deliberately generous — it exists to catch a
+// catastrophic regression (quadratic re-scan, sync livelock), not to
+// benchmark disk.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"decaf/internal/engine"
+	"decaf/internal/transport"
+	"decaf/internal/vtime"
+	"decaf/internal/wal"
+)
+
+// AntiEntropyGateNsPerUpdate is the maximum allowed catch-up cost per
+// missed update: one in-memory round of ship + apply + notify is
+// microseconds of work, so a millisecond per update means the sync path
+// degenerated.
+const AntiEntropyGateNsPerUpdate = 1e6
+
+// AntiEntropyRow is one backlog size's measurement.
+type AntiEntropyRow struct {
+	// MissedUpdates is the number of committed writes the offline site
+	// never saw.
+	MissedUpdates int `json:"missed_updates"`
+	// CatchupMs is wall time from SyncWith to exact committed
+	// convergence at both sites.
+	CatchupMs float64 `json:"catchup_ms"`
+	// NsPerUpdate is CatchupMs normalized by the backlog size.
+	NsPerUpdate float64 `json:"ns_per_update"`
+	// RecordsShipped / RecordsApplied are the sync-session counters at
+	// the two sites (shipped at the primary, applied at the returner).
+	RecordsShipped uint64 `json:"records_shipped"`
+	RecordsApplied uint64 `json:"records_applied"`
+	// Resubmits counts parked optimistic transactions re-sent through
+	// §3 confirmation after the session (must be >= 1: the benchmark
+	// parks one on purpose).
+	Resubmits uint64 `json:"resubmits"`
+	// FailoversRun must be 0: disconnected is not failed.
+	FailoversRun uint64 `json:"failovers_run"`
+	Converged    bool   `json:"converged"`
+}
+
+// AntiEntropyResult is the E14 report (BENCH_antientropy.json).
+type AntiEntropyResult struct {
+	Rows            []AntiEntropyRow `json:"rows"`
+	GateNsPerUpdate float64          `json:"gate_ns_per_update"`
+	// Pass: every row converged, resubmitted its parked transaction,
+	// ran zero failovers, and stayed under the per-update gate.
+	Pass bool `json:"pass"`
+}
+
+// MeasureAntiEntropy runs the catch-up measurement over the given
+// backlog sizes.
+func MeasureAntiEntropy(backlogs []int) (AntiEntropyResult, error) {
+	res := AntiEntropyResult{GateNsPerUpdate: AntiEntropyGateNsPerUpdate, Pass: true}
+	for _, n := range backlogs {
+		row, err := antiEntropyOnce(n)
+		if err != nil {
+			return res, fmt.Errorf("backlog %d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, row)
+		if !row.Converged || row.Resubmits == 0 || row.FailoversRun != 0 ||
+			row.NsPerUpdate > res.GateNsPerUpdate {
+			res.Pass = false
+		}
+	}
+	return res, nil
+}
+
+// antiEntropyOnce measures one partition/backlog/heal/sync cycle on a
+// fresh two-site world.
+func antiEntropyOnce(backlog int) (AntiEntropyRow, error) {
+	row := AntiEntropyRow{MissedUpdates: backlog}
+
+	net := transport.NewNetwork(transport.Config{})
+	defer net.Close()
+	sites := make(map[vtime.SiteID]*engine.Site, 2)
+	for i := 1; i <= 2; i++ {
+		id := vtime.SiteID(i)
+		ep, err := net.Endpoint(id)
+		if err != nil {
+			return row, err
+		}
+		dir, err := os.MkdirTemp("", "decaf-bench-wal-")
+		if err != nil {
+			return row, err
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(dir, wal.Options{Sync: wal.SyncBatch})
+		if err != nil {
+			return row, err
+		}
+		defer l.Close()
+		s := engine.NewSite(ep, engine.Options{WAL: l})
+		s.Start()
+		defer s.Stop()
+		sites[id] = s
+	}
+	s1, s2 := sites[1], sites[2]
+
+	ref1, err := s1.CreateObject(engine.KindInt, "reg", int64(0))
+	if err != nil {
+		return row, err
+	}
+	ref2, err := s2.CreateObject(engine.KindInt, "reg", int64(0))
+	if err != nil {
+		return row, err
+	}
+	if r := s2.JoinObject(ref2, 1, ref1.ID()).Wait(); r.Err != nil || !r.Committed {
+		return row, fmt.Errorf("join: %+v", r)
+	}
+	set := func(s *engine.Site, ref engine.ObjRef, v int64) engine.Result {
+		return s.Submit(&engine.Txn{Name: "set", Execute: func(tx *engine.Tx) error {
+			return tx.Write(ref, v)
+		}}).Wait()
+	}
+	if r := set(s2, ref2, 1); r.Err != nil || !r.Committed {
+		return row, fmt.Errorf("warmup: %+v", r)
+	}
+
+	// Silent partition; both suspicion policies are told it is a
+	// disconnect, not a failure.
+	if err := s1.SetPeerDisconnected(2, true); err != nil {
+		return row, err
+	}
+	if err := s2.SetPeerDisconnected(1, true); err != nil {
+		return row, err
+	}
+	net.Partition(1, 2)
+
+	// The backlog: the primary keeps committing while the peer is away.
+	for i := 0; i < backlog; i++ {
+		if r := set(s1, ref1, int64(100+i)); r.Err != nil || !r.Committed {
+			return row, fmt.Errorf("backlog write %d: %+v", i, r)
+		}
+	}
+	want := int64(100 + backlog - 1)
+
+	// One optimistic transaction parks at the offline site: it reads,
+	// so it needs §3 confirmation from the unreachable primary.
+	parked := s2.Submit(&engine.Txn{Name: "parked", Execute: func(tx *engine.Tx) error {
+		if _, err := tx.Read(ref2); err != nil {
+			return err
+		}
+		return tx.Write(ref2, int64(7))
+	}})
+
+	// The submission executes asynchronously: wait for it to actually
+	// park behind the partition before healing, or it would commit over
+	// the healed link without needing resubmission.
+	parkDeadline := time.Now().Add(10 * time.Second)
+	for s2.WaitingLocal() == 0 && time.Now().Before(parkDeadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if s2.WaitingLocal() == 0 {
+		return row, fmt.Errorf("optimistic transaction never parked")
+	}
+
+	net.Heal(1, 2)
+	if err := s1.SetPeerDisconnected(2, false); err != nil {
+		return row, err
+	}
+	if err := s2.SetPeerDisconnected(1, false); err != nil {
+		return row, err
+	}
+
+	start := time.Now()
+	if err := s2.SyncWith(1); err != nil {
+		return row, err
+	}
+	pres := parked.Wait()
+	if pres.Err != nil {
+		return row, fmt.Errorf("parked txn: %+v", pres)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		a, err1 := s1.ReadCommitted(ref1)
+		b, err2 := s2.ReadCommitted(ref2)
+		if err1 == nil && err2 == nil && a == b {
+			// The parked write may have won (committed after the
+			// backlog) or the backlog tail may have: either way both
+			// sites must agree and the value must be one of the two.
+			if a == want || a == int64(7) {
+				row.Converged = true
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+
+	row.CatchupMs = float64(elapsed.Nanoseconds()) / 1e6
+	row.NsPerUpdate = float64(elapsed.Nanoseconds()) / float64(backlog)
+	st1, st2 := s1.Stats(), s2.Stats()
+	row.RecordsShipped = st1.SyncRecordsShipped
+	row.RecordsApplied = st2.SyncRecordsApplied
+	row.Resubmits = st2.SyncResubmits
+	row.FailoversRun = st1.FailoversRun + st2.FailoversRun
+	return row, nil
+}
+
+// AntiEntropyTable renders the E14 results for decaf-bench.
+func AntiEntropyTable(r AntiEntropyResult) *Table {
+	tab := &Table{
+		Title: "E14: anti-entropy catch-up — offline site resyncs from the primary's WAL (PR 9)",
+		Note: fmt.Sprintf("silent partition, backlog committed at the primary, heal, one sync session;\n"+
+			"gate: converged, parked txn resubmitted, zero failovers, < %.1fms per missed update",
+			r.GateNsPerUpdate/1e6),
+		Columns: []string{"missed updates", "catch-up ms", "us/update", "shipped", "applied", "resubmits", "converged"},
+	}
+	for _, row := range r.Rows {
+		tab.AddRow(
+			fmt.Sprintf("%d", row.MissedUpdates),
+			fmt.Sprintf("%.1f", row.CatchupMs),
+			fmt.Sprintf("%.1f", row.NsPerUpdate/1e3),
+			fmt.Sprintf("%d", row.RecordsShipped),
+			fmt.Sprintf("%d", row.RecordsApplied),
+			fmt.Sprintf("%d", row.Resubmits),
+			fmt.Sprintf("%v", row.Converged),
+		)
+	}
+	return tab
+}

@@ -88,3 +88,13 @@ func WriteFastpathJSON(path string, r FastpathResult) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// WriteAntiEntropyJSON writes the E14 anti-entropy catch-up report to
+// path (BENCH_antientropy.json at the repo root).
+func WriteAntiEntropyJSON(path string, r AntiEntropyResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -130,6 +130,7 @@ func (s *Site) commitFastPath(st *txnState) {
 	st.status = txnCommitted
 	s.outcomes[st.vt] = true
 	st.commitApplied()
+	s.walLocalFastWrite(st)
 
 	out := map[vtime.SiteID][]wire.Update{}
 	for _, w := range st.writes {

@@ -26,8 +26,27 @@ func (s *Site) ensureTxn(vt vtime.VT, origin vtime.SiteID) *txnState {
 // a primary copy it additionally validates the RL/NC guesses and confirms
 // (or, as delegate, decides the whole transaction).
 func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
+	// resendOutcome answers a confirm request from an already-recorded
+	// decision: a resubmitted Write (anti-entropy recovery of a lost
+	// confirmation, DESIGN.md §13) must not be re-validated — the
+	// re-check could spuriously deny a transaction that is committed
+	// system-wide. The origin treats the Outcome as the decision.
+	resendOutcome := func(committed bool) {
+		if m.Delegate != nil {
+			for _, site := range m.Delegate.Sites {
+				s.send(site, wire.Outcome{TxnVT: m.TxnVT, Committed: committed})
+			}
+			return
+		}
+		s.send(m.Origin, wire.Outcome{TxnVT: m.TxnVT, Committed: committed})
+	}
 	if known, ok := s.outcomes[m.TxnVT]; ok && !known {
-		return // already aborted: ignore late updates (paper §3.1)
+		// Already aborted: ignore late updates (paper §3.1), but answer
+		// a confirm request so a resubmitted origin un-wedges.
+		if m.NeedsConfirm {
+			resendOutcome(false)
+		}
+		return
 	}
 	committedAlready := false
 	if known, ok := s.outcomes[m.TxnVT]; ok && known {
@@ -72,6 +91,10 @@ func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
 	if !m.NeedsConfirm {
 		return
 	}
+	if committedAlready {
+		resendOutcome(true)
+		return
+	}
 
 	decide := func() {
 		ok, _, reason := s.validateAsPrimary(st, m.TxnVT, m.Updates, m.Checks)
@@ -112,6 +135,9 @@ func (s *Site) handleWrite(from vtime.SiteID, m wire.Write) {
 // remote primary site on the origin's behalf.
 func (s *Site) decideAsDelegate(st *txnState, m wire.Write, ok bool) {
 	s.outcomes[m.TxnVT] = ok
+	// The delegate is the deciding site: the decision must be durable
+	// here even though no Outcome message ever arrives on its wire.
+	s.walAppendMsg(m.TxnVT, wire.Outcome{TxnVT: m.TxnVT, Committed: ok})
 	if s.obs.TraceEnabled() {
 		detail := "commit"
 		if !ok {
@@ -399,6 +425,10 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 		if m.Committed {
 			st.status = txnCommitted
 			st.commitApplied()
+			// The incoming Outcome is already logged; this adds the
+			// synthesized Write with our own updates and bumps the floor.
+			s.walLocalCommit(st, false)
+			st.sentMsgs = nil
 			s.resolveRC(m.TxnVT, true)
 			s.onLocalCommit(st.appliedObjects(), m.TxnVT)
 			s.stats.Commits.Add(1)
@@ -412,6 +442,10 @@ func (s *Site) handleOutcome(m wire.Outcome) {
 		} else {
 			// Delegate denied: undo and retry. The delegate has already
 			// informed the other involved sites.
+			if s.wal != nil {
+				s.bumpSelfFloor(st.vt.Time)
+			}
+			st.sentMsgs = nil
 			objs := st.appliedObjects()
 			s.undoApplied(st)
 			s.releaseReservations(st)

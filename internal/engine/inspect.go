@@ -1,28 +1,41 @@
 package engine
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 	"strings"
 
 	"decaf/internal/repgraph"
+	"decaf/internal/wire"
 )
 
 // DescribeCheckpoint renders a human-readable summary of a persisted
 // checkpoint without loading it into a site (the decaf-inspect tool).
+// Both the current wire-codec format and legacy v1 gob checkpoints are
+// accepted.
 func DescribeCheckpoint(r io.Reader) (string, error) {
-	var cp siteCheckpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return "", fmt.Errorf("engine: decode checkpoint: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", fmt.Errorf("engine: read checkpoint: %w", err)
 	}
-	if cp.Version != checkpointVersion {
-		return "", fmt.Errorf("engine: checkpoint version %d unsupported", cp.Version)
+	version := checkpointVersionV1
+	if wire.IsCheckpoint(data) {
+		version = wire.CheckpointVersion
+	}
+	cp, err := decodeAnyCheckpoint(data)
+	if err != nil {
+		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "checkpoint of site %s (format v%d)\n", cp.Site, cp.Version)
+	fmt.Fprintf(&b, "checkpoint of site %s (format v%d)\n", cp.Site, version)
 	fmt.Fprintf(&b, "clock %s, next object seq %d, %d top-level objects\n",
 		cp.Clock, cp.NextSeq, len(cp.Objects))
+	if cp.Seq != 0 {
+		fmt.Fprintf(&b, "wal marker seq %d\n", cp.Seq)
+	}
+	for _, f := range cp.Floors {
+		fmt.Fprintf(&b, "sync floor: origin %s up to time %d\n", f.Site, f.Time)
+	}
 	for _, oc := range cp.Objects {
 		fmt.Fprintf(&b, "\n%s %q (%s)\n", oc.ID, oc.Desc, oc.Kind)
 		if oc.Value != nil || !oc.ValueVT.IsZero() {
@@ -43,7 +56,7 @@ func DescribeCheckpoint(r io.Reader) (string, error) {
 	return b.String(), nil
 }
 
-func describeChildren(b *strings.Builder, children []childCheckpoint, indent string) {
+func describeChildren(b *strings.Builder, children []wire.CheckpointChild, indent string) {
 	for _, cc := range children {
 		label := cc.Key
 		if label == "" {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -21,16 +22,24 @@ import (
 // graph, and the site's clock and sequence counters. Restore loads a
 // checkpoint into a fresh site with the same site ID.
 //
+// Format: version 2 uses the internal/wire hand codec (deterministic
+// bytes, no gob type registry); version-1 gob checkpoints are still
+// loaded — the stream is sniffed via wire.IsCheckpoint, which can never
+// misfire because a gob stream cannot start with 0x00.
+//
 // Semantics: a checkpoint captures committed state only — in-flight
 // optimistic state is deliberately excluded (it would be undone on abort
 // anyway). Restoring a single member of a live collaboration is the
 // "rejoin as a new member" path of §3.4; restoring ALL members from
 // mutually consistent checkpoints resumes the collaboration in place.
+// On a WAL-attached site, Checkpoint also appends a covering RecordMark
+// so Recover knows where the checkpoint's log coverage ends (DESIGN.md
+// §13).
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersionV1 is the legacy gob format, still readable.
+const checkpointVersionV1 = 1
 
-// objCheckpoint is one persisted model object.
+// objCheckpoint is one persisted model object (v1 gob format).
 type objCheckpoint struct {
 	ID      ids.ObjectID
 	Kind    wire.ChildKind
@@ -43,7 +52,8 @@ type objCheckpoint struct {
 	Children []childCheckpoint
 }
 
-// childCheckpoint is one embedded child with its identity tags.
+// childCheckpoint is one embedded child with its identity tags (v1 gob
+// format).
 type childCheckpoint struct {
 	Tag      wire.ElemTag // list element tag (zero for tuple entries)
 	Key      string       // tuple key (empty for list elements)
@@ -54,7 +64,7 @@ type childCheckpoint struct {
 	Children []childCheckpoint
 }
 
-// siteCheckpoint is the serialized site.
+// siteCheckpoint is the serialized site (v1 gob format).
 type siteCheckpoint struct {
 	Version uint32
 	Site    vtime.SiteID
@@ -67,39 +77,73 @@ func init() {
 	gob.Register(siteCheckpoint{})
 }
 
-// Checkpoint writes the site's committed state to w.
+// Checkpoint writes the site's committed state to w. On a WAL-attached
+// site it also appends the covering marker to the log, inside the same
+// event-loop call that captures the state, so the marker's position
+// exactly bounds the checkpoint's coverage.
 func (s *Site) Checkpoint(w io.Writer) error {
-	var cp siteCheckpoint
+	var cp wire.Checkpoint
+	var markErr error
 	err := s.call(func() {
-		cp = siteCheckpoint{
-			Version: checkpointVersion,
-			Site:    s.id,
-			NextSeq: s.nextSeq,
-			Clock:   s.clock.Now(),
-		}
-		// ID-sorted so the checkpoint bytes are a pure function of the
-		// committed state: two converged replicas (or the same site
-		// checkpointed twice) must encode identically.
-		for _, id := range sortedObjectIDs(s.objects) {
-			o := s.objects[id]
-			if o.parent != nil {
-				continue // children ride inside their composite root
+		cp = s.buildCheckpoint()
+		if s.wal != nil {
+			s.checkpointSeq++
+			cp.Seq = s.checkpointSeq
+			markErr = s.wal.Mark(cp.Seq)
+			if markErr == nil && len(s.disconnected) == 0 && len(s.parkedFailures) == 0 {
+				// Segments only become droppable once a newer marker
+				// covers them, so a checkpoint is the one moment
+				// truncation can make progress. Everything below the
+				// GC floor is globally decided; TruncateBelow itself
+				// refuses to cross the newest marker. While any peer is
+				// known to be offline the whole backlog stays shippable,
+				// so truncation waits for the reconnect.
+				if terr := s.wal.TruncateBelow(s.combinedGCFloor().Time); terr != nil {
+					s.log.Warn("wal truncate failed", "err", terr)
+				}
 			}
-			cp.Objects = append(cp.Objects, s.checkpointObject(o))
 		}
 	})
 	if err != nil {
 		return err
 	}
-	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+	if markErr != nil {
+		return fmt.Errorf("engine: checkpoint wal marker: %w", markErr)
+	}
+	b, err := wire.EncodeCheckpoint(cp)
+	if err != nil {
 		return fmt.Errorf("engine: encode checkpoint: %w", err)
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("engine: write checkpoint: %w", err)
 	}
 	return nil
 }
 
+// buildCheckpoint captures the committed state, inside the loop.
+func (s *Site) buildCheckpoint() wire.Checkpoint {
+	cp := wire.Checkpoint{
+		Site:    s.id,
+		NextSeq: s.nextSeq,
+		Clock:   s.clock.Now(),
+		Floors:  s.floorList(),
+	}
+	// ID-sorted so the checkpoint bytes are a pure function of the
+	// committed state: two converged replicas (or the same site
+	// checkpointed twice) must encode identically.
+	for _, id := range sortedObjectIDs(s.objects) {
+		o := s.objects[id]
+		if o.parent != nil {
+			continue // children ride inside their composite root
+		}
+		cp.Objects = append(cp.Objects, s.checkpointObject(o))
+	}
+	return cp
+}
+
 // checkpointObject captures one top-level object.
-func (s *Site) checkpointObject(o *object) objCheckpoint {
-	oc := objCheckpoint{ID: o.id, Kind: o.kind, Desc: o.desc}
+func (s *Site) checkpointObject(o *object) wire.CheckpointObject {
+	oc := wire.CheckpointObject{ID: o.id, Kind: o.kind, Desc: o.desc}
 	if v, ok := o.hist.CurrentCommitted(); ok && !o.isComposite() {
 		oc.Value, oc.ValueVT = v.Value, v.VT
 	}
@@ -114,11 +158,11 @@ func (s *Site) checkpointObject(o *object) objCheckpoint {
 }
 
 // checkpointChildren captures a composite's live committed structure.
-func checkpointChildren(o *object) []childCheckpoint {
+func checkpointChildren(o *object) []wire.CheckpointChild {
 	at := o.latestCommittedVT()
-	var out []childCheckpoint
+	var out []wire.CheckpointChild
 	appendChild := func(child *object, tag wire.ElemTag, key string, insertVT vtime.VT) {
-		cc := childCheckpoint{Tag: tag, Key: key, InsertVT: insertVT, Kind: child.kind}
+		cc := wire.CheckpointChild{Tag: tag, Key: key, InsertVT: insertVT, Kind: child.kind}
 		if v, ok := child.hist.CurrentCommitted(); ok && !child.isComposite() {
 			cc.Value, cc.ValueVT = v.Value, v.VT
 		}
@@ -142,40 +186,108 @@ func checkpointChildren(o *object) []childCheckpoint {
 	return out
 }
 
-// Restore loads a checkpoint into this (fresh, same-ID) site.
+// Restore loads a checkpoint (either format version) into this (fresh,
+// same-ID) site.
 func (s *Site) Restore(r io.Reader) error {
-	var cp siteCheckpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return fmt.Errorf("engine: decode checkpoint: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("engine: read checkpoint: %w", err)
 	}
-	if cp.Version != checkpointVersion {
-		return fmt.Errorf("engine: checkpoint version %d unsupported", cp.Version)
+	cp, err := decodeAnyCheckpoint(data)
+	if err != nil {
+		return err
 	}
 	if cp.Site != s.id {
 		return fmt.Errorf("engine: checkpoint is for site %s, this site is %s", cp.Site, s.id)
 	}
 	var restoreErr error
-	err := s.call(func() {
-		if len(s.objects) != 0 {
-			restoreErr = fmt.Errorf("engine: restore requires a fresh site (has %d objects)", len(s.objects))
-			return
-		}
-		s.clock.Observe(cp.Clock)
-		if cp.NextSeq > s.nextSeq {
-			s.nextSeq = cp.NextSeq
-		}
-		for _, oc := range cp.Objects {
-			s.restoreObject(oc)
-		}
-	})
+	err = s.call(func() { restoreErr = s.restoreCheckpointState(cp) })
 	if err != nil {
 		return err
 	}
 	return restoreErr
 }
 
+// decodeAnyCheckpoint sniffs and decodes either checkpoint format.
+func decodeAnyCheckpoint(data []byte) (wire.Checkpoint, error) {
+	if wire.IsCheckpoint(data) {
+		cp, err := wire.DecodeCheckpoint(data)
+		if err != nil {
+			return wire.Checkpoint{}, fmt.Errorf("engine: %w", err)
+		}
+		return cp, nil
+	}
+	var v1 siteCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v1); err != nil {
+		return wire.Checkpoint{}, fmt.Errorf("engine: decode checkpoint: %w", err)
+	}
+	if v1.Version != checkpointVersionV1 {
+		return wire.Checkpoint{}, fmt.Errorf("engine: checkpoint version %d unsupported", v1.Version)
+	}
+	return v1Checkpoint(v1), nil
+}
+
+// v1Checkpoint lifts a legacy gob checkpoint into the current form.
+// Legacy checkpoints carry no WAL marker and no floors.
+func v1Checkpoint(v1 siteCheckpoint) wire.Checkpoint {
+	cp := wire.Checkpoint{Site: v1.Site, NextSeq: v1.NextSeq, Clock: v1.Clock}
+	for _, oc := range v1.Objects {
+		cp.Objects = append(cp.Objects, wire.CheckpointObject{
+			ID:       oc.ID,
+			Kind:     oc.Kind,
+			Desc:     oc.Desc,
+			Value:    oc.Value,
+			ValueVT:  oc.ValueVT,
+			Graph:    oc.Graph,
+			GraphVT:  oc.GraphVT,
+			Children: v1Children(oc.Children),
+		})
+	}
+	return cp
+}
+
+func v1Children(children []childCheckpoint) []wire.CheckpointChild {
+	var out []wire.CheckpointChild
+	for _, cc := range children {
+		out = append(out, wire.CheckpointChild{
+			Tag:      cc.Tag,
+			Key:      cc.Key,
+			InsertVT: cc.InsertVT,
+			Kind:     cc.Kind,
+			Value:    cc.Value,
+			ValueVT:  cc.ValueVT,
+			Children: v1Children(cc.Children),
+		})
+	}
+	return out
+}
+
+// restoreCheckpointState loads cp into the site, inside the loop. Shared
+// by Restore and Recover.
+func (s *Site) restoreCheckpointState(cp wire.Checkpoint) error {
+	if len(s.objects) != 0 {
+		return fmt.Errorf("engine: restore requires a fresh site (has %d objects)", len(s.objects))
+	}
+	s.clock.Observe(cp.Clock)
+	if cp.NextSeq > s.nextSeq {
+		s.nextSeq = cp.NextSeq
+	}
+	for _, f := range cp.Floors {
+		if f.Time > s.syncFloors[f.Site] {
+			s.syncFloors[f.Site] = f.Time
+		}
+	}
+	if t := s.syncFloors[s.id]; t > s.maxOwnDecided {
+		s.maxOwnDecided = t
+	}
+	for _, oc := range cp.Objects {
+		s.restoreObject(oc)
+	}
+	return nil
+}
+
 // restoreObject reconstructs one top-level object with its original ID.
-func (s *Site) restoreObject(oc objCheckpoint) {
+func (s *Site) restoreObject(oc wire.CheckpointObject) {
 	o := &object{
 		id:   oc.ID,
 		kind: oc.Kind,
@@ -209,7 +321,7 @@ func (s *Site) restoreObject(oc objCheckpoint) {
 }
 
 // restoreChildren rebuilds composite structure with the original tags.
-func (s *Site) restoreChildren(parent *object, children []childCheckpoint) {
+func (s *Site) restoreChildren(parent *object, children []wire.CheckpointChild) {
 	for _, cc := range children {
 		link := wire.PathElem{Tag: cc.Tag}
 		if cc.Key != "" {

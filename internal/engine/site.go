@@ -13,6 +13,7 @@ import (
 	"decaf/internal/obs"
 	"decaf/internal/transport"
 	"decaf/internal/vtime"
+	"decaf/internal/wal"
 	"decaf/internal/wire"
 )
 
@@ -61,13 +62,27 @@ type Options struct {
 	// serves one site; layers of the same site (engine, transport, gvt)
 	// share it so a single scrape covers the whole process.
 	Observer *obs.Observer
-	// Scheduler defers engine work — today only the RetryDelay pause
-	// before a conflict retry. nil selects transport.WallClock (real
-	// timers). The deterministic simulation harness injects its virtual
-	// clock here so retry timing is part of the explored, replayable
-	// schedule; the engine itself constructs no timers (enforced by the
-	// decaf-vet timers analyzer).
+	// Scheduler defers engine work — the RetryDelay pause before a
+	// conflict retry and the OfflineGrace failover deadline. nil selects
+	// transport.WallClock (real timers). The deterministic simulation
+	// harness injects its virtual clock here so retry timing is part of
+	// the explored, replayable schedule; the engine itself constructs no
+	// timers (enforced by the decaf-vet timers analyzer).
 	Scheduler Scheduler
+	// WAL, when set, attaches a durable write-ahead update log
+	// (DESIGN.md §13): every remote Write/FastWrite/Outcome and every
+	// local commit is appended before the batch ends, Checkpoint writes
+	// a covering marker, Recover replays the tail over the newest
+	// checkpoint, and the anti-entropy sync protocol ships missing
+	// records to reconnecting peers. All log I/O happens on the event
+	// loop (the WAL's single-writer contract) and never under a lock.
+	WAL *wal.Log
+	// OfflineGrace bounds how long a failover stays parked for a peer
+	// marked disconnected via SetPeerDisconnected: if the peer neither
+	// recovers nor is unmarked within the grace period, the ordinary
+	// §3.4 failover runs after all. Zero parks indefinitely (until the
+	// transport reports the peer recovered).
+	OfflineGrace time.Duration
 }
 
 // Scheduler schedules deferred engine work. Implemented by
@@ -144,6 +159,24 @@ type Stats struct {
 	// FastpathDemotions counts RL guesses demoted to re-validation
 	// because a fast-path commit landed inside their reserved interval.
 	FastpathDemotions uint64
+	// FailoversParked counts EventSiteFailed notifications parked
+	// because the peer was marked disconnected-not-failed
+	// (SetPeerDisconnected); no §3.4 failover ran for them.
+	FailoversParked uint64
+	// FailoversRun counts §3.4 failovers actually executed (including
+	// parked ones whose OfflineGrace deadline expired).
+	FailoversRun uint64
+	// SyncSessions counts anti-entropy sessions this site initiated.
+	SyncSessions uint64
+	// SyncRecordsShipped counts WAL records shipped to peers in
+	// anti-entropy sessions.
+	SyncRecordsShipped uint64
+	// SyncRecordsApplied counts anti-entropy records fed through the
+	// normal message handlers at this site.
+	SyncRecordsApplied uint64
+	// SyncResubmits counts in-flight optimistic transactions re-sent
+	// through the §3 confirmation flow after an anti-entropy session.
+	SyncResubmits uint64
 }
 
 // Site is one collaborating application instance: it hosts model objects,
@@ -197,6 +230,28 @@ type Site struct {
 	parked []parkedRetry
 	// failed records peer sites known to have failed.
 	failed map[vtime.SiteID]bool
+	// wal is the site's durable update log (nil: durability off).
+	wal *wal.Log
+	// checkpointSeq numbers checkpoint markers in the WAL; the next
+	// Checkpoint writes seq checkpointSeq+1.
+	checkpointSeq uint64
+	// syncFloors are the anti-entropy version floors (DESIGN.md §13):
+	// per origin, the highest transaction time this site provably holds
+	// with no gaps below it. Advanced only by local commits (own origin)
+	// and completed sync sessions (peer floors adopted) — never by
+	// direct receipt, which can leave holes under partition.
+	syncFloors map[vtime.SiteID]uint64
+	// maxOwnDecided is the highest own-origin transaction time with a
+	// decided (logged) outcome; the self floor is this minus any still
+	// undecided own transaction below it.
+	maxOwnDecided uint64
+	// disconnected marks peers the application declared offline-not-
+	// failed (SetPeerDisconnected); their failure events park instead of
+	// triggering §3.4 failover.
+	disconnected map[vtime.SiteID]bool
+	// parkedFailures holds the cancel hooks of parked failovers (nil
+	// value: parked without an OfflineGrace deadline).
+	parkedFailures map[vtime.SiteID]func()
 	// authorizer is the site's authorization monitor (nil: allow all).
 	authorizer Authorizer
 
@@ -267,6 +322,13 @@ type siteMetrics struct {
 	SnapshotReruns        *obs.Counter
 	FastpathCommits       *obs.Counter
 	FastpathDemotions     *obs.Counter
+	FailoversParked       *obs.Counter
+	FailoversRun          *obs.Counter
+	SyncSessions          *obs.Counter
+	SyncRecordsShipped    *obs.Counter
+	SyncRecordsApplied    *obs.Counter
+	SyncResubmits         *obs.Counter
+	WALAppendErrors       *obs.Counter
 
 	// Hot-path pipeline counters.
 	Batches         *obs.Counter // event-loop batches processed
@@ -307,6 +369,13 @@ func newSiteMetrics(reg *obs.Registry) siteMetrics {
 		SnapshotReruns:        reg.Counter("decaf_view_snapshot_reruns_total", "optimistic snapshots rerun after an abort"),
 		FastpathCommits:       reg.Counter("decaf_fastpath_commits_total", "transactions committed on the commutative fast path"),
 		FastpathDemotions:     reg.Counter("decaf_fastpath_demotions_total", "RL guesses demoted to re-validation by a fast-path commit"),
+		FailoversParked:       reg.Counter("decaf_failovers_parked_total", "failure events parked because the peer was marked disconnected"),
+		FailoversRun:          reg.Counter("decaf_failovers_run_total", "§3.4 failovers executed"),
+		SyncSessions:          reg.Counter("decaf_sync_sessions_total", "anti-entropy sessions initiated by this site"),
+		SyncRecordsShipped:    reg.Counter("decaf_sync_records_shipped_total", "WAL records shipped to peers in anti-entropy sessions"),
+		SyncRecordsApplied:    reg.Counter("decaf_sync_records_applied_total", "anti-entropy records applied at this site"),
+		SyncResubmits:         reg.Counter("decaf_sync_resubmits_total", "optimistic transactions re-submitted after an anti-entropy session"),
+		WALAppendErrors:       reg.Counter("decaf_wal_append_errors_total", "WAL appends that failed (durability degraded)"),
 
 		Batches:         reg.Counter("decaf_engine_batches_total", "event-loop batches processed"),
 		BatchEvents:     reg.Counter("decaf_engine_batch_events_total", "calls and transport events drained across all batches"),
@@ -377,11 +446,20 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 		repairs:        map[vtime.SiteID]*repairState{},
 		commitQueries:  map[vtime.VT]*queryState{},
 		failed:         map[vtime.SiteID]bool{},
+		wal:            opts.WAL,
+		syncFloors:     map[vtime.SiteID]uint64{},
+		disconnected:   map[vtime.SiteID]bool{},
+		parkedFailures: map[vtime.SiteID]func(){},
 		outbox:         map[vtime.SiteID][]wire.Message{},
 		stagedVTs:      map[vtime.VT]bool{},
 		workers:        workers,
 		obs:            observer,
 		stats:          newSiteMetrics(observer.Metrics()),
+	}
+	if s.wal != nil {
+		// Continue the checkpoint-marker numbering of whatever log we
+		// attached to (fresh logs report 0).
+		s.checkpointSeq = s.wal.LastMarkSeq()
 	}
 	s.notifier = &notifyQueue{
 		wake:      make(chan struct{}, 1),
@@ -402,6 +480,13 @@ func (s *Site) registerObs() {
 	reg.GaugeFunc("decaf_engine_calls_queue_depth", "pending event-loop calls", func() float64 { return float64(len(s.calls)) })
 	reg.GaugeFunc("decaf_engine_notifier_queue_depth", "pending view/user callbacks", func() float64 { return float64(s.notifier.depth()) })
 	reg.GaugeFunc("decaf_engine_commit_workers", "goroutines serving the sharded commit pipeline", func() float64 { return float64(s.workers) })
+	if s.wal != nil {
+		// wal.Stats reads atomics, so scrapes never touch the event loop.
+		reg.GaugeFunc("decaf_wal_records", "records in the write-ahead log", func() float64 { return float64(s.wal.Stats().Records) })
+		reg.GaugeFunc("decaf_wal_bytes", "bytes in the write-ahead log", func() float64 { return float64(s.wal.Stats().Bytes) })
+		reg.GaugeFunc("decaf_wal_segments", "segment files in the write-ahead log", func() float64 { return float64(s.wal.Stats().Segments) })
+		reg.GaugeFunc("decaf_wal_syncs", "fsyncs issued by the write-ahead log", func() float64 { return float64(s.wal.Stats().Syncs) })
+	}
 	s.obs.RegisterStateSource("engine", s.debugState)
 }
 
@@ -578,6 +663,24 @@ func (s *Site) PendingUndecided() int {
 	return n
 }
 
+// WaitingLocal reports how many locally originated transactions are
+// executed but still waiting for confirmations or RC dependencies at
+// this site. Tests and benchmarks that cut a site off from its peers
+// use it to observe that an optimistic transaction has actually sent
+// its (doomed) confirmation request and parked, rather than still
+// sitting in the submit queue. Returns 0 for a stopped site.
+func (s *Site) WaitingLocal() int {
+	n := 0
+	_ = s.call(func() {
+		for _, st := range s.txns {
+			if st.status == txnWaiting && st.origin == s.id {
+				n++
+			}
+		}
+	})
+	return n
+}
+
 // Stats returns a snapshot of the site's counters. It is a thin read
 // over the obs registry: the same counters serve Stats and /metrics.
 func (s *Site) Stats() Stats {
@@ -601,6 +704,12 @@ func (s *Site) Stats() Stats {
 		NotifyDropped:         s.stats.NotifyDropped.Value(),
 		FastpathCommits:       s.stats.FastpathCommits.Value(),
 		FastpathDemotions:     s.stats.FastpathDemotions.Value(),
+		FailoversParked:       s.stats.FailoversParked.Value(),
+		FailoversRun:          s.stats.FailoversRun.Value(),
+		SyncSessions:          s.stats.SyncSessions.Value(),
+		SyncRecordsShipped:    s.stats.SyncRecordsShipped.Value(),
+		SyncRecordsApplied:    s.stats.SyncRecordsApplied.Value(),
+		SyncResubmits:         s.stats.SyncResubmits.Value(),
 	}
 }
 
@@ -673,6 +782,14 @@ func (s *Site) beginBatch() {
 func (s *Site) endBatch(n int) {
 	s.flushWrites()
 	s.flushOutbox()
+	if s.wal != nil {
+		// Under SyncBatch the WAL amortizes one fsync per event batch;
+		// SyncAlways/SyncNever make this a no-op.
+		if err := s.wal.Sync(); err != nil {
+			s.stats.WALAppendErrors.Inc()
+			s.log.Warn("wal sync failed", "err", err)
+		}
+	}
 	s.stats.Batches.Inc()
 	s.stats.BatchEvents.Add(uint64(n))
 }
@@ -918,10 +1035,26 @@ func (s *Site) handleEvent(ev transport.Event) {
 		s.handleMessage(ev.From, ev.Msg)
 	case transport.EventSiteFailed:
 		s.flushWrites()
+		if s.disconnected[ev.Failed] {
+			// Offline mode (DESIGN.md §13): the peer is known to be
+			// disconnected, not failed. Park the failover instead of
+			// running §3.4 repair against a site that will come back
+			// with its optimistic tail intact.
+			s.parkFailure(ev.Failed)
+			return
+		}
+		s.stats.FailoversRun.Inc()
 		s.handleSiteFailure(ev.Failed)
 	case transport.EventSiteRecovered:
 		s.flushWrites()
+		s.unparkFailure(ev.Failed)
+		delete(s.disconnected, ev.Failed)
 		s.handleSiteRecovered(ev.Failed)
+		if s.wal != nil {
+			// Pull anything the reconnecting peer committed while we
+			// were apart; its own reconnect logic pulls our side.
+			s.startSync(ev.Failed)
+		}
 	}
 }
 
@@ -930,6 +1063,7 @@ func (s *Site) handleEvent(ev transport.Event) {
 // staged writes to land, preserving arrival order at the state level.
 func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
 	if m, ok := msg.(wire.Write); ok {
+		s.walLogWrite(m)
 		if s.stageWrite(from, m) {
 			return
 		}
@@ -950,6 +1084,9 @@ func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
 			// before this guard existed.
 			return
 		}
+		// Log after the duplicate guard so a replayed log never carries
+		// the same FastWrite twice (its ops are not idempotent).
+		s.walLogFastWrite(m)
 		s.flushWrites()
 		s.stats.SerialWrites.Inc()
 		s.handleFastWrite(from, m)
@@ -962,7 +1099,12 @@ func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
 	case wire.Confirm:
 		s.handleConfirm(m)
 	case wire.Outcome:
+		s.walLogOutcome(m)
 		s.handleOutcome(m)
+	case wire.SyncRequest:
+		s.handleSyncRequest(from, m)
+	case wire.SyncUpdates:
+		s.handleSyncUpdates(from, m)
 	case wire.JoinRequest:
 		s.handleJoinRequest(from, m)
 	case wire.PromoteQuery:

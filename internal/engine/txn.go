@@ -199,6 +199,13 @@ type txnState struct {
 	// update application (0 with timing disabled); remote commit latency
 	// is measured from it.
 	appliedWall int64
+
+	// sentMsgs retains the propagation messages sent per destination
+	// while the transaction waits (WAL-attached sites only): an
+	// anti-entropy session re-sends them so a transaction whose
+	// confirmations were lost in a partition still reaches its §3
+	// decision. Cleared once the transaction decides.
+	sentMsgs map[vtime.SiteID][]wire.Message
 }
 
 // Tx is the execution context handed to Txn.Execute. Model-object
@@ -641,6 +648,15 @@ func (s *Site) propagate(st *txnState) {
 		}
 	}
 
+	record := func(site vtime.SiteID, msg wire.Message) {
+		if s.wal == nil {
+			return
+		}
+		if st.sentMsgs == nil {
+			st.sentMsgs = map[vtime.SiteID][]wire.Message{}
+		}
+		st.sentMsgs[site] = append(st.sentMsgs[site], msg)
+	}
 	for _, site := range order {
 		m := out[site]
 		if len(m.updates) > 0 {
@@ -672,10 +688,13 @@ func (s *Site) propagate(st *txnState) {
 				}
 				s.trace(obs.EvPropagate, st.vt, site, detail)
 			}
+			record(site, msg)
 			s.send(site, msg)
 		} else if len(m.checks) > 0 {
 			s.trace(obs.EvPropagate, st.vt, site, "confirm")
-			s.send(site, wire.ConfirmRead{TxnVT: st.vt, Origin: s.id, Checks: m.checks})
+			cr := wire.ConfirmRead{TxnVT: st.vt, Origin: s.id, Checks: m.checks}
+			record(site, cr)
+			s.send(site, cr)
 		}
 	}
 }
@@ -884,6 +903,8 @@ func (s *Site) commitTxn(st *txnState) {
 	st.status = txnCommitted
 	s.outcomes[st.vt] = true
 	st.commitApplied()
+	s.walLocalCommit(st, true)
+	st.sentMsgs = nil
 	for _, site := range sortedSites(st.involved) {
 		if site != s.id {
 			s.send(site, wire.Outcome{TxnVT: st.vt, Committed: true})
@@ -927,6 +948,8 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 	s.log.Debug("abort", "txn", st.vt.String(), "reason", reason)
 	st.status = txnAborted
 	s.outcomes[st.vt] = false
+	s.walLocalAbort(st)
+	st.sentMsgs = nil
 	s.undoApplied(st)
 	s.releaseReservations(st)
 	for _, site := range sortedSites(st.involved) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"decaf/internal/engine"
 	"decaf/internal/transport"
 	"decaf/internal/vtime"
+	"decaf/internal/wal"
 	"decaf/internal/wire"
 )
 
@@ -119,6 +121,7 @@ type world struct {
 	steps   int
 	trace   strings.Builder
 	killed  vtime.SiteID
+	offline vtime.SiteID
 	pending []*pendingTxn
 }
 
@@ -162,6 +165,17 @@ func Run(p Profile, seed int64, inspect ...func(sites map[vtime.SiteID]*engine.S
 	})
 	defer w.net.Close()
 
+	// Offline runs give every site a WAL (anti-entropy ships from it)
+	// on scratch disk. SyncNever: the simulation studies interleavings,
+	// not fsync cost, and nothing crashes mid-run. File contents are a
+	// pure function of the deterministic schedule; paths never enter
+	// the trace.
+	var logs []*wal.Log
+	defer func() {
+		for _, l := range logs {
+			l.Close()
+		}
+	}()
 	for i := 1; i <= p.Sites; i++ {
 		id := vtime.SiteID(i)
 		ep, err := w.net.Endpoint(id)
@@ -169,7 +183,7 @@ func Run(p Profile, seed int64, inspect ...func(sites map[vtime.SiteID]*engine.S
 			res.Err = fmt.Errorf("sim: endpoint %d: %w", i, err)
 			return res
 		}
-		s := engine.NewSite(ep, engine.Options{
+		opts := engine.Options{
 			Scheduler:       w.clock,
 			RetryDelay:      p.RetryDelay,
 			MaxRetries:      p.MaxRetries,
@@ -177,7 +191,27 @@ func Run(p Profile, seed int64, inspect ...func(sites map[vtime.SiteID]*engine.S
 			// Pin the commit pipeline width: the default is GOMAXPROCS,
 			// which would make behavior machine-shaped.
 			CommitWorkers: 2,
-		})
+		}
+		if p.Offline {
+			dir, err := os.MkdirTemp("", "decaf-sim-wal-")
+			if err != nil {
+				res.Err = fmt.Errorf("sim: wal dir for S%d: %w", i, err)
+				return res
+			}
+			defer os.RemoveAll(dir)
+			l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+			if err != nil {
+				res.Err = fmt.Errorf("sim: wal for S%d: %w", i, err)
+				return res
+			}
+			logs = append(logs, l)
+			opts.WAL = l
+			// Longer than the outage (span/4 .. 3span/4), so the parked
+			// failover is released by the recovery report, exercising
+			// the cancel path — not by the grace deadline.
+			opts.OfflineGrace = p.Span
+		}
+		s := engine.NewSite(ep, opts)
 		s.Start()
 		w.sites[id] = s
 	}
@@ -225,6 +259,9 @@ func (w *world) traceDeliver(to vtime.SiteID, ev transport.Event) {
 			w.steps, w.clock.Now(), ev.From, to, msgName(ev.Msg), ev.SentAt)
 	case transport.EventSiteFailed:
 		fmt.Fprintf(&w.trace, "%5d %9s ->S%d SITE-FAILED S%d\n",
+			w.steps, w.clock.Now(), to, ev.Failed)
+	case transport.EventSiteRecovered:
+		fmt.Fprintf(&w.trace, "%5d %9s ->S%d SITE-RECOVERED S%d\n",
 			w.steps, w.clock.Now(), to, ev.Failed)
 	default:
 		fmt.Fprintf(&w.trace, "%5d %9s ->S%d event=%d\n",
@@ -476,6 +513,49 @@ func (w *world) scheduleFaults() {
 			w.net.Kill(victim) //decaf:ignore timers virtual clock configured; real-time branch unreachable
 		})
 	}
+	if p.Offline {
+		// A seed-chosen non-primary site goes weakly connected for the
+		// middle half of the schedule: partitioned from every peer and
+		// falsely suspected, but running the whole time. Site 1 stays
+		// out of the draw so every object's primary keeps deciding and
+		// the victim accumulates a genuine optimistic tail.
+		victim := vtime.SiteID(2 + w.rng.Intn(p.Sites-1))
+		w.clock.AfterFunc(p.Span/4, func() {
+			w.tracef("OFFLINE S%d", victim)
+			w.offline = victim
+			for i := 1; i <= p.Sites; i++ {
+				id := vtime.SiteID(i)
+				if id == victim {
+					continue
+				}
+				w.net.Partition(victim, id)
+				w.sites[id].SetPeerDisconnected(victim, true)
+				w.sites[victim].SetPeerDisconnected(id, true)
+			}
+			// Suspect's dispatch path statically reaches the real-timer
+			// memLink pump, but only on the clock==nil branch; the
+			// harness always injects the virtual clock.
+			//decaf:ignore wallclock virtual clock configured; real-time branch unreachable
+			w.net.Suspect(victim) //decaf:ignore timers virtual clock configured; real-time branch unreachable
+		})
+		w.clock.AfterFunc(3*p.Span/4, func() {
+			w.tracef("RECONNECT S%d", victim)
+			for i := 1; i <= p.Sites; i++ {
+				id := vtime.SiteID(i)
+				if id == victim {
+					continue
+				}
+				w.net.Heal(victim, id)
+				w.sites[id].SetPeerDisconnected(victim, false)
+				w.sites[victim].SetPeerDisconnected(id, false)
+			}
+			// The recovery report reaches every peer, which unparks the
+			// deferred failover and starts an anti-entropy session with
+			// the returning site.
+			//decaf:ignore wallclock virtual clock configured; real-time branch unreachable
+			w.net.Unsuspect(victim) //decaf:ignore timers virtual clock configured; real-time branch unreachable
+		})
+	}
 }
 
 // alive reports whether site survived the run.
@@ -564,6 +644,25 @@ func (w *world) check(refs map[string][]engine.ObjRef) error {
 		}
 	}
 
+	// 5. Offline runs (§13): a disconnected peer is not a failed one —
+	// every transport failure report must park, none may run §3.4
+	// failover, and at least one report must actually have parked
+	// (otherwise the scenario never exercised the suspicion policy).
+	if w.profile.Offline {
+		var parked uint64
+		for i := 1; i <= w.profile.Sites; i++ {
+			st := w.sites[vtime.SiteID(i)].Stats()
+			parked += st.FailoversParked
+			if st.FailoversRun != 0 {
+				problems = append(problems,
+					fmt.Sprintf("S%d: %d spurious failover(s) ran for the disconnected peer", i, st.FailoversRun))
+			}
+		}
+		if parked == 0 {
+			problems = append(problems, "offline: no failover was parked (suspicion never reached the engine)")
+		}
+	}
+
 	if len(problems) == 0 {
 		return nil
 	}
@@ -575,7 +674,7 @@ func (w *world) check(refs map[string][]engine.ObjRef) error {
 // fingerprint summarizes final committed state for replay comparison.
 func (w *world) fingerprint(refs map[string][]engine.ObjRef) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "steps=%d killed=S%d", w.steps, w.killed)
+	fmt.Fprintf(&b, "steps=%d killed=S%d offline=S%d", w.steps, w.killed, w.offline)
 	for _, name := range []string{"reg", "ctr", "lst"} {
 		for i := 1; i <= w.profile.Sites; i++ {
 			id := vtime.SiteID(i)

@@ -63,6 +63,15 @@ type Profile struct {
 	// DisableFastPath routes commutative transactions through the
 	// ordinary guess/confirm protocol.
 	DisableFastPath bool
+
+	// Offline takes one seed-chosen non-primary site weakly connected
+	// midway through the schedule: a silent partition from every peer
+	// plus a failure-detector false positive (Suspect), with the
+	// suspicion policy pre-warned via SetPeerDisconnected so the report
+	// parks instead of running §3.4 failover. The site reconnects at
+	// 3/4 span and anti-entropy syncs (DESIGN.md §13). Every site gets
+	// its own WAL; the run must converge with zero failovers run.
+	Offline bool
 }
 
 // withDefaults fills zero fields with workable values.
@@ -122,6 +131,16 @@ func Profiles() []Profile {
 			Duplicate: 0.10,
 			Ops:       30, Mix: Mix{Write: 1, Add: 5, List: 3},
 			Crash: true, Flap: true,
+		},
+		{
+			// Weakly connected operation (§13): one site goes silent
+			// mid-run — partitioned and suspected, but not crashed —
+			// then reconnects and anti-entropy syncs from its peers'
+			// WALs. Failover must park for the whole outage, never run.
+			Name: "offline", Sites: 3,
+			Latency: 5 * time.Millisecond, Jitter: 4 * time.Millisecond,
+			RetryDelay: 3 * time.Millisecond,
+			Ops:        24, Offline: true,
 		},
 		{
 			// Same fault menu with the fast path ablated: every

@@ -22,6 +22,11 @@ func TestSimReplay(t *testing.T) {
 		{"faulty", 11},
 		{"fastpath-faulty", 5},
 		{"nofast", 4},
+		// Weakly connected operation (§13): partition + false suspicion,
+		// reconnect, anti-entropy. Pins that the WAL/sync machinery is
+		// deterministic under the virtual clock.
+		{"offline", 6},
+		{"offline", 13},
 		// Regressions: seeds that found real engine bugs (DESIGN.md §12).
 		{"fastpath-faulty", 93}, // drainPending re-entrancy stack overflow
 		{"nofast", 107},         // duplicated Write re-folded into GC merge base

@@ -411,6 +411,43 @@ func (n *Network) Kill(site vtime.SiteID) {
 	}
 }
 
+// Suspect delivers an EventSiteFailed report for site to every other
+// live site WITHOUT killing it: the failure detector false-positives on
+// a silent partition (a weakly connected peer, DESIGN.md §13). The
+// suspected site keeps running and its links stay usable, subject to
+// any Partition in effect.
+func (n *Network) Suspect(site vtime.SiteID) {
+	n.notifyOthers(site, EventSiteFailed)
+}
+
+// Unsuspect delivers an EventSiteRecovered report for site to every
+// other live site: the suspicion was premature — the peer reconnected.
+func (n *Network) Unsuspect(site vtime.SiteID) {
+	n.notifyOthers(site, EventSiteRecovered)
+}
+
+// notifyOthers fans a control event about site out to every other live
+// site, in deterministic ID order (same reasoning as Kill).
+func (n *Network) notifyOthers(site vtime.SiteID, kind EventKind) {
+	n.mu.Lock()
+	if n.dead[site] || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	var others []vtime.SiteID
+	for s := range n.endpoints {
+		if s != site && !n.dead[s] {
+			others = append(others, s)
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
+	for _, s := range others {
+		ev := Event{Kind: kind, Failed: site}
+		n.dispatch(site, s, ev, n.latency(site, s))
+	}
+}
+
 // Alive reports whether site is attached and not killed.
 func (n *Network) Alive(site vtime.SiteID) bool {
 	n.mu.Lock()

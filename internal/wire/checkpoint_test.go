@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"decaf/internal/ids"
+	"decaf/internal/vtime"
+)
+
+func sampleCheckpoint() Checkpoint {
+	vt := vtime.VT{Time: 42, Site: 3}
+	return Checkpoint{
+		Site:    3,
+		NextSeq: 17,
+		Clock:   vtime.VT{Time: 99, Site: 3},
+		Seq:     5,
+		Floors:  []SyncFloor{{Site: 1, Time: 80}, {Site: 2, Time: 0}},
+		Objects: []CheckpointObject{
+			{
+				ID:      ids.ObjectID{Site: 1, Seq: 1},
+				Kind:    KindInt,
+				Desc:    "reg",
+				Value:   int64(7),
+				ValueVT: vt,
+				Graph:   sampleGraph(),
+				GraphVT: vt,
+			},
+			{
+				ID:   ids.ObjectID{Site: 1, Seq: 2},
+				Kind: KindTuple,
+				Desc: "tup",
+				Children: []CheckpointChild{
+					{Key: "name", InsertVT: vt, Kind: KindString, Value: "x", ValueVT: vt},
+					{Key: "inner", InsertVT: vt, Kind: KindList, Children: []CheckpointChild{
+						{Tag: ElemTag{VT: vt, N: 1}, InsertVT: vt, Kind: KindInt, Value: int64(1), ValueVT: vt},
+					}},
+				},
+			},
+		},
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	want := sampleCheckpoint()
+	b, err := EncodeCheckpoint(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCheckpoint(b) {
+		t.Fatal("encoded checkpoint not recognized by IsCheckpoint")
+	}
+	got, err := DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestCheckpointCodecDeterministic(t *testing.T) {
+	cp := sampleCheckpoint()
+	a, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("checkpoint encoding is not deterministic")
+	}
+}
+
+// TestCheckpointMagicDisjointFromGob pins the version-sniffing invariant:
+// a gob stream can never start with 0x00 (its leading message-length
+// uvarint is nonzero), so IsCheckpoint never misfires on a v1 checkpoint.
+func TestCheckpointMagicDisjointFromGob(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(struct{ X int }{1}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[0] == 0 {
+		t.Fatal("gob stream starts with 0x00; magic sniffing is unsound")
+	}
+	if IsCheckpoint(buf.Bytes()) {
+		t.Fatal("gob stream misidentified as v2 checkpoint")
+	}
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Fatal("DecodeCheckpoint(nil) should fail")
+	}
+}
+
+func TestCheckpointCorruptInput(t *testing.T) {
+	b, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(checkpointMagic); cut < len(b); cut += 3 {
+		if _, err := DecodeCheckpoint(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}

@@ -56,6 +56,8 @@ const (
 	tagCenWrite
 	tagCenEcho
 	tagFastWrite
+	tagSyncRequest
+	tagSyncUpdates
 
 	// tagGobMessage escapes to a gob-encoded message: a length-prefixed
 	// gob stream. Used only for message types the hand codec does not
@@ -131,6 +133,15 @@ func appendSites(b []byte, sites []vtime.SiteID) []byte {
 	b = binary.AppendUvarint(b, uint64(len(sites)))
 	for _, s := range sites {
 		b = appendSite(b, s)
+	}
+	return b
+}
+
+func appendSyncFloors(b []byte, floors []SyncFloor) []byte {
+	b = binary.AppendUvarint(b, uint64(len(floors)))
+	for _, f := range floors {
+		b = appendSite(b, f.Site)
+		b = binary.AppendUvarint(b, f.Time)
 	}
 	return b
 }
@@ -386,6 +397,23 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 			if b, err = appendUpdate(b, u); err != nil {
 				return b, err
 			}
+		}
+		return b, nil
+	case SyncRequest:
+		b = append(b, tagSyncRequest)
+		b = appendSite(b, m.From)
+		b = binary.AppendUvarint(b, m.ReqID)
+		return appendSyncFloors(b, m.Floors), nil
+	case SyncUpdates:
+		b = append(b, tagSyncUpdates)
+		b = appendSite(b, m.From)
+		b = binary.AppendUvarint(b, m.ReqID)
+		b = appendBool(b, m.WantReply)
+		b = appendSyncFloors(b, m.Floors)
+		b = binary.AppendUvarint(b, uint64(len(m.Records)))
+		for _, rec := range m.Records {
+			b = binary.AppendUvarint(b, uint64(len(rec)))
+			b = append(b, rec...)
 		}
 		return b, nil
 	case ConfirmRead:
@@ -651,6 +679,37 @@ func (r *reader) sites() []vtime.SiteID {
 	return out
 }
 
+func (r *reader) syncFloors() []SyncFloor {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]SyncFloor, n)
+	for i := range out {
+		out[i] = SyncFloor{Site: r.site(), Time: r.uvarint()}
+	}
+	return out
+}
+
+// byteSlices reads a count-prefixed list of length-prefixed byte blobs
+// (anti-entropy record transfer). Each blob copies out of the input.
+func (r *reader) byteSlices() [][]byte {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		ln := r.count()
+		blob := r.bytes_(ln)
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, append([]byte(nil), blob...))
+	}
+	return out
+}
+
 func (r *reader) vts() []vtime.VT {
 	n := r.count()
 	if n == 0 {
@@ -892,6 +951,13 @@ func DecodeMessage(b []byte) (Message, int, error) {
 			}
 		}
 		m = w
+	case tagSyncRequest:
+		m = SyncRequest{From: r.site(), ReqID: r.uvarint(), Floors: r.syncFloors()}
+	case tagSyncUpdates:
+		m = SyncUpdates{
+			From: r.site(), ReqID: r.uvarint(), WantReply: r.bool_(),
+			Floors: r.syncFloors(), Records: r.byteSlices(),
+		}
 	case tagConfirmRead:
 		m = ConfirmRead{TxnVT: r.vt(), Origin: r.site(), ReqID: r.uvarint(), Checks: r.checks()}
 	case tagConfirm:

@@ -246,7 +246,7 @@ func (g *gen) update() Update {
 
 // message produces a random instance of the i-th message type.
 func (g *gen) message(i int) Message {
-	switch i % 19 {
+	switch i % 21 {
 	case 0:
 		w := Write{TxnVT: g.vt(), Origin: g.site(), NeedsConfirm: g.rng.Intn(2) == 0, Checks: g.checks()}
 		for j := 0; j < 1+g.rng.Intn(4); j++ {
@@ -299,6 +299,11 @@ func (g *gen) message(i int) Message {
 		return CenWrite{Seq: g.rng.Uint64(), From: g.site(), Name: g.str(), Value: g.scalar()}
 	case 17:
 		return CenEcho{Seq: g.rng.Uint64(), Name: g.str(), Value: g.scalar()}
+	case 18:
+		return SyncRequest{From: g.site(), ReqID: g.rng.Uint64(), Floors: g.syncFloors()}
+	case 19:
+		return SyncUpdates{From: g.site(), ReqID: g.rng.Uint64(),
+			WantReply: g.rng.Intn(2) == 0, Floors: g.syncFloors(), Records: g.blobs()}
 	default:
 		w := FastWrite{TxnVT: g.vt(), Origin: g.site()}
 		for j := 0; j < 1+g.rng.Intn(4); j++ {
@@ -306,6 +311,33 @@ func (g *gen) message(i int) Message {
 		}
 		return w
 	}
+}
+
+func (g *gen) syncFloors() []SyncFloor {
+	n := g.rng.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]SyncFloor, n)
+	for i := range out {
+		out[i] = SyncFloor{Site: g.site(), Time: g.rng.Uint64() >> g.rng.Intn(40)}
+	}
+	return out
+}
+
+func (g *gen) blobs() [][]byte {
+	n := g.rng.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		// Records are wire-encoded messages, never empty in practice.
+		blob := make([]byte, 1+g.rng.Intn(31))
+		g.rng.Read(blob)
+		out[i] = blob
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -317,7 +349,7 @@ func (g *gen) message(i int) Message {
 func TestBinaryCodecDifferential(t *testing.T) {
 	g := &gen{rng: rand.New(rand.NewSource(7))}
 	const perType = 50
-	for i := 0; i < 19*perType; i++ {
+	for i := 0; i < 21*perType; i++ {
 		m := g.message(i)
 		want := gobRoundTrip(t, m)
 		got := binRoundTrip(t, m)
@@ -382,6 +414,10 @@ func TestBinaryCodecFixedMessages(t *testing.T) {
 		GVTToken{Round: 8, Min: vt, MinValid: true, GVT: vtime.VT{Time: 90, Site: 1}},
 		CenWrite{Seq: 11, From: 2, Name: "y", Value: 2.5},
 		CenEcho{Seq: 11, Name: "y", Value: 2.5},
+		SyncRequest{From: 4, ReqID: 12, Floors: []SyncFloor{{Site: 1, Time: 50}, {Site: 2, Time: 0}}},
+		SyncUpdates{From: 1, ReqID: 12, WantReply: true,
+			Floors:  []SyncFloor{{Site: 4, Time: 9}},
+			Records: [][]byte{{1, 2, 3}, {0xFF}}},
 	}
 	for _, m := range msgs {
 		t.Run(m.Kind()+"/"+reflect.TypeOf(m).Name(), func(t *testing.T) {

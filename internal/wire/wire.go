@@ -369,6 +369,48 @@ func (FastWrite) isMessage() {}
 // Kind implements Message.
 func (FastWrite) Kind() string { return "FAST-WRITE" }
 
+// SyncFloor names the highest transaction time a site holds, contiguously,
+// from a given origin. "Contiguous" is the load-bearing word: a site may
+// have received later updates from that origin directly, but it only
+// advances the floor when an anti-entropy session proves there is no gap
+// below them (DESIGN.md §13).
+type SyncFloor struct {
+	Site vtime.SiteID
+	Time uint64
+}
+
+// SyncRequest opens a pairwise anti-entropy session (DESIGN.md §13): the
+// requester advertises its version floors and asks the peer for every
+// logged update above them.
+type SyncRequest struct {
+	From   vtime.SiteID
+	ReqID  uint64
+	Floors []SyncFloor
+}
+
+func (SyncRequest) isMessage() {}
+
+// Kind implements Message.
+func (SyncRequest) Kind() string { return "SYNC-REQUEST" }
+
+// SyncUpdates ships the missing updates of an anti-entropy session:
+// wire-encoded Write/FastWrite/Outcome messages (already remapped into the
+// receiver's object-ID namespace), in shipping order — outcomes first, then
+// data records in log order. Floors are the sender's own floors so the
+// receiver can reply with the reverse leg when WantReply is set.
+type SyncUpdates struct {
+	From      vtime.SiteID
+	ReqID     uint64
+	WantReply bool
+	Floors    []SyncFloor
+	Records   [][]byte
+}
+
+func (SyncUpdates) isMessage() {}
+
+// Kind implements Message.
+func (SyncUpdates) Kind() string { return "SYNC-UPDATES" }
+
 // ConfirmRead asks a primary site to validate RL guesses for objects that
 // were read but not written — by a transaction (paper §3.1) or by a view
 // snapshot (paper §4). ReqID routes the Confirm back to the right waiter.
@@ -610,6 +652,8 @@ func RegisterGob() {
 	gob.Register(RepairPropose{})
 	gob.Register(RepairAck{})
 	gob.Register(RepairDecide{})
+	gob.Register(SyncRequest{})
+	gob.Register(SyncUpdates{})
 
 	gob.Register(OpSet{})
 	gob.Register(OpAdd{})
