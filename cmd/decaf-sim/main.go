@@ -58,7 +58,7 @@ func runReplay(name string, seed int64) int {
 	}
 	r := sim.Run(p, seed)
 	fmt.Print(r.Trace)
-	fmt.Printf("steps=%d killed=S%d\n", r.Steps, r.Killed)
+	fmt.Printf("steps=%d killed=%s\n", r.Steps, sim.KilledLabel(r.Killed))
 	fmt.Printf("fingerprint: %s\n", r.Fingerprint)
 	if r.Err != nil {
 		fmt.Printf("FAIL: %v\n", r.Err)
@@ -175,7 +175,7 @@ func writeArtifact(dir string, r sim.Result) error {
 	}
 	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.trace", r.Profile, r.Seed))
 	var b strings.Builder
-	fmt.Fprintf(&b, "profile=%s seed=%d steps=%d killed=S%d\n", r.Profile, r.Seed, r.Steps, r.Killed)
+	fmt.Fprintf(&b, "profile=%s seed=%d steps=%d killed=%s\n", r.Profile, r.Seed, r.Steps, sim.KilledLabel(r.Killed))
 	fmt.Fprintf(&b, "error: %v\n", r.Err)
 	fmt.Fprintf(&b, "fingerprint: %s\n", r.Fingerprint)
 	fmt.Fprintf(&b, "replay: go run ./cmd/decaf-sim -replay -profile %s -seed %d\n\n", r.Profile, r.Seed)

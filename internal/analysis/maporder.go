@@ -16,6 +16,7 @@ import (
 // contract and byte-identical persistence.
 var DefaultOrderSensitive = []string{
 	"internal/engine",
+	"internal/consensus",
 	"internal/history",
 	"internal/gvt",
 	"internal/vtime",

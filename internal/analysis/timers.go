@@ -16,6 +16,7 @@ package analysis
 // REPLAY, which needs the schedule itself under the virtual clock.
 var DefaultTimerFree = []string{
 	"internal/engine",
+	"internal/consensus",
 	"internal/history",
 	"internal/gvt",
 	"internal/vtime",

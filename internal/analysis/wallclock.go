@@ -23,6 +23,7 @@ import (
 // wholesale.
 var DefaultDeterministic = []string{
 	"internal/engine",
+	"internal/consensus",
 	"internal/history",
 	"internal/gvt",
 	"internal/vtime",

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
+	"decaf/internal/consensus"
 	"decaf/internal/history"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
@@ -22,8 +24,37 @@ import (
 //     primary survives, it coordinates an ordinary timestamped graph
 //     update. When the primary itself failed, the circularity (a primary
 //     is a function of the graph, but committing the new graph needs a
-//     primary) is broken by a consensus round among survivors, led by the
-//     lowest surviving site.
+//     primary) is broken by a consensus round among survivors.
+//
+// The consensus round is a single-decree Paxos instance per failed site
+// (internal/consensus, DESIGN.md §14). Its member set is the pre-failure
+// graph membership minus the failed site — NOT filtered by this site's
+// local failure suspicions, so every survivor derives the same members
+// and the same majority quorum even when their `failed` sets diverge.
+// That quorum is what prevents split-brain: two sites that each believe
+// they are the lowest survivor still propose to the same member set, and
+// at most one value can be chosen. Any survivor can take over a stalled
+// repair with a higher ballot (rank-staggered takeover timers), which is
+// what fixes the coordinator-death stall of the old epoch protocol. The
+// decided value carries the resolved outcomes of the failed originator's
+// in-flight transactions, so parked retries resume exactly once.
+
+// Repair timing. All delays route through the injectable Scheduler so
+// the deterministic simulator explores them as virtual-clock events.
+const (
+	// repairTakeoverDelay is the base delay before a non-proposing
+	// member takes over a repair that has not decided; it is staggered
+	// by member rank so survivors probe in a fixed order instead of
+	// dueling.
+	repairTakeoverDelay = 250 * time.Millisecond
+	// repairRetryDelay is the base backoff before a proposer retries a
+	// stalled or preempted attempt at a higher ballot.
+	repairRetryDelay = 100 * time.Millisecond
+	// repairGraceDelay is how long a proposer holding a promise quorum
+	// waits for straggler promises (whose KnownCommitted sets piggyback
+	// commit knowledge) before sending the Accept round.
+	repairGraceDelay = 25 * time.Millisecond
+)
 
 // queryState tracks an outstanding commit-query for one orphaned
 // transaction.
@@ -33,8 +64,40 @@ type queryState struct {
 	committed bool
 }
 
-// repairState tracks one in-flight graph repair (keyed by failed site).
+// repairState tracks one in-flight consensus-backed graph repair (keyed
+// by failed site).
 type repairState struct {
+	failed vtime.SiteID
+	inst   *consensus.Instance[wire.RepairValue]
+	// commitKnown accumulates the union of every member's known COMMIT
+	// outcomes for the failed site's in-flight transactions (merged from
+	// RepairPromise piggybacks); the proposal commits exactly this set.
+	commitKnown map[vtime.VT]bool
+	// attempts counts proposal attempts (for retry backoff).
+	attempts int
+	// acceptSent dedupes the phase-2 trigger (quorum edge, grace timer,
+	// and the all-live-promised early exit can all fire).
+	acceptSent  bool
+	cancelTimer func()
+	cancelGrace func()
+}
+
+// cancelTimers stops the retry/takeover and grace timers, if armed.
+func (rs *repairState) cancelTimers() {
+	if rs.cancelTimer != nil {
+		rs.cancelTimer()
+		rs.cancelTimer = nil
+	}
+	if rs.cancelGrace != nil {
+		rs.cancelGrace()
+		rs.cancelGrace = nil
+	}
+}
+
+// legacyRepairState tracks an epoch-based repair coordinated by an
+// old-protocol peer (wire compatibility; this engine no longer initiates
+// them).
+type legacyRepairState struct {
 	epoch       uint64
 	failed      vtime.SiteID
 	coordinator vtime.SiteID
@@ -67,6 +130,18 @@ func (s *Site) handleSiteFailure(f vtime.SiteID) {
 			s.startCommitQuery(vt, st)
 		}
 	}
+	// (1b) Prune the newly failed site from every outstanding
+	// commit-query's waiting set — it will never answer, and a query
+	// left waiting on it hangs forever (which also wedges quiescence:
+	// PendingUndecided never reaches zero).
+	for _, vt := range sortedVTs(s.commitQueries) {
+		q, ok := s.commitQueries[vt]
+		if !ok || !q.waiting[f] {
+			continue
+		}
+		delete(q.waiting, f)
+		s.maybeFinishCommitQuery(vt, q)
+	}
 	// (2) Abort local transactions waiting on the failed site.
 	for _, vt := range sortedVTs(s.txns) {
 		st := s.txns[vt]
@@ -80,19 +155,46 @@ func (s *Site) handleSiteFailure(f vtime.SiteID) {
 	}
 	// (3) Repair replication graphs containing the failed site.
 	s.repairGraphsFor(f)
+	// (4) If the failed site was the expected proposer of some other
+	// in-flight repair, the lowest remaining live member takes over
+	// immediately instead of waiting out its takeover timer.
+	for _, rf := range sortedSites(s.repairs) {
+		rs, ok := s.repairs[rf]
+		if !ok {
+			continue
+		}
+		if _, done := rs.inst.Decided(); done {
+			continue
+		}
+		if s.lowestLiveMember(rs.inst.Members()) == s.id && !rs.inst.Proposing() {
+			s.repairPropose(rs)
+		}
+	}
 }
 
 // handleSiteRecovered reacts to the transport re-establishing contact
 // with a previously suspected site: the engine stops treating it as
 // dead so traffic flows again. Any §3.4 failover already performed
 // (aborts, graph repair) stands — the recovered site must rejoin
-// objects it was repaired out of, exactly like a restarted site.
+// objects it was repaired out of, exactly like a restarted site. All
+// repair state keyed by the recovered site is dropped, so a later
+// failure of the same site starts a fresh consensus instance.
 func (s *Site) handleSiteRecovered(f vtime.SiteID) {
 	if !s.failed[f] {
 		return
 	}
 	delete(s.failed, f)
+	if rs, ok := s.repairs[f]; ok {
+		rs.cancelTimers()
+		delete(s.repairs, f)
+	}
+	delete(s.legacyRepairs, f)
+	delete(s.repairDecided, f)
 	s.log.Info("site recovered", "site", f.String())
+	// Retries parked against the recovered primary can run again (if a
+	// different failure still blocks them they re-park on the next
+	// abort).
+	s.unparkRetries()
 }
 
 // startCommitQuery polls survivors for knowledge of an orphaned
@@ -115,12 +217,35 @@ func (s *Site) startCommitQuery(vt vtime.VT, st *txnState) {
 	if len(waiting) == 0 {
 		// No one else to ask: no COMMIT can exist (the origin died
 		// before distributing one we'd have seen); abort.
-		s.handleOutcome(wire.Outcome{TxnVT: vt, Committed: false})
+		s.decideOrphan(vt, false)
 		return
 	}
 	s.commitQueries[vt] = &queryState{st: st, waiting: waiting}
 	for _, site := range sortedSites(waiting) {
 		s.send(site, wire.CommitQuery{TxnVT: vt, From: s.id})
+	}
+}
+
+// decideOrphan settles one orphaned transaction with an explicit,
+// WAL-logged outcome (the record makes crash recovery uniform: replay
+// sees the decision like any other).
+func (s *Site) decideOrphan(vt vtime.VT, committed bool) {
+	delete(s.commitQueries, vt)
+	out := wire.Outcome{TxnVT: vt, Committed: committed}
+	s.walLogOutcome(out)
+	s.handleOutcome(out)
+}
+
+// maybeFinishCommitQuery completes a query whose waiting set shrank:
+// commit if any survivor saw a COMMIT, abort once no survivor is left
+// to ask.
+func (s *Site) maybeFinishCommitQuery(vt vtime.VT, q *queryState) {
+	if q.committed {
+		s.decideOrphan(vt, true)
+		return
+	}
+	if len(q.waiting) == 0 {
+		s.decideOrphan(vt, false)
 	}
 }
 
@@ -138,24 +263,15 @@ func (s *Site) handleCommitQueryReply(m wire.CommitQueryReply) {
 		return
 	}
 	delete(q.waiting, m.From)
+	if m.Known && !m.Committed {
+		// A known abort decides immediately.
+		s.decideOrphan(m.TxnVT, false)
+		return
+	}
 	if m.Known && m.Committed {
 		q.committed = true
 	}
-	if m.Known && !m.Committed {
-		// A known abort decides immediately.
-		delete(s.commitQueries, m.TxnVT)
-		s.handleOutcome(wire.Outcome{TxnVT: m.TxnVT, Committed: false})
-		return
-	}
-	if q.committed {
-		delete(s.commitQueries, m.TxnVT)
-		s.handleOutcome(wire.Outcome{TxnVT: m.TxnVT, Committed: true})
-		return
-	}
-	if len(q.waiting) == 0 {
-		delete(s.commitQueries, m.TxnVT)
-		s.handleOutcome(wire.Outcome{TxnVT: m.TxnVT, Committed: false})
-	}
+	s.maybeFinishCommitQuery(m.TxnVT, q)
 }
 
 // repairGraphsFor drops the failed site from every affected local
@@ -178,8 +294,12 @@ func (s *Site) repairGraphsFor(f vtime.SiteID) {
 			if consensusSites == nil {
 				consensusSites = map[vtime.SiteID]bool{}
 			}
+			// Member set: the PRE-FAILURE graph membership minus the
+			// failed site, deliberately NOT filtered by s.failed. Local
+			// suspicions diverge across survivors; the member set (and
+			// with it the quorum) must not.
 			for _, site := range o.graph.Sites() {
-				if site != f && !s.failed[site] {
+				if site != f {
 					consensusSites[site] = true
 				}
 			}
@@ -208,84 +328,519 @@ func (s *Site) repairGraphsFor(f vtime.SiteID) {
 	if !needConsensus {
 		return
 	}
-	// Consensus repair: the lowest surviving site coordinates.
-	sites := sortedSites(consensusSites)
-	if len(sites) == 0 || sites[0] != s.id {
-		return // another survivor coordinates
-	}
-	s.startRepair(f, sites)
+	s.startConsensusRepair(f, sortedSites(consensusSites))
 }
 
 // RemoveSiteDryRun is declared in repgraph; see graph_dryrun.go for the
 // engine-side helper.
 
-// startRepair begins (or restarts) the survivor consensus for graphs
-// whose primary site failed.
-func (s *Site) startRepair(f vtime.SiteID, survivors []vtime.SiteID) {
-	prev := s.repairs[f]
-	epoch := uint64(1)
-	if prev != nil {
-		epoch = prev.epoch + 1
+// startConsensusRepair creates the consensus instance for repairing f's
+// graphs (idempotent). The lowest live member proposes immediately;
+// everyone else arms a rank-staggered takeover timer so a dead or
+// stalled proposer cannot wedge the repair.
+func (s *Site) startConsensusRepair(f vtime.SiteID, members []vtime.SiteID) {
+	if _, done := s.repairDecided[f]; done {
+		return
+	}
+	if s.repairs[f] != nil {
+		return
 	}
 	rs := &repairState{
-		epoch:       epoch,
 		failed:      f,
-		coordinator: s.id,
-		graphVT:     s.clock.Next(),
-		survivors:   survivors,
-		acks:        map[vtime.SiteID]bool{},
-		commitSet:   map[vtime.VT]bool{},
+		inst:        consensus.New[wire.RepairValue](s.id, members),
+		commitKnown: map[vtime.VT]bool{},
+	}
+	for _, vt := range s.knownCommitsFor(f) {
+		rs.commitKnown[vt] = true
 	}
 	s.repairs[f] = rs
-	s.log.Debug("startRepair", "failed", f.String(), "epoch", epoch, "survivors", fmt.Sprint(survivors))
-	for _, site := range survivors {
-		s.send(site, wire.RepairPropose{
-			Epoch:      epoch,
-			FailedSite: f,
-			From:       s.id,
-			GraphVT:    rs.graphVT,
-			Survivors:  survivors,
+	s.log.Debug("repair instance", "failed", f.String(), "members", fmt.Sprint(rs.inst.Members()), "quorum", rs.inst.Quorum())
+	if s.lowestLiveMember(rs.inst.Members()) == s.id {
+		s.repairPropose(rs)
+		return
+	}
+	s.armRepairTimer(rs, s.repairTakeoverDelayFor(rs))
+}
+
+// ensureRepair returns the repair instance for f, instantiating an
+// acceptor from a message's member list when this site has not yet run
+// its own failure handling for f. The takeover timer is armed so even a
+// pure acceptor eventually drives the repair if the proposer dies.
+func (s *Site) ensureRepair(f vtime.SiteID, members []vtime.SiteID) *repairState {
+	if rs := s.repairs[f]; rs != nil {
+		return rs
+	}
+	rs := &repairState{
+		failed:      f,
+		inst:        consensus.New[wire.RepairValue](s.id, members),
+		commitKnown: map[vtime.VT]bool{},
+	}
+	for _, vt := range s.knownCommitsFor(f) {
+		rs.commitKnown[vt] = true
+	}
+	s.repairs[f] = rs
+	s.armRepairTimer(rs, s.repairTakeoverDelayFor(rs))
+	return rs
+}
+
+// knownCommitsFor lists (VT-sorted) the committed outcomes this site
+// knows for transactions originated at f.
+func (s *Site) knownCommitsFor(f vtime.SiteID) []vtime.VT {
+	var known []vtime.VT
+	for _, vt := range sortedVTs(s.outcomes) {
+		if s.outcomes[vt] && vt.Site == f {
+			known = append(known, vt)
+		}
+	}
+	return known
+}
+
+// lowestLiveMember returns the first member this site does not suspect
+// failed (0 if none) — the member expected to propose first.
+func (s *Site) lowestLiveMember(members []vtime.SiteID) vtime.SiteID {
+	for _, m := range members {
+		if !s.failed[m] {
+			return m
+		}
+	}
+	return 0
+}
+
+// repairRank is this site's index in the (sorted) member set.
+func (s *Site) repairRank(rs *repairState) int {
+	for i, m := range rs.inst.Members() {
+		if m == s.id {
+			return i
+		}
+	}
+	return len(rs.inst.Members())
+}
+
+// repairTakeoverDelayFor staggers takeover by member rank: lower-ranked
+// survivors move first, so concurrent takeovers (and the ballot duels
+// they cause) only happen when the schedule actually separates members.
+func (s *Site) repairTakeoverDelayFor(rs *repairState) time.Duration {
+	return repairTakeoverDelay * time.Duration(1+s.repairRank(rs))
+}
+
+// repairRetryDelayFor backs a proposer off after a stalled or preempted
+// attempt, scaled by both attempt count and rank so two survivors that
+// each believe they lead eventually desynchronize.
+func (s *Site) repairRetryDelayFor(rs *repairState) time.Duration {
+	return repairRetryDelay * time.Duration(1+rs.attempts) * time.Duration(1+s.repairRank(rs))
+}
+
+// armRepairTimer (re)arms the retry/takeover timer. The callback posts
+// into the event loop and no-ops if the repair instance was replaced or
+// decided in the meantime.
+func (s *Site) armRepairTimer(rs *repairState, d time.Duration) {
+	if rs.cancelTimer != nil {
+		rs.cancelTimer()
+		rs.cancelTimer = nil
+	}
+	if s.repairs[rs.failed] != rs {
+		return
+	}
+	if _, done := rs.inst.Decided(); done {
+		return
+	}
+	f := rs.failed
+	rs.cancelTimer = s.opts.Scheduler.AfterFunc(d, func() {
+		s.do(func() { s.repairTimerFired(f, rs) })
+	})
+}
+
+// repairTimerFired drives a repair that has not decided: take over (or
+// retry) with a fresh, higher ballot.
+func (s *Site) repairTimerFired(f vtime.SiteID, rs *repairState) {
+	if s.repairs[f] != rs {
+		return
+	}
+	if _, done := rs.inst.Decided(); done {
+		return
+	}
+	rs.attempts++
+	if rs.inst.Proposing() {
+		// Our own attempt stalled: some member never answered (lost
+		// message, or dead and not yet suspected locally).
+		s.stats.RepairQuorumFailures.Inc()
+	}
+	s.repairPropose(rs)
+}
+
+// repairPropose starts (or restarts) a proposal attempt for rs at a
+// ballot above everything observed, and re-arms the retry timer.
+func (s *Site) repairPropose(rs *repairState) {
+	rs.acceptSent = false
+	if rs.cancelGrace != nil {
+		rs.cancelGrace()
+		rs.cancelGrace = nil
+	}
+	s.stats.RepairBallots.Inc()
+	sends := rs.inst.Propose()
+	if sends == nil {
+		return // already decided
+	}
+	s.log.Debug("repair propose", "failed", rs.failed.String(), "ballot", rs.inst.Ballot().String())
+	for _, sd := range sends {
+		s.sendRepairMsg(rs, sd.To, sd.Msg)
+	}
+	// Self-loopback sends above re-enter the handlers synchronously and
+	// may already have decided a single-member instance.
+	s.armRepairTimer(rs, s.repairRetryDelayFor(rs))
+}
+
+// sendRepairMsg translates one kernel message into its wire form and
+// sends it. Promise grants piggyback this site's known COMMIT outcomes
+// for the failed site's in-flight transactions; Prepare and Accept carry
+// the member set so receivers can instantiate identical acceptors.
+func (s *Site) sendRepairMsg(rs *repairState, to vtime.SiteID, m consensus.Msg[wire.RepairValue]) {
+	f := rs.failed
+	switch m.Kind {
+	case consensus.Prepare:
+		s.send(to, wire.RepairPrepare{FailedSite: f, From: s.id, Ballot: m.Ballot, Members: rs.inst.Members()})
+	case consensus.Promise:
+		s.send(to, wire.RepairPromise{
+			FailedSite:     f,
+			From:           s.id,
+			Ballot:         m.Ballot,
+			OK:             m.OK,
+			Promised:       m.Promised,
+			HasAccepted:    m.HasAccepted,
+			AcceptedBallot: m.AcceptedBallot,
+			Accepted:       m.Value,
+			KnownCommitted: s.knownCommitsFor(f),
 		})
+	case consensus.Accept:
+		s.send(to, wire.RepairAccept{FailedSite: f, From: s.id, Ballot: m.Ballot, Value: m.Value, Members: rs.inst.Members()})
+	case consensus.Accepted:
+		s.send(to, wire.RepairAccepted{FailedSite: f, From: s.id, Ballot: m.Ballot, OK: m.OK, Promised: m.Promised})
+	case consensus.Learn:
+		s.send(to, wire.RepairLearn{FailedSite: f, From: s.id, Ballot: m.Ballot, Value: m.Value})
 	}
 }
 
-// handleRepairPropose answers a repair proposal with the outcomes this
-// site knows for transactions involving the failed site.
+// stepRepair applies one kernel step: send its messages, then react to
+// the state transition it reports.
+func (s *Site) stepRepair(rs *repairState, st consensus.Step[wire.RepairValue]) {
+	for _, sd := range st.Sends {
+		s.sendRepairMsg(rs, sd.To, sd.Msg)
+	}
+	if st.Decided {
+		s.finishRepair(rs)
+		return
+	}
+	if st.Preempted {
+		// A member is promised to a higher ballot: another survivor took
+		// over. Back off and retry in case the new leader also dies.
+		s.stats.RepairQuorumFailures.Inc()
+		rs.acceptSent = false
+		if rs.cancelGrace != nil {
+			rs.cancelGrace()
+			rs.cancelGrace = nil
+		}
+		rs.attempts++
+		s.armRepairTimer(rs, s.repairRetryDelayFor(rs))
+		return
+	}
+	if st.PromiseQuorum {
+		if s.allLivePromised(rs) {
+			s.repairAccept(rs)
+			return
+		}
+		// Quorum reached but stragglers remain: give their promises (and
+		// the commit knowledge piggybacked on them) a short grace.
+		s.armRepairGrace(rs)
+	}
+}
+
+// allLivePromised reports whether every member this site believes alive
+// has promised the current attempt.
+func (s *Site) allLivePromised(rs *repairState) bool {
+	for _, m := range rs.inst.Members() {
+		if !s.failed[m] && !rs.inst.Promised(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// armRepairGrace arms the phase-2 grace timer (once per attempt).
+func (s *Site) armRepairGrace(rs *repairState) {
+	if rs.cancelGrace != nil {
+		return
+	}
+	f := rs.failed
+	rs.cancelGrace = s.opts.Scheduler.AfterFunc(repairGraceDelay, func() {
+		s.do(func() {
+			if s.repairs[f] != rs {
+				return
+			}
+			rs.cancelGrace = nil
+			s.repairAccept(rs)
+		})
+	})
+}
+
+// repairAccept moves the current attempt to phase 2 with this site's
+// proposal: drop f, keep the live members, commit exactly the union of
+// COMMIT outcomes gathered from the promise quorum. If a promise carried
+// a previously accepted value, the kernel adopts that instead (Paxos
+// safety — a possibly chosen value is never overwritten).
+func (s *Site) repairAccept(rs *repairState) {
+	if rs.acceptSent {
+		return
+	}
+	if _, done := rs.inst.Decided(); done {
+		return
+	}
+	if s.repairs[rs.failed] != rs {
+		return
+	}
+	var live []vtime.SiteID
+	for _, m := range rs.inst.Members() {
+		if !s.failed[m] {
+			live = append(live, m)
+		}
+	}
+	v := wire.RepairValue{
+		FailedSite: rs.failed,
+		GraphVT:    s.clock.Next(),
+		Survivors:  live,
+		Commit:     sortedVTs(rs.commitKnown),
+	}
+	sends := rs.inst.AcceptValue(v)
+	if sends == nil {
+		return
+	}
+	rs.acceptSent = true
+	if rs.cancelGrace != nil {
+		rs.cancelGrace()
+		rs.cancelGrace = nil
+	}
+	for _, sd := range sends {
+		s.sendRepairMsg(rs, sd.To, sd.Msg)
+	}
+}
+
+// handleRepairPrepare is consensus phase 1a at an acceptor.
+func (s *Site) handleRepairPrepare(m wire.RepairPrepare) {
+	if v, ok := s.repairDecided[m.FailedSite]; ok {
+		// Already decided here: short-circuit the late proposer.
+		s.send(m.From, wire.RepairLearn{FailedSite: m.FailedSite, From: s.id, Value: v})
+		return
+	}
+	rs := s.ensureRepair(m.FailedSite, m.Members)
+	s.stepRepair(rs, rs.inst.Handle(m.From, consensus.Msg[wire.RepairValue]{
+		Kind:   consensus.Prepare,
+		Ballot: m.Ballot,
+	}))
+}
+
+// handleRepairPromise is consensus phase 1b at the proposer. The
+// piggybacked KnownCommitted set is merged BEFORE the kernel step, so a
+// quorum-completing promise's knowledge is already folded into the
+// proposal built on the quorum edge.
+func (s *Site) handleRepairPromise(m wire.RepairPromise) {
+	rs := s.repairs[m.FailedSite]
+	if rs == nil {
+		return
+	}
+	for _, vt := range m.KnownCommitted {
+		rs.commitKnown[vt] = true
+	}
+	s.stepRepair(rs, rs.inst.Handle(m.From, consensus.Msg[wire.RepairValue]{
+		Kind:           consensus.Promise,
+		Ballot:         m.Ballot,
+		OK:             m.OK,
+		Promised:       m.Promised,
+		HasAccepted:    m.HasAccepted,
+		AcceptedBallot: m.AcceptedBallot,
+		Value:          m.Accepted,
+	}))
+	// A straggler promise after the quorum edge: once every live member
+	// has promised there is nothing to wait for — cut the grace short.
+	if s.repairs[m.FailedSite] == rs && rs.inst.Proposing() && !rs.acceptSent &&
+		rs.inst.HasPromiseQuorum() && s.allLivePromised(rs) {
+		s.repairAccept(rs)
+	}
+}
+
+// handleRepairAccept is consensus phase 2a at an acceptor.
+func (s *Site) handleRepairAccept(m wire.RepairAccept) {
+	if v, ok := s.repairDecided[m.FailedSite]; ok {
+		s.send(m.From, wire.RepairLearn{FailedSite: m.FailedSite, From: s.id, Value: v})
+		return
+	}
+	rs := s.ensureRepair(m.FailedSite, m.Members)
+	s.stepRepair(rs, rs.inst.Handle(m.From, consensus.Msg[wire.RepairValue]{
+		Kind:   consensus.Accept,
+		Ballot: m.Ballot,
+		Value:  m.Value,
+	}))
+}
+
+// handleRepairAccepted is consensus phase 2b at the proposer.
+func (s *Site) handleRepairAccepted(m wire.RepairAccepted) {
+	rs := s.repairs[m.FailedSite]
+	if rs == nil {
+		return
+	}
+	s.stepRepair(rs, rs.inst.Handle(m.From, consensus.Msg[wire.RepairValue]{
+		Kind:     consensus.Accepted,
+		Ballot:   m.Ballot,
+		OK:       m.OK,
+		Promised: m.Promised,
+	}))
+}
+
+// handleRepairLearn installs a decided repair broadcast by whichever
+// member first saw the phase-2 quorum.
+func (s *Site) handleRepairLearn(m wire.RepairLearn) {
+	if _, ok := s.repairDecided[m.FailedSite]; ok {
+		return // duplicate
+	}
+	rs := s.repairs[m.FailedSite]
+	if rs == nil {
+		// No local instance (e.g. this site never noticed the failure):
+		// adopt the decision directly.
+		s.recordRepairDecision(m.Value)
+		return
+	}
+	s.stepRepair(rs, rs.inst.Handle(m.From, consensus.Msg[wire.RepairValue]{
+		Kind:   consensus.Learn,
+		Ballot: m.Ballot,
+		Value:  m.Value,
+	}))
+}
+
+// finishRepair retires a decided instance and applies its decision.
+func (s *Site) finishRepair(rs *repairState) {
+	v, ok := rs.inst.Decided()
+	if !ok {
+		return
+	}
+	if s.repairs[rs.failed] == rs {
+		delete(s.repairs, rs.failed)
+	}
+	rs.cancelTimers()
+	s.recordRepairDecision(v)
+}
+
+// recordRepairDecision applies a repair decision exactly once.
+func (s *Site) recordRepairDecision(v wire.RepairValue) {
+	if _, ok := s.repairDecided[v.FailedSite]; ok {
+		return
+	}
+	s.repairDecided[v.FailedSite] = v
+	s.applyRepairDecision(v)
+}
+
+// applyRepairDecision executes a decided repair: log it durably, settle
+// the failed originator's in-flight transactions (commit iff in the
+// decided Commit set), install the repaired graphs at the common virtual
+// time, resume parked retries, and cascade into repairs that the new
+// graphs now make possible.
+func (s *Site) applyRepairDecision(v wire.RepairValue) {
+	f := v.FailedSite
+	s.log.Debug("repair decided", "failed", f.String(), "graphVT", v.GraphVT.String(), "commits", len(v.Commit))
+	s.clock.Observe(v.GraphVT)
+	s.walLogRepair(v)
+
+	inCommit := map[vtime.VT]bool{}
+	for _, vt := range v.Commit {
+		inCommit[vt] = true
+	}
+	// Decide conflicting in-flight transactions, each with an explicit
+	// WAL-logged outcome so crash recovery replays the same decisions.
+	for _, vt := range sortedVTs(s.txns) {
+		if st := s.txns[vt]; st.status != txnApplied || vt.Site != f {
+			continue
+		}
+		s.decideOrphan(vt, inCommit[vt])
+	}
+	s.installRepairedGraphs(v)
+	s.unparkRetries()
+	// Cascade: the repaired graphs may hand the primary role to another
+	// already-failed site (the cascading-failure case). Re-run failure
+	// handling for every other suspect so its repair — impossible while
+	// this one was undecided — starts now. startConsensusRepair dedupes.
+	for _, f2 := range sortedSites(s.failed) {
+		if f2 != f {
+			s.repairGraphsFor(f2)
+		}
+	}
+}
+
+// installRepairedGraphs installs the repaired replication graphs at the
+// decision's common virtual time (also used by WAL replay).
+func (s *Site) installRepairedGraphs(v wire.RepairValue) {
+	for _, id := range sortedObjectIDs(s.objects) {
+		o := s.objects[id]
+		if o.graph == nil || len(o.graph.RemoveSiteDryRun(v.FailedSite)) == 0 {
+			continue
+		}
+		if ps, ok := o.graph.PrimarySite(); !ok || ps != v.FailedSite {
+			continue // repaired by its surviving primary, not by consensus
+		}
+		repaired := o.graph.Clone()
+		repaired.RemoveSiteContract(v.FailedSite)
+		repaired = repaired.Component(o.id)
+		if err := o.graphHist.Insert(v.GraphVT, repaired, history.Committed); err == nil {
+			o.graph = repaired
+			o.graphVT = v.GraphVT
+			s.log.Debug("repair installed", "obj", o.id.String(), "graph", repaired.String())
+		} else {
+			s.log.Debug("repair install failed", "obj", o.id.String(), "err", err.Error())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Legacy epoch-based repair (wire compatibility with older peers).
+// ---------------------------------------------------------------------------
+
+// handleRepairPropose answers an old-protocol repair proposal with the
+// outcomes this site knows for transactions involving the failed site.
 func (s *Site) handleRepairPropose(m wire.RepairPropose) {
-	s.log.Debug("repair propose", "from", m.From.String(), "epoch", m.Epoch)
-	if cur := s.repairs[m.FailedSite]; cur != nil && cur.epoch > m.Epoch {
-		return // stale epoch
+	s.log.Debug("legacy repair propose", "from", m.From.String(), "epoch", m.Epoch)
+	if cur := s.legacyRepairs[m.FailedSite]; cur != nil &&
+		(cur.epoch > m.Epoch || (cur.epoch == m.Epoch && cur.coordinator != m.From)) {
+		// Stale epoch — or an equal-epoch proposal from a DIFFERENT
+		// coordinator. Two sites with divergent failure suspicions can
+		// each open epoch 1 believing they are the lowest survivor;
+		// acking both would let two conflicting decisions commit.
+		// First proposer wins the epoch; the loser retries higher.
+		return
 	}
-	if s.repairs[m.FailedSite] == nil || s.repairs[m.FailedSite].coordinator != s.id {
-		s.repairs[m.FailedSite] = &repairState{
-			epoch:       m.Epoch,
-			failed:      m.FailedSite,
-			coordinator: m.From,
-			graphVT:     m.GraphVT,
-			survivors:   m.Survivors,
-		}
-	}
-	var known []vtime.VT
-	for _, vt := range sortedVTs(s.outcomes) {
-		if s.outcomes[vt] && vt.Site == m.FailedSite {
-			known = append(known, vt)
-		}
+	s.legacyRepairs[m.FailedSite] = &legacyRepairState{
+		epoch:       m.Epoch,
+		failed:      m.FailedSite,
+		coordinator: m.From,
+		graphVT:     m.GraphVT,
+		survivors:   m.Survivors,
 	}
 	s.send(m.From, wire.RepairAck{
 		EpochN:         m.Epoch,
 		FailedSite:     m.FailedSite,
 		From:           s.id,
-		KnownCommitted: known,
+		KnownCommitted: s.knownCommitsFor(m.FailedSite),
 	})
 }
 
-// handleRepairAck (coordinator side) gathers survivor knowledge and
-// decides once everyone answered.
+// handleRepairAck gathers survivor knowledge for an old-protocol repair
+// this site coordinates. The engine no longer initiates legacy repairs,
+// so in practice this only fires for states restored from older peers.
 func (s *Site) handleRepairAck(m wire.RepairAck) {
-	s.log.Debug("repair ack", "from", m.From.String())
-	rs := s.repairs[m.FailedSite]
+	rs := s.legacyRepairs[m.FailedSite]
 	if rs == nil || rs.coordinator != s.id || rs.epoch != m.EpochN {
 		return
+	}
+	if rs.acks == nil {
+		rs.acks = map[vtime.SiteID]bool{}
+	}
+	if rs.commitSet == nil {
+		rs.commitSet = map[vtime.VT]bool{}
 	}
 	rs.acks[m.From] = true
 	for _, vt := range m.KnownCommitted {
@@ -308,51 +863,24 @@ func (s *Site) handleRepairAck(m wire.RepairAck) {
 	}
 }
 
-// handleRepairDecide applies the consensus: commit the listed
-// transactions, abort every other in-flight transaction involving the
-// failed site, and install the repaired graphs at the common VT.
+// handleRepairDecide applies an old-protocol repair decision. It settles
+// the repair exactly like a consensus decision, cancelling any racing
+// local instance.
 func (s *Site) handleRepairDecide(m wire.RepairDecide) {
-	s.log.Debug("repair decide", "from", m.From.String())
-	rs := s.repairs[m.FailedSite]
-	if rs != nil && rs.epoch > m.EpochN {
+	s.log.Debug("legacy repair decide", "from", m.From.String())
+	if cur := s.legacyRepairs[m.FailedSite]; cur != nil && cur.epoch > m.EpochN {
 		return
 	}
-	delete(s.repairs, m.FailedSite)
-	s.clock.Observe(m.GraphVT)
-
-	inCommit := map[vtime.VT]bool{}
-	for _, vt := range m.Commit {
-		inCommit[vt] = true
+	delete(s.legacyRepairs, m.FailedSite)
+	if rs, ok := s.repairs[m.FailedSite]; ok {
+		rs.cancelTimers()
+		delete(s.repairs, m.FailedSite)
 	}
-	// Decide conflicting in-flight transactions.
-	for _, vt := range sortedVTs(s.txns) {
-		if st := s.txns[vt]; st.status != txnApplied || vt.Site != m.FailedSite {
-			continue
-		}
-		delete(s.commitQueries, vt)
-		s.handleOutcome(wire.Outcome{TxnVT: vt, Committed: inCommit[vt]})
-	}
-	// Install repaired graphs at the common virtual time.
-	for _, id := range sortedObjectIDs(s.objects) {
-		o := s.objects[id]
-		if o.graph == nil || len(o.graph.RemoveSiteDryRun(m.FailedSite)) == 0 {
-			continue
-		}
-		if ps, ok := o.graph.PrimarySite(); !ok || ps != m.FailedSite {
-			continue // repaired by its surviving primary, not by consensus
-		}
-		repaired := o.graph.Clone()
-		repaired.RemoveSiteContract(m.FailedSite)
-		repaired = repaired.Component(o.id)
-		if err := o.graphHist.Insert(m.GraphVT, repaired, history.Committed); err == nil {
-			o.graph = repaired
-			o.graphVT = m.GraphVT
-			s.log.Debug("repair installed", "obj", o.id.String(), "graph", repaired.String())
-		} else {
-			s.log.Debug("repair install failed", "obj", o.id.String(), "err", err.Error())
-		}
-	}
-	s.unparkRetries()
+	s.recordRepairDecision(wire.RepairValue{
+		FailedSite: m.FailedSite,
+		GraphVT:    m.GraphVT,
+		Commit:     m.Commit,
+	})
 }
 
 // writeGraphUpdate records a replication-graph update inside a
@@ -391,6 +919,7 @@ func (tx *Tx) writeGraphUpdateTargets(o *object, ng, targets *repgraph.Graph) {
 func (s *Site) unparkRetries() {
 	parked := s.parked
 	s.parked = nil
+	s.stats.ParkedRetries.Set(0)
 	for _, p := range parked {
 		p := p
 		s.stats.Retries.Add(1)

@@ -312,3 +312,74 @@ func TestFastpathCounterInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestRepairCounterInvariants drives the §3.4 failover — a primary
+// crash, the survivors' consensus repair, and a transaction that was in
+// flight at the dead primary — and checks that the repair-generated
+// internal transactions (graph updates, orphan decisions) keep the
+// quiescent accounting identities balanced, that the consensus counters
+// surface through the registry under their Prometheus names, and that
+// the parked-retry gauge is back to zero once the repair releases
+// whatever it parked.
+func TestRepairCounterInvariants(t *testing.T) {
+	h, observers := newObsHarness(t, 3, transport.Config{Latency: 2 * time.Millisecond}, Options{DisableFastPath: true})
+	refs := h.joined(KindInt, "x", int64(0), 1, 2, 3)
+
+	// Committed baseline traffic from every site, so the identities
+	// have real terms on both sides before the crash.
+	for k := 0; k < 3; k++ {
+		for _, i := range []int{1, 2, 3} {
+			if res := h.setInt(i, refs[i], int64(10*i+k)); !res.Committed {
+				t.Fatalf("site %d write %d: %+v", i, k, res)
+			}
+		}
+	}
+
+	// A transaction is in flight at the primary when it dies. Depending
+	// on timing its COMMIT either raced out before the kill or the
+	// failover aborts it, parks the retry behind the repair, and re-runs
+	// it under the repaired graph — it must commit either way.
+	hd := h.site(2).Submit(&Txn{Name: "inc", Execute: func(tx *Tx) error {
+		return tx.Add(refs[2], int64(1))
+	}})
+	<-hd.Applied()
+	h.net.Kill(1)
+	if res := hd.Wait(); !res.Committed {
+		t.Fatalf("in-flight txn should commit after the repair: %+v", res)
+	}
+
+	h.eventually(5*time.Second, "repair installed and survivors quiescent", func() bool {
+		for _, i := range []int{2, 3} {
+			sites, err := h.site(i).ReplicaSites(refs[i])
+			if err != nil || len(sites) != 2 {
+				return false
+			}
+			if !h.noPendingTxns(i) {
+				return false
+			}
+		}
+		return true
+	})
+
+	var ballots uint64
+	for _, i := range []int{2, 3} {
+		st := h.site(i).Stats()
+		for _, violation := range st.IdentityViolations(0) {
+			t.Errorf("site %d: %s", i, violation)
+		}
+		ballots += st.RepairBallots
+		reg := observers[i].Metrics()
+		if v, ok := reg.Value("decaf_repair_ballots_total"); !ok || uint64(v) != st.RepairBallots {
+			t.Errorf("site %d: registry repair ballots=%v (ok=%v) != Stats.RepairBallots=%d", i, v, ok, st.RepairBallots)
+		}
+		if v, ok := reg.Value("decaf_repair_quorum_failures_total"); !ok || uint64(v) != st.RepairQuorumFailures {
+			t.Errorf("site %d: registry quorum failures=%v (ok=%v) != Stats.RepairQuorumFailures=%d", i, v, ok, st.RepairQuorumFailures)
+		}
+		if v, ok := reg.Value("decaf_engine_parked_retries"); !ok || v != 0 {
+			t.Errorf("site %d: parked-retries gauge=%v (ok=%v), want 0 after the repair", i, v, ok)
+		}
+	}
+	if ballots == 0 {
+		t.Error("no survivor spent a repair ballot; the consensus path never ran")
+	}
+}

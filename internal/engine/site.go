@@ -166,6 +166,14 @@ type Stats struct {
 	// FailoversRun counts §3.4 failovers actually executed (including
 	// parked ones whose OfflineGrace deadline expired).
 	FailoversRun uint64
+	// RepairBallots counts consensus proposal attempts (ballots) this
+	// site started for graph repairs. A stable cluster decides on the
+	// first ballot; higher counts indicate takeovers and duels.
+	RepairBallots uint64
+	// RepairQuorumFailures counts repair proposal attempts abandoned
+	// without a decision: preempted by a higher ballot, or timed out
+	// short of a quorum (e.g. a minority partition).
+	RepairQuorumFailures uint64
 	// SyncSessions counts anti-entropy sessions this site initiated.
 	SyncSessions uint64
 	// SyncRecordsShipped counts WAL records shipped to peers in
@@ -221,8 +229,18 @@ type Site struct {
 	joins map[uint64]*joinState
 	// promotes tracks in-flight direct-propagation promotions (§3.2.2).
 	promotes map[uint64]*promoteState
-	// repairs tracks in-flight graph repairs after site failures.
+	// repairs tracks in-flight consensus-backed graph repairs after
+	// site failures (one single-decree instance per failed site).
 	repairs map[vtime.SiteID]*repairState
+	// legacyRepairs tracks epoch-based repairs coordinated by
+	// old-protocol peers (wire compatibility; this engine no longer
+	// initiates them).
+	legacyRepairs map[vtime.SiteID]*legacyRepairState
+	// repairDecided retains decided graph repairs so duplicate or late
+	// consensus traffic is answered without re-running the protocol.
+	// Cleared when the failed site recovers (a later failure starts a
+	// fresh instance).
+	repairDecided map[vtime.SiteID]wire.RepairValue
 	// commitQueries tracks outstanding outcome polls for transactions
 	// orphaned by an originator failure.
 	commitQueries map[vtime.VT]*queryState
@@ -324,6 +342,8 @@ type siteMetrics struct {
 	FastpathDemotions     *obs.Counter
 	FailoversParked       *obs.Counter
 	FailoversRun          *obs.Counter
+	RepairBallots         *obs.Counter
+	RepairQuorumFailures  *obs.Counter
 	SyncSessions          *obs.Counter
 	SyncRecordsShipped    *obs.Counter
 	SyncRecordsApplied    *obs.Counter
@@ -340,6 +360,11 @@ type siteMetrics struct {
 	NotifyEnqueued  *obs.Counter
 	NotifyDelivered *obs.Counter
 	NotifyDropped   *obs.Counter
+
+	// ParkedRetries gauges transaction retries currently parked behind
+	// a graph repair. Updated at the park and unpark sites (the backing
+	// slice is loop-confined, so a scrape-time GaugeFunc cannot read it).
+	ParkedRetries *obs.Gauge
 
 	// Latency histograms (wall seconds unless noted). Samples only
 	// arrive when the observer has timing enabled.
@@ -371,6 +396,8 @@ func newSiteMetrics(reg *obs.Registry) siteMetrics {
 		FastpathDemotions:     reg.Counter("decaf_fastpath_demotions_total", "RL guesses demoted to re-validation by a fast-path commit"),
 		FailoversParked:       reg.Counter("decaf_failovers_parked_total", "failure events parked because the peer was marked disconnected"),
 		FailoversRun:          reg.Counter("decaf_failovers_run_total", "§3.4 failovers executed"),
+		RepairBallots:         reg.Counter("decaf_repair_ballots_total", "consensus proposal attempts started for graph repairs"),
+		RepairQuorumFailures:  reg.Counter("decaf_repair_quorum_failures_total", "repair proposal attempts abandoned without a decision (preempted or quorum timeout)"),
 		SyncSessions:          reg.Counter("decaf_sync_sessions_total", "anti-entropy sessions initiated by this site"),
 		SyncRecordsShipped:    reg.Counter("decaf_sync_records_shipped_total", "WAL records shipped to peers in anti-entropy sessions"),
 		SyncRecordsApplied:    reg.Counter("decaf_sync_records_applied_total", "anti-entropy records applied at this site"),
@@ -386,6 +413,8 @@ func newSiteMetrics(reg *obs.Registry) siteMetrics {
 		NotifyEnqueued:  reg.Counter("decaf_notify_enqueued_total", "user callbacks accepted by the notifier queue"),
 		NotifyDelivered: reg.Counter("decaf_notify_delivered_total", "user callbacks delivered by the notifier goroutine"),
 		NotifyDropped:   reg.Counter("decaf_notify_dropped_total", "user callbacks dropped by the notifier overflow policy"),
+
+		ParkedRetries: reg.Gauge("decaf_engine_parked_retries", "transaction retries parked behind a graph repair"),
 
 		CommitLatency:       reg.Histogram("decaf_txn_commit_latency_seconds", "submit-to-commit wall latency of locally originated transactions", obs.WallBuckets),
 		CommitLatencyVT:     reg.Histogram("decaf_txn_commit_latency_vt_ticks", "execute-to-commit Lamport-clock distance of locally originated transactions", obs.VTBuckets),
@@ -444,6 +473,8 @@ func NewSite(ep transport.Endpoint, opts Options) *Site {
 		joins:          map[uint64]*joinState{},
 		promotes:       map[uint64]*promoteState{},
 		repairs:        map[vtime.SiteID]*repairState{},
+		legacyRepairs:  map[vtime.SiteID]*legacyRepairState{},
+		repairDecided:  map[vtime.SiteID]wire.RepairValue{},
 		commitQueries:  map[vtime.VT]*queryState{},
 		failed:         map[vtime.SiteID]bool{},
 		wal:            opts.WAL,
@@ -550,6 +581,7 @@ func (s *Site) collectDebugState() map[string]any {
 		"rc_waiters":           len(s.rcWaiters),
 		"confirm_waiters":      len(s.confirmWaiters),
 		"parked_retries":       len(s.parked),
+		"repairs_in_flight":    len(s.repairs),
 		"failed_sites":         failedSites,
 		"attached_views":       views,
 		"calls_queue_depth":    len(s.calls),
@@ -706,6 +738,8 @@ func (s *Site) Stats() Stats {
 		FastpathDemotions:     s.stats.FastpathDemotions.Value(),
 		FailoversParked:       s.stats.FailoversParked.Value(),
 		FailoversRun:          s.stats.FailoversRun.Value(),
+		RepairBallots:         s.stats.RepairBallots.Value(),
+		RepairQuorumFailures:  s.stats.RepairQuorumFailures.Value(),
 		SyncSessions:          s.stats.SyncSessions.Value(),
 		SyncRecordsShipped:    s.stats.SyncRecordsShipped.Value(),
 		SyncRecordsApplied:    s.stats.SyncRecordsApplied.Value(),
@@ -1123,6 +1157,16 @@ func (s *Site) handleMessage(from vtime.SiteID, msg wire.Message) {
 		s.handleRepairAck(m)
 	case wire.RepairDecide:
 		s.handleRepairDecide(m)
+	case wire.RepairPrepare:
+		s.handleRepairPrepare(m)
+	case wire.RepairPromise:
+		s.handleRepairPromise(m)
+	case wire.RepairAccept:
+		s.handleRepairAccept(m)
+	case wire.RepairAccepted:
+		s.handleRepairAccepted(m)
+	case wire.RepairLearn:
+		s.handleRepairLearn(m)
 	default:
 		s.log.Warn("unknown message", "from", from.String(), "type", fmt.Sprintf("%T", msg))
 	}

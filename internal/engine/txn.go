@@ -1003,6 +1003,7 @@ func (s *Site) abortTxn(st *txnState, reason string) {
 		// retry until the graph repair commits (paper §3.4: "it is
 		// retried later after the graph update has committed").
 		s.parked = append(s.parked, parkedRetry{txn: st.txn, handle: st.handle, retries: st.retries + 1})
+		s.stats.ParkedRetries.Set(int64(len(s.parked)))
 		return
 	}
 	s.stats.Retries.Add(1)

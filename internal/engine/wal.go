@@ -75,6 +75,17 @@ func (s *Site) walLogOutcome(m wire.Outcome) {
 	s.walAppendMsg(m.TxnVT, m)
 }
 
+// walLogRepair logs a decided graph repair as a RepairLearn record. On
+// replay the record restores the repaired graphs and marks the decided
+// Commit set, so a recovered site never re-litigates a repair its
+// pre-crash incarnation already applied.
+func (s *Site) walLogRepair(v wire.RepairValue) {
+	if s.wal == nil {
+		return
+	}
+	s.walAppendMsg(v.GraphVT, wire.RepairLearn{FailedSite: v.FailedSite, From: s.id, Value: v})
+}
+
 // walLocalCommit logs a locally originated commit: the Outcome record
 // and a synthesized Write carrying this site's own updates (they never
 // passed through handleMessage, so nothing else logs them). logOutcome
@@ -268,6 +279,13 @@ func (s *Site) replayWAL(cpSeq uint64) error {
 		case wire.FastWrite:
 			s.outcomes[m.TxnVT] = true
 			s.noteOwnDecided(m.TxnVT)
+		case wire.RepairLearn:
+			// A decided repair commits exactly its Commit set; the abort
+			// decisions for the rest were logged as explicit Outcomes.
+			for _, vt := range m.Value.Commit {
+				s.outcomes[vt] = true
+				s.noteOwnDecided(vt)
+			}
 		}
 		return nil
 	})
@@ -309,6 +327,12 @@ func (s *Site) replayWAL(cpSeq uint64) error {
 			s.handleWrite(m.Origin, m)
 		case wire.FastWrite:
 			s.handleFastWrite(m.Origin, m)
+		case wire.RepairLearn:
+			// Re-install the repaired graphs at the decided common VT and
+			// remember the decision, exactly as the live protocol did.
+			s.clock.Observe(m.Value.GraphVT)
+			s.installRepairedGraphs(m.Value)
+			s.repairDecided[m.Value.FailedSite] = m.Value
 		}
 		return nil
 	})

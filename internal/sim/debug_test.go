@@ -38,7 +38,7 @@ func TestDebugOneSeed(t *testing.T) {
 		}
 	}
 	r := Run(p, seed, inspect)
-	fmt.Printf("steps=%d killed=S%d err=%v\n", r.Steps, r.Killed, r.Err)
+	fmt.Printf("steps=%d killed=%s err=%v\n", r.Steps, KilledLabel(r.Killed), r.Err)
 	fmt.Printf("fingerprint: %s\n", r.Fingerprint)
 	for i := 1; i <= p.Sites; i++ {
 		st := r.Stats[vtime.SiteID(i)]

@@ -35,8 +35,9 @@ type Result struct {
 	Seed    int64
 	// Steps is the number of virtual-clock events fired.
 	Steps int
-	// Killed is the crashed site (0 if the profile has no crash).
-	Killed vtime.SiteID
+	// Killed lists the crashed sites in kill order (empty when the
+	// profile has no crash; cascade profiles kill two).
+	Killed []vtime.SiteID
 	// Trace is the full event schedule: one line per delivery attempt,
 	// submit, and fault transition. Byte-identical across runs of the
 	// same (profile, seed) — TestSimReplay pins that.
@@ -120,7 +121,7 @@ type world struct {
 
 	steps   int
 	trace   strings.Builder
-	killed  vtime.SiteID
+	killed  []vtime.SiteID
 	offline vtime.SiteID
 	pending []*pendingTxn
 }
@@ -503,15 +504,20 @@ func (w *world) scheduleFaults() {
 		// repair consensus) midway through the schedule.
 		victim := vtime.SiteID(1 + w.rng.Intn(p.Sites))
 		at := p.Span/2 + time.Duration(w.rng.Int63n(int64(p.Span/2)))
-		w.clock.AfterFunc(at, func() {
-			w.tracef("KILL S%d", victim)
-			w.killed = victim
-			// Kill's dispatch path statically reaches the real-timer
-			// memLink pump, but only on the clock==nil branch; the
-			// harness always injects the virtual clock.
-			//decaf:ignore wallclock virtual clock configured; real-time branch unreachable
-			w.net.Kill(victim) //decaf:ignore timers virtual clock configured; real-time branch unreachable
-		})
+		w.clock.AfterFunc(at, func() { w.kill(victim) })
+	}
+	if p.Cascade {
+		// Cascading failure: kill every object's initial primary
+		// midway, then kill site 2 — the lowest-ranked survivor, which
+		// every peer expects to coordinate site 1's repair — a couple
+		// of latency draws later. Depending on the seed the second kill
+		// lands while the repair is mid-ballot (forcing a takeover) or
+		// just after it decided (forcing a cascaded repair of a graph
+		// whose fresh primary is already dead); both must converge.
+		first := p.Span / 2
+		gap := 2*p.Latency + time.Duration(w.rng.Int63n(int64(4*p.Latency)))
+		w.clock.AfterFunc(first, func() { w.kill(1) })
+		w.clock.AfterFunc(first+gap, func() { w.kill(2) })
 	}
 	if p.Offline {
 		// A seed-chosen non-primary site goes weakly connected for the
@@ -558,8 +564,40 @@ func (w *world) scheduleFaults() {
 	}
 }
 
+// kill crashes victim now: records it, then detaches it from the
+// network (which also drops the victim's in-flight messages at their
+// delivery time and reports the failure to every peer).
+func (w *world) kill(victim vtime.SiteID) {
+	w.tracef("KILL S%d", victim)
+	w.killed = append(w.killed, victim)
+	// Kill's dispatch path statically reaches the real-timer memLink
+	// pump, but only on the clock==nil branch; the harness always
+	// injects the virtual clock.
+	//decaf:ignore wallclock virtual clock configured; real-time branch unreachable
+	w.net.Kill(victim) //decaf:ignore timers virtual clock configured; real-time branch unreachable
+}
+
 // alive reports whether site survived the run.
-func (w *world) alive(site vtime.SiteID) bool { return site != w.killed }
+func (w *world) alive(site vtime.SiteID) bool {
+	for _, k := range w.killed {
+		if k == site {
+			return false
+		}
+	}
+	return true
+}
+
+// KilledLabel renders a kill list for traces and fingerprints.
+func KilledLabel(killed []vtime.SiteID) string {
+	if len(killed) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(killed))
+	for i, k := range killed {
+		parts[i] = fmt.Sprintf("S%d", k)
+	}
+	return strings.Join(parts, ",")
+}
 
 // check asserts every end-of-run invariant and returns them joined.
 func (w *world) check(refs map[string][]engine.ObjRef) error {
@@ -674,7 +712,7 @@ func (w *world) check(refs map[string][]engine.ObjRef) error {
 // fingerprint summarizes final committed state for replay comparison.
 func (w *world) fingerprint(refs map[string][]engine.ObjRef) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "steps=%d killed=S%d offline=S%d", w.steps, w.killed, w.offline)
+	fmt.Fprintf(&b, "steps=%d killed=%s offline=S%d", w.steps, KilledLabel(w.killed), w.offline)
 	for _, name := range []string{"reg", "ctr", "lst"} {
 		for i := 1; i <= w.profile.Sites; i++ {
 			id := vtime.SiteID(i)

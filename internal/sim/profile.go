@@ -64,6 +64,15 @@ type Profile struct {
 	// ordinary guess/confirm protocol.
 	DisableFastPath bool
 
+	// Cascade (needs 3+ sites, meant for 5) kills site 1 — every
+	// object's initial primary — midway through the schedule, then
+	// kills site 2, the lowest-ranked survivor that every peer expects
+	// to coordinate the repair, a couple of latency draws later.
+	// Exercises the consensus takeover (a higher ballot from the next
+	// survivor) and the cascaded repair of the second failure
+	// (DESIGN.md §14).
+	Cascade bool
+
 	// Offline takes one seed-chosen non-primary site weakly connected
 	// midway through the schedule: a silent partition from every peer
 	// plus a failure-detector false positive (Suspect), with the
@@ -141,6 +150,17 @@ func Profiles() []Profile {
 			Latency: 5 * time.Millisecond, Jitter: 4 * time.Millisecond,
 			RetryDelay: 3 * time.Millisecond,
 			Ops:        24, Offline: true,
+		},
+		{
+			// Cascading failure: the primary dies mid-schedule, then the
+			// repair coordinator dies while that repair is in flight (or
+			// freshly decided — the gap is a seeded draw). A survivor
+			// must take over the ballot, settle the orphans, and
+			// cascade-repair the second failure (DESIGN.md §14).
+			Name: "cascade", Sites: 5,
+			Latency: 5 * time.Millisecond, Jitter: 4 * time.Millisecond,
+			Duplicate: 0.05, RetryDelay: 3 * time.Millisecond,
+			Ops: 28, Cascade: true,
 		},
 		{
 			// Same fault menu with the fast path ablated: every

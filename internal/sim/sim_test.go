@@ -27,6 +27,13 @@ func TestSimReplay(t *testing.T) {
 		// deterministic under the virtual clock.
 		{"offline", 6},
 		{"offline", 13},
+		// Cascading failure (§14): the primary dies, then the repair
+		// coordinator dies mid-ballot (seed 1: S2's RepairPrepare is in
+		// flight when it is killed; S3 takes over with a higher ballot,
+		// decides, and cascade-repairs S2). Pins that the consensus
+		// takeover and the cascaded second repair replay exactly.
+		{"cascade", 1},
+		{"cascade", 9},
 		// Regressions: seeds that found real engine bugs (DESIGN.md §12).
 		{"fastpath-faulty", 93}, // drainPending re-entrancy stack overflow
 		{"nofast", 107},         // duplicated Write re-folded into GC merge base

@@ -30,6 +30,7 @@ import (
 	"math"
 	"sync"
 
+	"decaf/internal/consensus"
 	"decaf/internal/ids"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
@@ -58,6 +59,11 @@ const (
 	tagFastWrite
 	tagSyncRequest
 	tagSyncUpdates
+	tagRepairPrepare
+	tagRepairPromise
+	tagRepairAccept
+	tagRepairAccepted
+	tagRepairLearn
 
 	// tagGobMessage escapes to a gob-encoded message: a length-prefixed
 	// gob stream. Used only for message types the hand codec does not
@@ -135,6 +141,18 @@ func appendSites(b []byte, sites []vtime.SiteID) []byte {
 		b = appendSite(b, s)
 	}
 	return b
+}
+
+func appendBallot(b []byte, bal consensus.Ballot) []byte {
+	b = binary.AppendUvarint(b, bal.Round)
+	return appendSite(b, bal.Site)
+}
+
+func appendRepairValue(b []byte, v RepairValue) []byte {
+	b = appendSite(b, v.FailedSite)
+	b = appendVT(b, v.GraphVT)
+	b = appendSites(b, v.Survivors)
+	return appendVTs(b, v.Commit)
 }
 
 func appendSyncFloors(b []byte, floors []SyncFloor) []byte {
@@ -503,6 +521,43 @@ func AppendMessage(b []byte, m Message) ([]byte, error) {
 		b = appendSite(b, m.From)
 		b = appendVT(b, m.GraphVT)
 		return appendVTs(b, m.Commit), nil
+	case RepairPrepare:
+		b = append(b, tagRepairPrepare)
+		b = appendSite(b, m.FailedSite)
+		b = appendSite(b, m.From)
+		b = appendBallot(b, m.Ballot)
+		return appendSites(b, m.Members), nil
+	case RepairPromise:
+		b = append(b, tagRepairPromise)
+		b = appendSite(b, m.FailedSite)
+		b = appendSite(b, m.From)
+		b = appendBallot(b, m.Ballot)
+		b = appendBool(b, m.OK)
+		b = appendBallot(b, m.Promised)
+		b = appendBool(b, m.HasAccepted)
+		b = appendBallot(b, m.AcceptedBallot)
+		b = appendRepairValue(b, m.Accepted)
+		return appendVTs(b, m.KnownCommitted), nil
+	case RepairAccept:
+		b = append(b, tagRepairAccept)
+		b = appendSite(b, m.FailedSite)
+		b = appendSite(b, m.From)
+		b = appendBallot(b, m.Ballot)
+		b = appendRepairValue(b, m.Value)
+		return appendSites(b, m.Members), nil
+	case RepairAccepted:
+		b = append(b, tagRepairAccepted)
+		b = appendSite(b, m.FailedSite)
+		b = appendSite(b, m.From)
+		b = appendBallot(b, m.Ballot)
+		b = appendBool(b, m.OK)
+		return appendBallot(b, m.Promised), nil
+	case RepairLearn:
+		b = append(b, tagRepairLearn)
+		b = appendSite(b, m.FailedSite)
+		b = appendSite(b, m.From)
+		b = appendBallot(b, m.Ballot)
+		return appendRepairValue(b, m.Value), nil
 	case GVTUpdate:
 		b = append(b, tagGVTUpdate)
 		b = appendVT(b, m.VT)
@@ -653,6 +708,11 @@ func (r *reader) vt() vtime.VT {
 
 func (r *reader) site() vtime.SiteID { return vtime.SiteID(r.uvarint()) }
 
+func (r *reader) ballot() consensus.Ballot {
+	round := r.uvarint()
+	return consensus.Ballot{Round: round, Site: r.site()}
+}
+
 // count reads a slice length and sanity-checks it against the bytes that
 // remain, so corrupt input cannot provoke a huge allocation.
 func (r *reader) count() int {
@@ -720,6 +780,15 @@ func (r *reader) vts() []vtime.VT {
 		out[i] = r.vt()
 	}
 	return out
+}
+
+func (r *reader) repairValue() RepairValue {
+	return RepairValue{
+		FailedSite: r.site(),
+		GraphVT:    r.vt(),
+		Survivors:  r.sites(),
+		Commit:     r.vts(),
+	}
 }
 
 func (r *reader) obj() ids.ObjectID {
@@ -1001,6 +1070,33 @@ func DecodeMessage(b []byte) (Message, int, error) {
 		m = RepairDecide{
 			EpochN: r.uvarint(), FailedSite: r.site(), From: r.site(),
 			GraphVT: r.vt(), Commit: r.vts(),
+		}
+	case tagRepairPrepare:
+		m = RepairPrepare{
+			FailedSite: r.site(), From: r.site(), Ballot: r.ballot(),
+			Members: r.sites(),
+		}
+	case tagRepairPromise:
+		m = RepairPromise{
+			FailedSite: r.site(), From: r.site(), Ballot: r.ballot(),
+			OK: r.bool_(), Promised: r.ballot(), HasAccepted: r.bool_(),
+			AcceptedBallot: r.ballot(), Accepted: r.repairValue(),
+			KnownCommitted: r.vts(),
+		}
+	case tagRepairAccept:
+		m = RepairAccept{
+			FailedSite: r.site(), From: r.site(), Ballot: r.ballot(),
+			Value: r.repairValue(), Members: r.sites(),
+		}
+	case tagRepairAccepted:
+		m = RepairAccepted{
+			FailedSite: r.site(), From: r.site(), Ballot: r.ballot(),
+			OK: r.bool_(), Promised: r.ballot(),
+		}
+	case tagRepairLearn:
+		m = RepairLearn{
+			FailedSite: r.site(), From: r.site(), Ballot: r.ballot(),
+			Value: r.repairValue(),
 		}
 	case tagGVTUpdate:
 		m = GVTUpdate{VT: r.vt(), From: r.site(), Name: r.string_(), Value: r.value()}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"decaf/internal/consensus"
 	"decaf/internal/ids"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
@@ -246,7 +247,7 @@ func (g *gen) update() Update {
 
 // message produces a random instance of the i-th message type.
 func (g *gen) message(i int) Message {
-	switch i % 21 {
+	switch i % 26 {
 	case 0:
 		w := Write{TxnVT: g.vt(), Origin: g.site(), NeedsConfirm: g.rng.Intn(2) == 0, Checks: g.checks()}
 		for j := 0; j < 1+g.rng.Intn(4); j++ {
@@ -304,6 +305,23 @@ func (g *gen) message(i int) Message {
 	case 19:
 		return SyncUpdates{From: g.site(), ReqID: g.rng.Uint64(),
 			WantReply: g.rng.Intn(2) == 0, Floors: g.syncFloors(), Records: g.blobs()}
+	case 20:
+		return RepairPrepare{FailedSite: g.site(), From: g.site(),
+			Ballot: g.ballot(), Members: g.sites()}
+	case 21:
+		return RepairPromise{FailedSite: g.site(), From: g.site(),
+			Ballot: g.ballot(), OK: g.rng.Intn(2) == 0, Promised: g.ballot(),
+			HasAccepted: g.rng.Intn(2) == 0, AcceptedBallot: g.ballot(),
+			Accepted: g.repairValue(), KnownCommitted: g.vts()}
+	case 22:
+		return RepairAccept{FailedSite: g.site(), From: g.site(),
+			Ballot: g.ballot(), Value: g.repairValue(), Members: g.sites()}
+	case 23:
+		return RepairAccepted{FailedSite: g.site(), From: g.site(),
+			Ballot: g.ballot(), OK: g.rng.Intn(2) == 0, Promised: g.ballot()}
+	case 24:
+		return RepairLearn{FailedSite: g.site(), From: g.site(),
+			Ballot: g.ballot(), Value: g.repairValue()}
 	default:
 		w := FastWrite{TxnVT: g.vt(), Origin: g.site()}
 		for j := 0; j < 1+g.rng.Intn(4); j++ {
@@ -311,6 +329,14 @@ func (g *gen) message(i int) Message {
 		}
 		return w
 	}
+}
+
+func (g *gen) ballot() consensus.Ballot {
+	return consensus.Ballot{Round: g.rng.Uint64() >> g.rng.Intn(60), Site: g.site()}
+}
+
+func (g *gen) repairValue() RepairValue {
+	return RepairValue{FailedSite: g.site(), GraphVT: g.vt(), Survivors: g.sites(), Commit: g.vts()}
 }
 
 func (g *gen) syncFloors() []SyncFloor {
@@ -349,7 +375,7 @@ func (g *gen) blobs() [][]byte {
 func TestBinaryCodecDifferential(t *testing.T) {
 	g := &gen{rng: rand.New(rand.NewSource(7))}
 	const perType = 50
-	for i := 0; i < 21*perType; i++ {
+	for i := 0; i < 26*perType; i++ {
 		m := g.message(i)
 		want := gobRoundTrip(t, m)
 		got := binRoundTrip(t, m)
@@ -409,6 +435,20 @@ func TestBinaryCodecFixedMessages(t *testing.T) {
 		RepairPropose{Epoch: 3, FailedSite: 9, From: 1, GraphVT: vt, Survivors: []vtime.SiteID{1, 2}},
 		RepairAck{EpochN: 3, FailedSite: 9, From: 2, KnownCommitted: []vtime.VT{vt}},
 		RepairDecide{EpochN: 3, FailedSite: 9, From: 1, GraphVT: vt, Commit: []vtime.VT{vt}},
+		RepairPrepare{FailedSite: 9, From: 1, Ballot: consensus.Ballot{Round: 2, Site: 1},
+			Members: []vtime.SiteID{1, 2, 3}},
+		RepairPromise{FailedSite: 9, From: 2, Ballot: consensus.Ballot{Round: 2, Site: 1},
+			OK: true, HasAccepted: true, AcceptedBallot: consensus.Ballot{Round: 1, Site: 2},
+			Accepted:       RepairValue{FailedSite: 9, GraphVT: vt, Survivors: []vtime.SiteID{1, 2}, Commit: []vtime.VT{vt}},
+			KnownCommitted: []vtime.VT{vt}},
+		RepairPromise{FailedSite: 9, From: 2, Ballot: consensus.Ballot{Round: 1, Site: 1},
+			OK: false, Promised: consensus.Ballot{Round: 3, Site: 2}},
+		RepairAccept{FailedSite: 9, From: 1, Ballot: consensus.Ballot{Round: 2, Site: 1},
+			Value:   RepairValue{FailedSite: 9, GraphVT: vt, Survivors: []vtime.SiteID{1, 2}},
+			Members: []vtime.SiteID{1, 2, 3}},
+		RepairAccepted{FailedSite: 9, From: 3, Ballot: consensus.Ballot{Round: 2, Site: 1}, OK: true},
+		RepairLearn{FailedSite: 9, From: 1, Ballot: consensus.Ballot{Round: 2, Site: 1},
+			Value: RepairValue{FailedSite: 9, GraphVT: vt, Survivors: []vtime.SiteID{1, 2}, Commit: []vtime.VT{vt}}},
 		GVTUpdate{VT: vt, From: 2, Name: "x", Value: int64(5)},
 		GVTAck{VT: vt, From: 2},
 		GVTToken{Round: 8, Min: vt, MinValid: true, GVT: vtime.VT{Time: 90, Site: 1}},

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"decaf/internal/consensus"
 	"decaf/internal/ids"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
@@ -86,6 +87,20 @@ func seedMessages() []Message {
 		RepairPropose{Epoch: 2, FailedSite: 1, From: 2, GraphVT: fvt(20, 2), Survivors: []vtime.SiteID{2, 3}},
 		RepairAck{EpochN: 2, FailedSite: 1, From: 3, KnownCommitted: []vtime.VT{fvt(18, 1), fvt(19, 3)}},
 		RepairDecide{EpochN: 2, FailedSite: 1, From: 2, GraphVT: fvt(20, 2), Commit: []vtime.VT{fvt(18, 1)}},
+		RepairPrepare{FailedSite: 1, From: 2, Ballot: consensus.Ballot{Round: 1, Site: 2},
+			Members: []vtime.SiteID{2, 3, 4}},
+		RepairPromise{FailedSite: 1, From: 3, Ballot: consensus.Ballot{Round: 1, Site: 2},
+			OK: true, HasAccepted: true, AcceptedBallot: consensus.Ballot{Round: 1, Site: 3},
+			Accepted:       RepairValue{FailedSite: 1, GraphVT: fvt(20, 3), Survivors: []vtime.SiteID{2, 3}, Commit: []vtime.VT{fvt(18, 1)}},
+			KnownCommitted: []vtime.VT{fvt(18, 1), fvt(19, 1)}},
+		RepairPromise{FailedSite: 1, From: 3, Ballot: consensus.Ballot{Round: 1, Site: 2},
+			OK: false, Promised: consensus.Ballot{Round: 2, Site: 4}},
+		RepairAccept{FailedSite: 1, From: 2, Ballot: consensus.Ballot{Round: 1, Site: 2},
+			Value:   RepairValue{FailedSite: 1, GraphVT: fvt(20, 2), Survivors: []vtime.SiteID{2, 3, 4}, Commit: []vtime.VT{fvt(18, 1)}},
+			Members: []vtime.SiteID{2, 3, 4}},
+		RepairAccepted{FailedSite: 1, From: 4, Ballot: consensus.Ballot{Round: 1, Site: 2}, OK: true},
+		RepairLearn{FailedSite: 1, From: 2, Ballot: consensus.Ballot{Round: 1, Site: 2},
+			Value: RepairValue{FailedSite: 1, GraphVT: fvt(20, 2), Survivors: []vtime.SiteID{2, 3, 4}, Commit: []vtime.VT{fvt(18, 1)}}},
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"decaf/internal/consensus"
 	"decaf/internal/ids"
 	"decaf/internal/repgraph"
 	"decaf/internal/vtime"
@@ -631,6 +632,115 @@ func (RepairDecide) isMessage() {}
 func (RepairDecide) Kind() string { return "REPAIR-DECIDE" }
 
 // ---------------------------------------------------------------------------
+// Consensus-backed graph repair (DESIGN.md §14).
+//
+// The legacy RepairPropose/RepairAck/RepairDecide exchange above is a
+// one-shot epoch protocol kept for wire compatibility. New sites run the
+// single-decree consensus below (internal/consensus): any survivor can
+// take over a stalled repair with a higher ballot, and a quorum of the
+// pre-failure membership must accept before a repair commits.
+// ---------------------------------------------------------------------------
+
+// RepairValue is the value a repair instance decides: the virtual time
+// at which the repaired graphs apply, the surviving member set, and the
+// resolved outcomes of the failed site's in-flight transactions (every
+// listed VT commits; every other in-flight transaction of the failed
+// originator aborts). One instance exists per failed site; the decided
+// value is identical at every survivor, so parked retries resume against
+// the same repaired graphs everywhere.
+type RepairValue struct {
+	FailedSite vtime.SiteID
+	GraphVT    vtime.VT
+	Survivors  []vtime.SiteID
+	Commit     []vtime.VT
+}
+
+// RepairPrepare is consensus phase 1a: a survivor claims Ballot for the
+// repair of FailedSite. Members carries the instance's member set (the
+// pre-failure graph membership minus the failed site) so receivers that
+// have not yet noticed the failure can instantiate an identical
+// acceptor.
+type RepairPrepare struct {
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	Ballot     consensus.Ballot
+	Members    []vtime.SiteID
+}
+
+func (RepairPrepare) isMessage() {}
+
+// Kind implements Message.
+func (RepairPrepare) Kind() string { return "REPAIR-PREPARE" }
+
+// RepairPromise is consensus phase 1b. A grant (OK) carries any value
+// the acceptor already accepted under an earlier ballot, plus the
+// acceptor's commit knowledge for the failed site's in-flight
+// transactions (KnownCommitted) so the eventual proposal commits a
+// transaction iff ANY promising survivor saw its COMMIT (paper §3.4).
+// A refusal reports Promised, the ballot the acceptor is bound to.
+type RepairPromise struct {
+	FailedSite     vtime.SiteID
+	From           vtime.SiteID
+	Ballot         consensus.Ballot
+	OK             bool
+	Promised       consensus.Ballot
+	HasAccepted    bool
+	AcceptedBallot consensus.Ballot
+	Accepted       RepairValue
+	KnownCommitted []vtime.VT
+}
+
+func (RepairPromise) isMessage() {}
+
+// Kind implements Message.
+func (RepairPromise) Kind() string { return "REPAIR-PROMISE" }
+
+// RepairAccept is consensus phase 2a: the proposer asks the members to
+// accept Value under Ballot.
+type RepairAccept struct {
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	Ballot     consensus.Ballot
+	Value      RepairValue
+	Members    []vtime.SiteID
+}
+
+func (RepairAccept) isMessage() {}
+
+// Kind implements Message.
+func (RepairAccept) Kind() string { return "REPAIR-ACCEPT" }
+
+// RepairAccepted is consensus phase 2b: the acceptor's verdict on a
+// RepairAccept.
+type RepairAccepted struct {
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	Ballot     consensus.Ballot
+	OK         bool
+	Promised   consensus.Ballot
+}
+
+func (RepairAccepted) isMessage() {}
+
+// Kind implements Message.
+func (RepairAccepted) Kind() string { return "REPAIR-ACCEPTED" }
+
+// RepairLearn broadcasts a decided repair. It is also WAL-logged and
+// replayed on recovery, and answers stale consensus traffic for repairs
+// that already decided.
+type RepairLearn struct {
+	FailedSite vtime.SiteID
+	From       vtime.SiteID
+	Ballot     consensus.Ballot
+	Value      RepairValue
+}
+
+func (RepairLearn) isMessage() {}
+
+// Kind implements Message.
+func (RepairLearn) Kind() string { return "REPAIR-LEARN" }
+
+// ---------------------------------------------------------------------------
 // Gob registration.
 // ---------------------------------------------------------------------------
 
@@ -652,6 +762,11 @@ func RegisterGob() {
 	gob.Register(RepairPropose{})
 	gob.Register(RepairAck{})
 	gob.Register(RepairDecide{})
+	gob.Register(RepairPrepare{})
+	gob.Register(RepairPromise{})
+	gob.Register(RepairAccept{})
+	gob.Register(RepairAccepted{})
+	gob.Register(RepairLearn{})
 	gob.Register(SyncRequest{})
 	gob.Register(SyncUpdates{})
 
